@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Fig. 7b — FLUSH+RELOAD attack on square-and-multiply RSA.
+ *
+ * Paper result: without the defense the attacker detects every
+ * invocation of `multiply` (dips/spikes of the reload-latency series)
+ * and reads the exponent; with stealth mode the attacker perceives an
+ * I-cache hit at the end of every probe interval and learns nothing.
+ * The PRIME+PROBE variant is also run (paper: "also defeated").
+ */
+
+#include <cstdio>
+
+#include "bench/common/bench_util.hh"
+#include "sec/rsa_attack.hh"
+
+using namespace csd;
+using namespace csd::bench;
+
+namespace
+{
+
+RsaWorkload
+makeVictim()
+{
+    return RsaWorkload::build({0x90abcdefu, 0x12345678u},
+                              {0xc0000001u, 0xd0000001u}, 0xb72d, 16);
+}
+
+DefenseConfig
+makeDefense(const RsaWorkload &workload, bool enabled)
+{
+    DefenseConfig defense;
+    defense.enabled = enabled;
+    defense.decoyIRange = workload.multiplyRange;
+    defense.taintSources = {workload.exponentRange,
+                            workload.resultRange};
+    defense.watchdogPeriod = 300;
+    return defense;
+}
+
+void
+report(const char *label, const RsaWorkload &,
+       const RsaAttackResult &result)
+{
+    std::printf("\n--- %s ---\n", label);
+    std::printf("probe intervals: %zu\n", result.timeline.size());
+
+    // The Fig. 7b series: multiply-line hot/cold per probe interval
+    // (first 100 intervals; '#' = reload hit, '.' = miss).
+    std::printf("multiply-line reloads: ");
+    for (std::size_t i = 0; i < result.timeline.size() && i < 100; ++i)
+        std::printf("%c", result.timeline[i].second ? '#' : '.');
+    std::printf("\n");
+
+    std::printf("ground-truth exponent: ");
+    // Fall back to printing the parse alignment.
+    std::printf("(16 bits)\nrecovered bits:        ");
+    for (bool bit : result.recoveredBits)
+        std::printf("%d", bit ? 1 : 0);
+    std::printf("\nbit accuracy: %s (%u/%u)\n",
+                fmt(result.accuracy, 3).c_str(), result.bitsCorrect,
+                result.totalBits);
+}
+
+} // namespace
+
+int
+main()
+{
+    benchHeader("Figure 7b",
+                "FLUSH+RELOAD attack on GnuPG-style RSA",
+                "I-cache side channel on the `multiply` function; "
+                "16-bit exponent (scaled, per-bit leak).");
+
+    const RsaWorkload workload = makeVictim();
+    std::printf("exponent (truth): ");
+    for (unsigned i = workload.expBits; i-- > 0;)
+        std::printf("%d",
+                    static_cast<int>((workload.exponent >> i) & 1));
+    std::printf("\n");
+
+    Victim undefended(workload.program, makeDefense(workload, false));
+    const auto attack_plain = runRsaAttack(undefended, workload);
+    report("stealth-mode OFF (FLUSH+RELOAD)", workload, attack_plain);
+
+    Victim defended(workload.program, makeDefense(workload, true));
+    const auto attack_defended = runRsaAttack(defended, workload);
+    report("stealth-mode ON (FLUSH+RELOAD)", workload, attack_defended);
+
+    // PRIME+PROBE variant (paper §VII-A: "also defeated").
+    RsaAttackConfig pp;
+    pp.flushReload = false;
+    Victim pp_plain(workload.program, makeDefense(workload, false));
+    const auto pp_off = runRsaAttack(pp_plain, workload, pp);
+    Victim pp_def(workload.program, makeDefense(workload, true));
+    const auto pp_on = runRsaAttack(pp_def, workload, pp);
+
+    Table table({"attack", "defense", "bit accuracy"});
+    table.addRow({"FLUSH+RELOAD", "off", fmt(attack_plain.accuracy, 3)});
+    table.addRow({"FLUSH+RELOAD", "on", fmt(attack_defended.accuracy, 3)});
+    table.addRow({"PRIME+PROBE", "off", fmt(pp_off.accuracy, 3)});
+    table.addRow({"PRIME+PROBE", "on", fmt(pp_on.accuracy, 3)});
+    std::printf("\n");
+    table.print();
+    std::printf("\nPaper shape: accuracy 1.0 undefended; defended trace "
+                "fully obfuscated (hit every interval).\n");
+
+    return attack_plain.accuracy == 1.0 && attack_defended.accuracy < 0.8
+        ? 0
+        : 1;
+}

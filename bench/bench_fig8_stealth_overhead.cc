@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fig. 8 — execution-time overhead of stealth-mode translation.
+ *
+ * Paper result: normalized execution time with CSD stealth mode is
+ * consistently below 1.10 per benchmark and averages ~1.056 in the Opt
+ * configuration (micro-op cache + fusion enabled); the NoOpt pipeline
+ * is worse. Compare with the 20x of compiler-based obfuscation.
+ */
+
+#include <cstdio>
+
+#include "bench/common/bench_util.hh"
+#include "bench/common/crypto_cases.hh"
+
+using namespace csd;
+using namespace csd::bench;
+
+int
+main()
+{
+    benchHeader("Figure 8", "Stealth-mode execution time (normalized)",
+                "8 datapoints: {AES, RSA, Blowfish, Rijndael} x "
+                "{encrypt, decrypt}; NoOpt vs Opt front ends.");
+
+    FrontEndParams opt;  // defaults: uop cache + fusion + LSD on
+
+    FrontEndParams noopt;
+    noopt.uopCacheEnabled = false;
+    noopt.microFusion = false;
+    noopt.macroFusion = false;
+    noopt.lsdEnabled = false;
+
+    Table table({"benchmark", "NoOpt norm. time", "Opt norm. time",
+                 "Opt overhead"});
+    std::vector<double> noopt_ratios, opt_ratios;
+
+    for (const CryptoCase &c : cryptoSuite()) {
+        const auto base_no = runCryptoCase(c, false, noopt);
+        const auto stealth_no = runCryptoCase(c, true, noopt);
+        const auto base_opt = runCryptoCase(c, false, opt);
+        const auto stealth_opt = runCryptoCase(c, true, opt);
+
+        const double ratio_no = static_cast<double>(stealth_no.cycles) /
+                                static_cast<double>(base_no.cycles);
+        const double ratio_opt = static_cast<double>(stealth_opt.cycles) /
+                                 static_cast<double>(base_opt.cycles);
+        noopt_ratios.push_back(ratio_no);
+        opt_ratios.push_back(ratio_opt);
+        table.addRow({c.name, fmt(ratio_no), fmt(ratio_opt),
+                      pct(ratio_opt - 1.0)});
+    }
+
+    table.addRow({"average", fmt(mean(noopt_ratios)),
+                  fmt(mean(opt_ratios)), pct(mean(opt_ratios) - 1.0)});
+    table.print();
+
+    std::printf("\nPaper: average overhead 5.6%%, all below 10%% (Opt); "
+                "prior software obfuscation ~20x.\n");
+    std::printf("Measured average overhead (Opt): %s\n",
+                pct(mean(opt_ratios) - 1.0).c_str());
+    return 0;
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths:
+ * native translation, devectorization, decoy injection, functional
+ * execution, cache access, and the end-to-end detailed pipeline.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "csd/csd.hh"
+#include "csd/devect.hh"
+#include "sim/simulation.hh"
+#include "uop/translate.hh"
+#include "workloads/aes.hh"
+
+namespace
+{
+
+using namespace csd;
+
+void
+BM_TranslateNative(benchmark::State &state)
+{
+    ProgramBuilder b;
+    b.aluMem(MacroOpcode::AddM, Gpr::Rax, memAt(Gpr::Rbx, 16));
+    const MacroOp op = b.build().code()[0];
+    for (auto _ : state) {
+        UopFlow flow = translateNative(op);
+        benchmark::DoNotOptimize(flow);
+    }
+}
+BENCHMARK(BM_TranslateNative);
+
+void
+BM_Devectorize(benchmark::State &state)
+{
+    MacroOp op;
+    op.opcode = MacroOpcode::Paddb;
+    op.xdst = Xmm::Xmm0;
+    op.xsrc = Xmm::Xmm1;
+    op.pc = 0x1000;
+    for (auto _ : state) {
+        auto flow = devectorize(op);
+        benchmark::DoNotOptimize(flow);
+    }
+}
+BENCHMARK(BM_Devectorize);
+
+void
+BM_DecoyInjection(benchmark::State &state)
+{
+    ProgramBuilder b;
+    b.load(Gpr::Rax, memAt(Gpr::Rbx));
+    const MacroOp op = b.build().code()[0];
+    const AddrRange range(0x10000, 0x10000 + 64 * 64);
+    for (auto _ : state) {
+        UopFlow flow = translateNative(op);
+        injectDecoys(flow, range, false, DecoyStyle::MicroLoop);
+        benchmark::DoNotOptimize(flow);
+    }
+}
+BENCHMARK(BM_DecoyInjection);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    MemHierarchy mem;
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mem.readData(addr));
+        addr = (addr + 64) & 0xffff;
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_FunctionalAesBlock(benchmark::State &state)
+{
+    std::array<std::uint8_t, 16> key{};
+    for (unsigned i = 0; i < 16; ++i)
+        key[i] = static_cast<std::uint8_t>(i);
+    const AesWorkload workload = AesWorkload::build(key);
+    ArchState arch;
+    arch.loadProgram(workload.program);
+    FunctionalExecutor exec(arch);
+    for (auto _ : state) {
+        arch.pc = workload.program.entry();
+        arch.halted = false;
+        while (!arch.halted) {
+            const MacroOp *op = workload.program.at(arch.pc);
+            exec.execute(*op, translateNative(*op));
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FunctionalAesBlock);
+
+void
+BM_DetailedAesBlock(benchmark::State &state)
+{
+    std::array<std::uint8_t, 16> key{};
+    for (unsigned i = 0; i < 16; ++i)
+        key[i] = static_cast<std::uint8_t>(i);
+    const AesWorkload workload = AesWorkload::build(key);
+    Simulation sim(workload.program);
+    for (auto _ : state) {
+        sim.restart();
+        sim.runToHalt();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DetailedAesBlock);
+
+void
+BM_StealthTranslation(benchmark::State &state)
+{
+    // Cost of a stealth-mode translation with an armed decoy range.
+    MsrFile msrs;
+    ContextSensitiveDecoder csd(msrs);
+    msrs.setDecoyDRange(0, AddrRange(0x10000, 0x10000 + 64 * 64));
+    msrs.setTaintedPc(0, 0x2000);
+    msrs.setControl(ctrlStealthEnable | ctrlPcRangeTrigger);
+
+    ProgramBuilder b(0x2000);
+    b.load(Gpr::Rax, memAt(Gpr::Rbx));
+    const MacroOp op = b.build().code()[0];
+    for (auto _ : state) {
+        // Re-arm so every iteration pays the injection path.
+        msrs.setControl(ctrlStealthEnable | ctrlPcRangeTrigger);
+        UopFlow flow = csd.translate(op);
+        benchmark::DoNotOptimize(flow);
+    }
+}
+BENCHMARK(BM_StealthTranslation);
+
+} // namespace
+
+BENCHMARK_MAIN();

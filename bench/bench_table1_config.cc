@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Table I — baseline processor configuration.
+ *
+ * Prints the simulated machine's parameters (Sandy Bridge-like, as the
+ * paper's gem5 baseline) straight from the live configuration structs,
+ * then validates them with a front-end throughput smoke run.
+ */
+
+#include <cstdio>
+
+#include "bench/common/bench_util.hh"
+#include "sim/simulation.hh"
+
+using namespace csd;
+using namespace csd::bench;
+
+int
+main()
+{
+    benchHeader("Table I", "Baseline processor configuration",
+                "Values read from the live SimParams defaults.");
+
+    const SimParams params;
+    const FrontEndParams &fe = params.frontend;
+    const BackEndParams &be = params.backend;
+    const MemHierarchyParams &mem = params.mem;
+    const BranchPredParams &bp = params.bpred;
+
+    Table table({"Component", "Configuration"});
+    table.addRow({"Fetch", std::to_string(fe.fetchBytesPerCycle) +
+                               "-byte fetch buffer / cycle"});
+    table.addRow({"Macro-op queue",
+                  std::to_string(fe.macroQueueEntries) + " entries"});
+    table.addRow({"Decoders",
+                  std::to_string(fe.decodeWidth) + "-wide (" +
+                      std::to_string(fe.simpleDecoders) +
+                      " simple + 1 complex, >" +
+                      std::to_string(fe.complexDecoderMaxUops) +
+                      " uops -> MSROM)"});
+    table.addRow({"Micro-op cache",
+                  std::to_string(fe.uopCacheSets) + " sets x " +
+                      std::to_string(fe.uopCacheWays) + " ways x " +
+                      std::to_string(fe.uopCacheSlotsPerWay) +
+                      " fused uops (" +
+                      std::to_string(fe.uopCacheSets * fe.uopCacheWays *
+                                     fe.uopCacheSlotsPerWay) +
+                      " uops), " +
+                      std::to_string(fe.uopCacheWindowBytes) +
+                      "B windows, max " +
+                      std::to_string(fe.uopCacheMaxWaysPerWindow) +
+                      " ways/window, context-tagged"});
+    table.addRow({"Loop stream detector",
+                  std::to_string(fe.lsdMaxSlots) + " fused uops"});
+    table.addRow({"ROB", std::to_string(be.robEntries) + " entries"});
+    table.addRow({"Commit", std::to_string(be.commitWidth) +
+                                " fused uops / cycle"});
+    table.addRow({"Issue ports",
+                  "6 (3x ALU, 2x load, 1x store; VPU on p0/p5)"});
+    table.addRow({"Branch predictor",
+                  "gshare " + std::to_string(bp.gshareEntries) +
+                      " entries, BTB " + std::to_string(bp.btbEntries) +
+                      ", RAS " + std::to_string(bp.rasEntries)});
+    table.addRow({"L1I", std::to_string(mem.l1i.sizeBytes / 1024) +
+                             " KB, " + std::to_string(mem.l1i.assoc) +
+                             "-way, " +
+                             std::to_string(mem.l1i.hitLatency) +
+                             " cycles"});
+    table.addRow({"L1D", std::to_string(mem.l1d.sizeBytes / 1024) +
+                             " KB, " + std::to_string(mem.l1d.assoc) +
+                             "-way, " +
+                             std::to_string(mem.l1d.hitLatency) +
+                             " cycles"});
+    table.addRow({"L2", std::to_string(mem.l2.sizeBytes / 1024) +
+                            " KB, " + std::to_string(mem.l2.assoc) +
+                            "-way, " + std::to_string(mem.l2.hitLatency) +
+                            " cycles"});
+    table.addRow({"LLC", std::to_string(mem.llc.sizeBytes / 1024 / 1024) +
+                             " MB, " + std::to_string(mem.llc.assoc) +
+                             "-way, " +
+                             std::to_string(mem.llc.hitLatency) +
+                             " cycles"});
+    table.addRow({"DRAM", std::to_string(mem.dramLatency) + " cycles"});
+    table.addRow({"VPU wake latency",
+                  std::to_string(params.energy.vpuWakeLatency) +
+                      " cycles (Laurenzano et al.)"});
+    table.print();
+
+    // Smoke validation: a simple loop sustains near the commit width.
+    ProgramBuilder b;
+    auto top = b.newLabel();
+    b.movri(Gpr::Rcx, 40000);
+    b.bind(top);
+    b.add(Gpr::Rax, Gpr::Rdx);
+    b.add(Gpr::Rbx, Gpr::Rsi);
+    b.add(Gpr::Rdi, Gpr::R8);
+    b.subi(Gpr::Rcx, 1);
+    b.jcc(Cond::Ne, top);
+    b.halt();
+    Program prog = b.build();
+    Simulation sim(prog);
+    sim.runToHalt();
+    std::printf("\nSanity: independent-ALU loop IPC = %.2f "
+                "(4-wide fused commit, LSD active)\n",
+                static_cast<double>(sim.instructions()) / sim.cycles());
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * §VII-A (in-text) — micro-op cache hit rate under CSD.
+ *
+ * Paper result: without micro-op fusion the hit rate drops 44% -> 39%
+ * when CSD stealth mode is enabled; with fusion (which shortens the
+ * expanded sequences) it is far more stable, 43% -> 42%. This harness
+ * reports per-datapoint rates and also ablates the paper's key
+ * integration choice: context-tagged micro-op cache ways vs flushing
+ * the whole cache on every mode switch.
+ *
+ * Absolute rates here are higher than the paper's (our victims are
+ * small kernels, not full SPEC-sized applications); the signal is the
+ * per-benchmark stealth-induced delta. rijndael is an interesting
+ * outlier: its unrolled code thrashes the 3-way/window limit, and
+ * making tainted windows uncacheable actually relieves pressure.
+ */
+
+#include <cstdio>
+
+#include "bench/common/bench_util.hh"
+#include "bench/common/crypto_cases.hh"
+
+using namespace csd;
+using namespace csd::bench;
+
+int
+main()
+{
+    benchHeader("uop-cache hit rate (paper §VII-A text)",
+                "Micro-op cache effectiveness under stealth mode",
+                "Context tag bits vs flush-on-switch ablation included.");
+
+    FrontEndParams fused;  // defaults: fusion on
+    FrontEndParams unfused;
+    unfused.microFusion = false;
+    unfused.macroFusion = false;
+    FrontEndParams flush = fused;
+    flush.uopCacheContextBits = false;
+
+    Table table({"benchmark", "base (no fusion)", "stealth (no fusion)",
+                 "base (fusion)", "stealth (fusion)",
+                 "stealth (fusion, FLUSH ablation)"});
+
+    std::vector<double> base_nf, st_nf, base_f, st_f, st_flush;
+    for (const CryptoCase &c : cryptoSuite()) {
+        const double bnf = runCryptoCase(c, false, unfused).uopCacheHitRate;
+        const double snf = runCryptoCase(c, true, unfused).uopCacheHitRate;
+        const double bf = runCryptoCase(c, false, fused).uopCacheHitRate;
+        const double sf = runCryptoCase(c, true, fused).uopCacheHitRate;
+        const double sfl = runCryptoCase(c, true, flush).uopCacheHitRate;
+        base_nf.push_back(bnf);
+        st_nf.push_back(snf);
+        base_f.push_back(bf);
+        st_f.push_back(sf);
+        st_flush.push_back(sfl);
+        table.addRow({c.name, pct(bnf), pct(snf), pct(bf), pct(sf),
+                      pct(sfl)});
+    }
+    table.addRow({"average", pct(mean(base_nf)), pct(mean(st_nf)),
+                  pct(mean(base_f)), pct(mean(st_f)),
+                  pct(mean(st_flush))});
+    table.print();
+
+    std::printf("\nPaper: 44%%->39%% (no fusion), 43%%->42%% (fusion); "
+                "the fusion configuration is far more stable under "
+                "CSD.\nThe FLUSH ablation shows why the paper extends "
+                "the tags with context bits instead of flushing.\n");
+    return 0;
+}

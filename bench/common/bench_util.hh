@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction harnesses: aligned table
+ * printing, normalization, and geometric means.
+ */
+
+#ifndef CSD_BENCH_COMMON_BENCH_UTIL_HH
+#define CSD_BENCH_COMMON_BENCH_UTIL_HH
+
+#include <string>
+#include <vector>
+
+namespace csd::bench
+{
+
+/** Print a header identifying the reproduced paper artifact. */
+void benchHeader(const std::string &artifact, const std::string &title,
+                 const std::string &notes = "");
+
+/** A simple aligned text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p precision decimals. */
+std::string fmt(double value, int precision = 3);
+
+/** Format a percentage. */
+std::string pct(double fraction, int precision = 1);
+
+/** Geometric mean of positive values. */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean. */
+double mean(const std::vector<double> &values);
+
+} // namespace csd::bench
+
+#endif // CSD_BENCH_COMMON_BENCH_UTIL_HH

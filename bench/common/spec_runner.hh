@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Runner for the devectorization experiments (Figs. 12-16): executes a
+ * synthetic SPEC preset under one of the three VPU policies and
+ * collects timing, micro-op, gating, and energy statistics.
+ */
+
+#ifndef CSD_BENCH_COMMON_SPEC_RUNNER_HH
+#define CSD_BENCH_COMMON_SPEC_RUNNER_HH
+
+#include "power/gating.hh"
+#include "sim/simulation.hh"
+#include "workloads/spec.hh"
+
+namespace csd::bench
+{
+
+/** Results of one (benchmark, policy) run. */
+struct SpecRunResult
+{
+    std::string name;
+    GatingPolicy policy{};
+    Tick cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t uops = 0;
+    EnergyBreakdown energy;
+    double gatedFraction = 0.0;
+    double wakingFraction = 0.0;
+    std::uint64_t sseOn = 0;
+    std::uint64_t sseWaking = 0;
+    std::uint64_t sseGated = 0;
+    std::uint64_t gateEvents = 0;
+    std::uint64_t wakeStallCycles = 0;
+};
+
+/** Knobs shared across the Figs. 12-16 harnesses. */
+struct SpecRunConfig
+{
+    /** 0 = auto-size so each run executes ~targetInstructions. */
+    unsigned phasePairs = 0;
+    std::uint64_t targetInstructions = 400000;
+    GatingParams gating;       //!< policy field is overridden per run
+    EnergyParams energy;
+    std::uint64_t seed = 1;
+};
+
+/** Run one preset under one policy. */
+SpecRunResult runSpecPolicy(const SpecPreset &preset, GatingPolicy policy,
+                            const SpecRunConfig &config = {});
+
+} // namespace csd::bench
+
+#endif // CSD_BENCH_COMMON_SPEC_RUNNER_HH

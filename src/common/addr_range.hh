@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Half-open address range [start, end) used for decoy MSR ranges,
+ * taint sources, and symbol extents.
+ */
+
+#ifndef CSD_COMMON_ADDR_RANGE_HH
+#define CSD_COMMON_ADDR_RANGE_HH
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace csd
+{
+
+/** A half-open range of addresses [start, end). */
+struct AddrRange
+{
+    Addr start = 0;
+    Addr end = 0;
+
+    AddrRange() = default;
+    AddrRange(Addr s, Addr e) : start(s), end(e)
+    {
+        if (e < s)
+            csd_panic("AddrRange: end < start");
+    }
+
+    bool valid() const { return end > start; }
+    Addr size() const { return end - start; }
+
+    bool contains(Addr addr) const { return addr >= start && addr < end; }
+
+    bool
+    overlaps(const AddrRange &other) const
+    {
+        return start < other.end && other.start < end;
+    }
+
+    /** Number of distinct cache blocks the range touches. */
+    std::uint64_t
+    blockCount() const
+    {
+        if (!valid())
+            return 0;
+        return blockNumber(end - 1) - blockNumber(start) + 1;
+    }
+
+    bool
+    operator==(const AddrRange &other) const
+    {
+        return start == other.start && end == other.end;
+    }
+};
+
+} // namespace csd
+
+#endif // CSD_COMMON_ADDR_RANGE_HH

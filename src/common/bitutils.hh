@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the decoder, caches, and crypto
+ * workload generators.
+ */
+
+#ifndef CSD_COMMON_BITUTILS_HH
+#define CSD_COMMON_BITUTILS_HH
+
+#include <cstdint>
+#include <type_traits>
+
+namespace csd
+{
+
+/** Extract bits [first, last] (inclusive, last >= first) of @p val. */
+template <typename T>
+constexpr T
+bits(T val, unsigned last, unsigned first)
+{
+    const unsigned nbits = last - first + 1;
+    if (nbits >= sizeof(T) * 8)
+        return val >> first;
+    const T mask = (static_cast<T>(1) << nbits) - 1;
+    return (val >> first) & mask;
+}
+
+/** Extract a single bit of @p val. */
+template <typename T>
+constexpr bool
+bit(T val, unsigned pos)
+{
+    return (val >> pos) & 1;
+}
+
+/** Insert @p field into bits [first, last] of @p val. */
+template <typename T>
+constexpr T
+insertBits(T val, unsigned last, unsigned first, T field)
+{
+    const unsigned nbits = last - first + 1;
+    const T mask = nbits >= sizeof(T) * 8
+        ? ~static_cast<T>(0)
+        : (static_cast<T>(1) << nbits) - 1;
+    return (val & ~(mask << first)) | ((field & mask) << first);
+}
+
+/** True iff @p val is a power of two (0 is not). */
+template <typename T>
+constexpr bool
+isPowerOf2(T val)
+{
+    return val != 0 && (val & (val - 1)) == 0;
+}
+
+/** Floor of log2(@p val); val must be nonzero. */
+template <typename T>
+constexpr unsigned
+floorLog2(T val)
+{
+    unsigned result = 0;
+    while (val >>= 1)
+        ++result;
+    return result;
+}
+
+/** Round @p val up to the next multiple of @p align (a power of two). */
+template <typename T>
+constexpr T
+roundUp(T val, T align)
+{
+    return (val + align - 1) & ~(align - 1);
+}
+
+/** Round @p val down to a multiple of @p align (a power of two). */
+template <typename T>
+constexpr T
+roundDown(T val, T align)
+{
+    return val & ~(align - 1);
+}
+
+/** Rotate a 32-bit word left. */
+constexpr std::uint32_t
+rotl32(std::uint32_t val, unsigned amount)
+{
+    amount &= 31;
+    if (amount == 0)
+        return val;
+    return (val << amount) | (val >> (32 - amount));
+}
+
+/** Rotate a 32-bit word right. */
+constexpr std::uint32_t
+rotr32(std::uint32_t val, unsigned amount)
+{
+    amount &= 31;
+    if (amount == 0)
+        return val;
+    return (val >> amount) | (val << (32 - amount));
+}
+
+/** Population count. */
+template <typename T>
+constexpr unsigned
+popCount(T val)
+{
+    unsigned count = 0;
+    while (val) {
+        count += val & 1;
+        val >>= 1;
+    }
+    return count;
+}
+
+} // namespace csd
+
+#endif // CSD_COMMON_BITUTILS_HH

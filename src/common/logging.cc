@@ -1,0 +1,61 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace csd
+{
+namespace logging_detail
+{
+
+namespace
+{
+bool verboseFlag = true;
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    verboseFlag = verbose;
+}
+
+bool
+verbose()
+{
+    return verboseFlag;
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n  @ %s:%d\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n  @ %s:%d\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    // Throw rather than exit(1) so that library users (and death tests)
+    // can recover from user-level configuration errors.
+    throw std::runtime_error("fatal: " + msg);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (verboseFlag)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (verboseFlag)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace logging_detail
+} // namespace csd

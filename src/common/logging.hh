@@ -1,0 +1,79 @@
+/**
+ * @file
+ * gem5-style status/error reporting helpers.
+ *
+ * panic()  - an internal simulator bug; aborts.
+ * fatal()  - a user error (bad configuration, bad input); exits cleanly.
+ * warn()   - functionality that might not be modeled perfectly.
+ * inform() - normal operating messages.
+ */
+
+#ifndef CSD_COMMON_LOGGING_HH
+#define CSD_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace csd
+{
+
+namespace logging_detail
+{
+
+/** Build a message from streamable parts. */
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Enable/disable inform()/warn() output (tests silence them). */
+void setVerbose(bool verbose);
+bool verbose();
+
+} // namespace logging_detail
+
+/** Abort on an internal invariant violation (simulator bug). */
+#define csd_panic(...)                                                       \
+    ::csd::logging_detail::panicImpl(                                        \
+        __FILE__, __LINE__, ::csd::logging_detail::format(__VA_ARGS__))
+
+/** Exit on a user-caused unrecoverable condition. */
+#define csd_fatal(...)                                                       \
+    ::csd::logging_detail::fatalImpl(                                        \
+        __FILE__, __LINE__, ::csd::logging_detail::format(__VA_ARGS__))
+
+/** Report a modeling caveat. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    logging_detail::warnImpl(
+        logging_detail::format(std::forward<Args>(args)...));
+}
+
+/** Report a normal status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    logging_detail::informImpl(
+        logging_detail::format(std::forward<Args>(args)...));
+}
+
+} // namespace csd
+
+#endif // CSD_COMMON_LOGGING_HH

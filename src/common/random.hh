@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Deterministic xorshift128+ random number generator.
+ *
+ * Simulation results must be reproducible run-to-run, so every stochastic
+ * component (workload generators, random replacement, attacker plaintext
+ * choice) draws from an explicitly seeded Random instance rather than a
+ * global RNG.
+ */
+
+#ifndef CSD_COMMON_RANDOM_HH
+#define CSD_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace csd
+{
+
+/** A small, fast, seedable PRNG (xorshift128+). */
+class Random
+{
+  public:
+    explicit Random(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        reseed(seed);
+    }
+
+    /** Re-seed the generator; a zero seed is remapped to a constant. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        if (seed == 0)
+            seed = 0x9e3779b97f4a7c15ull;
+        // SplitMix64 to fill the state from the seed.
+        auto next = [&seed]() {
+            seed += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            return z ^ (z >> 31);
+        };
+        s0 = next();
+        s1 = next();
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next64()
+    {
+        std::uint64_t x = s0;
+        const std::uint64_t y = s1;
+        s0 = y;
+        x ^= x << 23;
+        s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1 + y;
+    }
+
+    /** Next 32-bit value. */
+    std::uint32_t next32() { return static_cast<std::uint32_t>(next64()); }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        if (bound == 0)
+            csd_panic("Random::below(0)");
+        return next64() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    inRange(std::uint64_t lo, std::uint64_t hi)
+    {
+        if (hi < lo)
+            csd_panic("Random::inRange: hi < lo");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next64() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool chance(double p) { return real() < p; }
+
+  private:
+    std::uint64_t s0 = 0;
+    std::uint64_t s1 = 0;
+};
+
+} // namespace csd
+
+#endif // CSD_COMMON_RANDOM_HH

@@ -1,0 +1,76 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+
+#include "common/logging.hh"
+
+namespace csd
+{
+
+void
+StatGroup::addCounter(const std::string &stat_name, Counter *counter,
+                      const std::string &desc)
+{
+    if (!counter)
+        csd_panic("StatGroup::addCounter: null counter for ", stat_name);
+    if (entries_.count(stat_name))
+        csd_panic("StatGroup ", name_, ": duplicate counter ", stat_name);
+    entries_[stat_name] = Entry{counter, desc};
+}
+
+void
+StatGroup::addChild(StatGroup *child)
+{
+    if (!child)
+        csd_panic("StatGroup::addChild: null child");
+    children_.push_back(child);
+}
+
+std::uint64_t
+StatGroup::counterValue(const std::string &stat_name) const
+{
+    auto it = entries_.find(stat_name);
+    if (it == entries_.end())
+        csd_fatal("StatGroup ", name_, ": unknown counter ", stat_name);
+    return it->second.counter->value();
+}
+
+bool
+StatGroup::hasCounter(const std::string &stat_name) const
+{
+    return entries_.count(stat_name) != 0;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &kv : entries_)
+        kv.second.counter->reset();
+    for (StatGroup *child : children_)
+        child->resetAll();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &kv : entries_) {
+        os << std::left << std::setw(40) << (name_ + "." + kv.first)
+           << " " << std::right << std::setw(16)
+           << kv.second.counter->value()
+           << "  # " << kv.second.desc << "\n";
+    }
+    for (const StatGroup *child : children_)
+        child->dump(os);
+}
+
+std::vector<std::string>
+StatGroup::counterNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(entries_.size());
+    for (const auto &kv : entries_)
+        names.push_back(kv.first);
+    return names;
+}
+
+} // namespace csd

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Lightweight statistics package.
+ *
+ * Components own a StatGroup and register named counters/values with
+ * descriptions; harnesses read them by name and dump() produces a
+ * gem5-style "name value # description" listing.
+ */
+
+#ifndef CSD_COMMON_STATS_HH
+#define CSD_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace csd
+{
+
+class StatGroup;
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++count_; return *this; }
+    Counter &operator+=(std::uint64_t n) { count_ += n; return *this; }
+
+    std::uint64_t value() const { return count_; }
+    void reset() { count_ = 0; }
+
+  private:
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * A named collection of statistics.
+ *
+ * Counters are registered by pointer so the owning component keeps fast,
+ * direct access while the group provides lookup and dumping.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Register a counter under @p stat_name. */
+    void addCounter(const std::string &stat_name, Counter *counter,
+                    const std::string &desc);
+
+    /** Register a child group whose stats dump under this one. */
+    void addChild(StatGroup *child);
+
+    /** Look up a counter's current value; fatal if absent. */
+    std::uint64_t counterValue(const std::string &stat_name) const;
+
+    /** True iff a counter named @p stat_name is registered. */
+    bool hasCounter(const std::string &stat_name) const;
+
+    /** Reset all registered counters (and children). */
+    void resetAll();
+
+    /** Write "group.stat value # desc" lines for this group and children. */
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return name_; }
+
+    /** Names of all registered counters (this group only). */
+    std::vector<std::string> counterNames() const;
+
+  private:
+    struct Entry
+    {
+        Counter *counter;
+        std::string desc;
+    };
+
+    std::string name_;
+    std::map<std::string, Entry> entries_;
+    std::vector<StatGroup *> children_;
+};
+
+} // namespace csd
+
+#endif // CSD_COMMON_STATS_HH

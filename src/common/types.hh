@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the CSD simulator.
+ *
+ * These mirror the conventions of mainstream architecture simulators:
+ * an unsigned 64-bit address space, a monotonically increasing cycle
+ * count (Tick), and sequence numbers used to order in-flight micro-ops.
+ */
+
+#ifndef CSD_COMMON_TYPES_HH
+#define CSD_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace csd
+{
+
+/** A physical/virtual address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** A simulated clock cycle count. */
+using Tick = std::uint64_t;
+
+/** Number of cycles, used for latencies and intervals. */
+using Cycles = std::uint64_t;
+
+/** A dynamic-instruction (or micro-op) sequence number. */
+using SeqNum = std::uint64_t;
+
+/** An invalid/sentinel address. */
+constexpr Addr invalidAddr = ~static_cast<Addr>(0);
+
+/** Cache block size used throughout the hierarchy (bytes). */
+constexpr unsigned cacheBlockSize = 64;
+
+/** Mask an address down to its cache-block base. */
+constexpr Addr
+blockAlign(Addr addr)
+{
+    return addr & ~static_cast<Addr>(cacheBlockSize - 1);
+}
+
+/** Number of the cache block containing @p addr. */
+constexpr Addr
+blockNumber(Addr addr)
+{
+    return addr / cacheBlockSize;
+}
+
+} // namespace csd
+
+#endif // CSD_COMMON_TYPES_HH

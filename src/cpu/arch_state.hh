@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Architectural (plus decoder-temporary) state and the sparse memory
+ * image of the simulated machine.
+ */
+
+#ifndef CSD_CPU_ARCH_STATE_HH
+#define CSD_CPU_ARCH_STATE_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "isa/program.hh"
+#include "isa/registers.hh"
+#include "uop/uop.hh"
+
+namespace csd
+{
+
+/** A 128-bit vector register value. */
+struct Vec128
+{
+    std::array<std::uint8_t, 16> bytes{};
+
+    /** Read lane @p idx of width @p lane bytes (little-endian). */
+    std::uint64_t
+    lane(unsigned lane_width, unsigned idx) const
+    {
+        std::uint64_t val = 0;
+        const unsigned base = lane_width * idx;
+        for (unsigned i = 0; i < lane_width; ++i)
+            val |= static_cast<std::uint64_t>(bytes[base + i]) << (8 * i);
+        return val;
+    }
+
+    /** Write lane @p idx of width @p lane bytes. */
+    void
+    setLane(unsigned lane_width, unsigned idx, std::uint64_t val)
+    {
+        const unsigned base = lane_width * idx;
+        for (unsigned i = 0; i < lane_width; ++i)
+            bytes[base + i] = static_cast<std::uint8_t>(val >> (8 * i));
+    }
+
+    unsigned numLanes(unsigned lane_width) const { return 16 / lane_width; }
+
+    bool
+    operator==(const Vec128 &other) const
+    {
+        return bytes == other.bytes;
+    }
+};
+
+/** Byte-addressable sparse memory backed by 4 KiB pages. */
+class SparseMemory
+{
+  public:
+    static constexpr unsigned pageShift = 12;
+    static constexpr std::size_t pageSize = 1u << pageShift;
+
+    /** Read @p size bytes (1..16) little-endian; unmapped bytes read 0. */
+    std::uint64_t
+    read(Addr addr, unsigned size) const
+    {
+        if (size > 8)
+            csd_panic("SparseMemory::read: size > 8, use readVec");
+        std::uint64_t val = 0;
+        for (unsigned i = 0; i < size; ++i)
+            val |= static_cast<std::uint64_t>(readByte(addr + i)) << (8 * i);
+        return val;
+    }
+
+    /** Write the low @p size bytes of @p val little-endian. */
+    void
+    write(Addr addr, unsigned size, std::uint64_t val)
+    {
+        if (size > 8)
+            csd_panic("SparseMemory::write: size > 8, use writeVec");
+        for (unsigned i = 0; i < size; ++i)
+            writeByte(addr + i, static_cast<std::uint8_t>(val >> (8 * i)));
+    }
+
+    Vec128
+    readVec(Addr addr) const
+    {
+        Vec128 vec;
+        for (unsigned i = 0; i < 16; ++i)
+            vec.bytes[i] = readByte(addr + i);
+        return vec;
+    }
+
+    void
+    writeVec(Addr addr, const Vec128 &vec)
+    {
+        for (unsigned i = 0; i < 16; ++i)
+            writeByte(addr + i, vec.bytes[i]);
+    }
+
+    std::uint8_t
+    readByte(Addr addr) const
+    {
+        const Page *page = findPage(addr);
+        return page ? (*page)[addr & (pageSize - 1)] : 0;
+    }
+
+    void
+    writeByte(Addr addr, std::uint8_t val)
+    {
+        Page &page = getPage(addr);
+        page[addr & (pageSize - 1)] = val;
+    }
+
+    /** Copy a byte buffer into memory. */
+    void
+    writeBlob(Addr addr, const std::uint8_t *data, std::size_t len)
+    {
+        for (std::size_t i = 0; i < len; ++i)
+            writeByte(addr + i, data[i]);
+    }
+
+  private:
+    using Page = std::array<std::uint8_t, pageSize>;
+
+    const Page *
+    findPage(Addr addr) const
+    {
+        auto it = pages_.find(addr >> pageShift);
+        return it == pages_.end() ? nullptr : it->second.get();
+    }
+
+    Page &
+    getPage(Addr addr)
+    {
+        auto &slot = pages_[addr >> pageShift];
+        if (!slot) {
+            slot = std::make_unique<Page>();
+            slot->fill(0);
+        }
+        return *slot;
+    }
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+/**
+ * Full machine state visible to micro-ops: architectural registers,
+ * decoder temporaries, flags, PC, and memory.
+ */
+class ArchState
+{
+  public:
+    ArchState() { reset(); }
+
+    void
+    reset()
+    {
+        intRegs_.fill(0);
+        for (Vec128 &v : vecRegs_)
+            v = Vec128();
+        flags = RFlags();
+        pc = 0;
+        halted = false;
+        // Give the stack somewhere sane to live.
+        intRegs_[static_cast<unsigned>(Gpr::Rsp)] = 0x7ffff000;
+    }
+
+    /** Load a program's data image and set the entry PC. */
+    void
+    loadProgram(const Program &prog)
+    {
+        for (const auto &[addr, bytes] : prog.data())
+            mem.writeBlob(addr, bytes.data(), bytes.size());
+        pc = prog.entry();
+        halted = false;
+    }
+
+    std::uint64_t
+    readInt(const RegId &reg) const
+    {
+        if (reg.cls != RegClass::Int || reg.idx >= numIntUopRegs)
+            csd_panic("ArchState::readInt: bad reg");
+        return intRegs_[reg.idx];
+    }
+
+    void
+    writeInt(const RegId &reg, std::uint64_t val)
+    {
+        if (reg.cls != RegClass::Int || reg.idx >= numIntUopRegs)
+            csd_panic("ArchState::writeInt: bad reg");
+        intRegs_[reg.idx] = val;
+    }
+
+    const Vec128 &
+    readVecReg(const RegId &reg) const
+    {
+        if (reg.cls != RegClass::Vec || reg.idx >= numVecUopRegs)
+            csd_panic("ArchState::readVecReg: bad reg");
+        return vecRegs_[reg.idx];
+    }
+
+    void
+    writeVecReg(const RegId &reg, const Vec128 &val)
+    {
+        if (reg.cls != RegClass::Vec || reg.idx >= numVecUopRegs)
+            csd_panic("ArchState::writeVecReg: bad reg");
+        vecRegs_[reg.idx] = val;
+    }
+
+    std::uint64_t gpr(Gpr reg) const { return readInt(intReg(reg)); }
+    void setGpr(Gpr reg, std::uint64_t val) { writeInt(intReg(reg), val); }
+
+    const Vec128 &xmm(Xmm reg) const { return readVecReg(vecReg(reg)); }
+    void setXmm(Xmm reg, const Vec128 &v) { writeVecReg(vecReg(reg), v); }
+
+    RFlags flags;
+    Addr pc = 0;
+    bool halted = false;
+    /** Cycle count visible to rdtsc (updated by the timing driver). */
+    Tick cycleHint = 0;
+    SparseMemory mem;
+
+  private:
+    std::array<std::uint64_t, numIntUopRegs> intRegs_;
+    std::array<Vec128, numVecUopRegs> vecRegs_;
+};
+
+} // namespace csd
+
+#endif // CSD_CPU_ARCH_STATE_HH

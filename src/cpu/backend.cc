@@ -1,0 +1,181 @@
+#include "cpu/backend.hh"
+
+#include "common/logging.hh"
+
+namespace csd
+{
+
+BackEnd::BackEnd(const BackEndParams &params, MemHierarchy *mem)
+    : params_(params), mem_(mem), stats_("backend")
+{
+    robRing_.assign(params_.robEntries, 0);
+    stats_.addCounter("uops_executed", &uopsExecuted_,
+                      "uops issued to functional units");
+    stats_.addCounter("loads", &loadsExecuted_, "load uops executed");
+    stats_.addCounter("stores", &storesExecuted_, "store uops executed");
+    stats_.addCounter("vpu_uops", &vpuUops_, "uops executed on the VPU");
+    stats_.addCounter("port_conflict_cycles", &portConflictCycles_,
+                      "cycles lost waiting for an issue port");
+}
+
+const std::vector<unsigned> &
+BackEnd::portsFor(FuClass fu)
+{
+    // Sandy Bridge-like port binding:
+    //   p0: ALU, vector ALU/mul, divider
+    //   p1: ALU, int mul, scalar FP
+    //   p5: ALU, branch, vector ALU
+    //   p2/p3: loads, p4: store
+    static const std::vector<unsigned> int_alu{0, 1, 5};
+    static const std::vector<unsigned> int_mul{1};
+    static const std::vector<unsigned> branch{5};
+    static const std::vector<unsigned> vec_alu{0, 5};
+    static const std::vector<unsigned> vec_mul{0};
+    static const std::vector<unsigned> vec_div{0};
+    static const std::vector<unsigned> fp_scalar{1};
+    static const std::vector<unsigned> loads{2, 3};
+    static const std::vector<unsigned> stores{4};
+    static const std::vector<unsigned> none{};
+
+    switch (fu) {
+      case FuClass::IntAlu:   return int_alu;
+      case FuClass::IntMul:   return int_mul;
+      case FuClass::Branch:   return branch;
+      case FuClass::VecAlu:   return vec_alu;
+      case FuClass::VecMul:   return vec_mul;
+      case FuClass::VecFpDiv: return vec_div;
+      case FuClass::FpScalar: return fp_scalar;
+      case FuClass::MemLoad:  return loads;
+      case FuClass::MemStore: return stores;
+      case FuClass::None:     return none;
+    }
+    return none;
+}
+
+BackEnd::UopTiming
+BackEnd::process(const Uop &uop, const DynUop &dyn, Tick deliver)
+{
+    UopTiming timing;
+
+    // Source readiness (also used by eliminated uops).
+    Tick ready = 0;
+    auto src_ready = [&](const RegId &reg) {
+        if (reg.valid())
+            ready = std::max(ready, regReady_[reg.flatIndex()]);
+    };
+    src_ready(uop.src1);
+    src_ready(uop.src2);
+    src_ready(uop.src3);
+    if (uop.readsFlags)
+        ready = std::max(ready, regReady_[flagsReg().flatIndex()]);
+
+    if (uop.eliminated) {
+        // Stack-pointer tracking: the update happens at rename, costs
+        // no slot and no execution; the result is renamed immediately.
+        if (uop.dst.valid()) {
+            regReady_[uop.dst.flatIndex()] =
+                std::max(ready, deliver + params_.dispatchLatency);
+        }
+        timing.dispatch = deliver;
+        timing.issue = deliver;
+        timing.complete = deliver;
+        timing.commit = lastCommit_;
+        return timing;
+    }
+
+    // Dispatch: after rename depth, subject to ROB occupancy.
+    Tick dispatch = deliver + params_.dispatchLatency;
+    if (robCount_ >= params_.robEntries) {
+        // The slot this uop reuses must have committed.
+        dispatch = std::max(dispatch, robRing_[robIdx_]);
+    }
+    ready = std::max(ready, dispatch);
+
+    // rdtsc is modeled serializing (rdtscp/lfence discipline): it
+    // waits for all older uops to commit, and younger uops cannot
+    // begin until it completes — so timing spies genuinely observe
+    // their reload latency.
+    ready = std::max(ready, serializeAfter_);
+    if (uop.op == MicroOpcode::ReadCycles)
+        ready = std::max(ready, lastCommit_);
+
+    // Issue: earliest among candidate ports.
+    Tick issue = ready;
+    const auto &ports = portsFor(fuClass(uop));
+    if (!ports.empty()) {
+        unsigned best = ports[0];
+        for (unsigned port : ports)
+            if (portFree_[port] < portFree_[best])
+                best = port;
+        if (portFree_[best] > issue) {
+            portConflictCycles_ += portFree_[best] - issue;
+            issue = portFree_[best];
+        }
+        const bool pipelined = fuClass(uop) != FuClass::VecFpDiv;
+        portFree_[best] = issue + (pipelined ? 1 : fuLatency(uop));
+    }
+
+    // Complete.
+    Tick complete;
+    if (uop.isLoad()) {
+        ++loadsExecuted_;
+        Cycles latency = 4;
+        if (mem_) {
+            const auto result = uop.instrFetch
+                ? mem_->fetchInstr(dyn.effAddr)
+                : mem_->readData(dyn.effAddr);
+            latency = result.latency;
+        }
+        complete = issue + latency;
+    } else if (uop.isStore()) {
+        ++storesExecuted_;
+        if (mem_)
+            mem_->writeData(dyn.effAddr);
+        // Stores retire into the store queue; no consumer waits on them.
+        complete = issue + 1;
+    } else if (uop.op == MicroOpcode::CacheFlush) {
+        if (mem_)
+            mem_->flush(dyn.effAddr);
+        complete = issue + 40;  // clflush is a slow, serializing-ish op
+    } else {
+        complete = issue + fuLatency(uop);
+    }
+
+    if (uop.dst.valid())
+        regReady_[uop.dst.flatIndex()] = complete;
+    if (uop.writesFlags)
+        regReady_[flagsReg().flatIndex()] = complete;
+    if (uop.op == MicroOpcode::ReadCycles)
+        serializeAfter_ = complete;
+    if (onVpu(uop))
+        ++vpuUops_;
+    ++uopsExecuted_;
+
+    // In-order commit with bounded width.
+    Tick commit = std::max(complete, lastCommit_);
+    if (commit == lastCommitCycle_ &&
+        commitsThisCycle_ >= params_.commitWidth) {
+        commit += 1;
+    }
+    if (commit != lastCommitCycle_) {
+        lastCommitCycle_ = commit;
+        commitsThisCycle_ = 1;
+    } else {
+        ++commitsThisCycle_;
+    }
+    lastCommit_ = commit;
+
+    // ROB ring bookkeeping.
+    robRing_[robIdx_] = commit;
+    robIdx_ = (robIdx_ + 1) % params_.robEntries;
+    if (robCount_ < params_.robEntries)
+        ++robCount_;
+
+    timing.dispatch = dispatch;
+    timing.issue = issue;
+    timing.complete = complete;
+    timing.commit = commit;
+    return timing;
+}
+
+} // namespace csd

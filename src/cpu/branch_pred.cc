@@ -1,0 +1,113 @@
+#include "cpu/branch_pred.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace csd
+{
+
+BranchPredictor::BranchPredictor(const BranchPredParams &params)
+    : params_(params), stats_("bpred")
+{
+    if (!isPowerOf2(params_.gshareEntries) ||
+        !isPowerOf2(params_.btbEntries)) {
+        csd_fatal("BranchPredictor: table sizes must be powers of two");
+    }
+    counters_.assign(params_.gshareEntries, 2);  // weakly taken
+    btb_.assign(params_.btbEntries, BtbEntry());
+    stats_.addCounter("lookups", &lookups_, "dynamic branches predicted");
+    stats_.addCounter("mispredicts", &mispredicts_,
+                      "direction or target mispredictions");
+    stats_.addCounter("btb_misses", &btbMisses_,
+                      "taken branches with unknown target");
+    stats_.addCounter("ras_used", &rasUsed_, "returns predicted via RAS");
+}
+
+unsigned
+BranchPredictor::gshareIndex(Addr pc) const
+{
+    const std::uint64_t hist_mask = (1ull << params_.historyBits) - 1;
+    return static_cast<unsigned>(((pc >> 2) ^ (history_ & hist_mask)) &
+                                 (params_.gshareEntries - 1));
+}
+
+unsigned
+BranchPredictor::btbIndex(Addr pc) const
+{
+    return static_cast<unsigned>((pc >> 2) & (params_.btbEntries - 1));
+}
+
+BranchPredictor::Prediction
+BranchPredictor::predict(const MacroOp &op)
+{
+    ++lookups_;
+    Prediction pred;
+
+    if (isReturn(op.opcode)) {
+        pred.taken = true;
+        if (!ras_.empty()) {
+            pred.target = ras_.back();
+            ++rasUsed_;
+        }
+        return pred;
+    }
+
+    if (!isConditionalBranch(op.opcode)) {
+        // Unconditional jmp/call/ind: always taken.
+        pred.taken = true;
+    } else {
+        pred.taken = counters_[gshareIndex(op.pc)] >= 2;
+    }
+
+    if (pred.taken) {
+        if (isDirectBranch(op.opcode)) {
+            // Direct targets are available from decode.
+            pred.target = op.target;
+        } else {
+            const BtbEntry &entry = btb_[btbIndex(op.pc)];
+            pred.target = entry.pc == op.pc ? entry.target : invalidAddr;
+            if (pred.target == invalidAddr)
+                ++btbMisses_;
+        }
+    }
+    return pred;
+}
+
+bool
+BranchPredictor::update(const MacroOp &op, const Prediction &pred,
+                        bool taken, Addr target)
+{
+    // Direction training.
+    if (isConditionalBranch(op.opcode)) {
+        std::uint8_t &counter = counters_[gshareIndex(op.pc)];
+        if (taken && counter < 3)
+            ++counter;
+        else if (!taken && counter > 0)
+            --counter;
+        history_ = (history_ << 1) | (taken ? 1 : 0);
+    }
+
+    // RAS maintenance.
+    if (isCall(op.opcode)) {
+        if (ras_.size() >= params_.rasEntries)
+            ras_.erase(ras_.begin());
+        ras_.push_back(op.nextPc());
+    } else if (isReturn(op.opcode) && !ras_.empty()) {
+        ras_.pop_back();
+    }
+
+    // BTB training for indirect targets.
+    if (taken && !isDirectBranch(op.opcode) && !isReturn(op.opcode)) {
+        BtbEntry &entry = btb_[btbIndex(op.pc)];
+        entry.pc = op.pc;
+        entry.target = target;
+    }
+
+    const bool correct =
+        pred.taken == taken && (!taken || pred.target == target);
+    if (!correct)
+        ++mispredicts_;
+    return correct;
+}
+
+} // namespace csd

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Functional micro-op executor.
+ *
+ * Executes one translated flow against the architectural state and
+ * returns per-uop dynamic annotations (effective addresses, branch
+ * outcomes) that the cache-level and pipeline-level timing models
+ * consume. The same executor runs native, stealth-mode, and
+ * devectorized translations, which is what lets the test suite prove
+ * custom translations preserve architectural semantics.
+ */
+
+#ifndef CSD_CPU_EXECUTOR_HH
+#define CSD_CPU_EXECUTOR_HH
+
+#include <vector>
+
+#include "cpu/arch_state.hh"
+#include "uop/flow.hh"
+
+namespace csd
+{
+
+/** Dynamic record of one executed micro-op. */
+struct DynUop
+{
+    const Uop *uop = nullptr;    //!< static uop (points into the flow)
+    Addr effAddr = invalidAddr;  //!< effective address for memory uops
+    bool taken = false;          //!< branch outcome
+};
+
+/** Result of executing one macro-op's flow. */
+struct FlowResult
+{
+    std::vector<DynUop> dynUops; //!< expanded, in execution order
+    Addr nextPc = invalidAddr;   //!< PC after the macro-op
+    bool tookBranch = false;     //!< control left the fall-through path
+    bool halted = false;
+};
+
+/** Executes micro-op flows functionally. */
+class FunctionalExecutor
+{
+  public:
+    explicit FunctionalExecutor(ArchState &state) : state_(state) {}
+
+    /**
+     * Execute @p flow (the translation of @p macro). Updates state_,
+     * including PC.
+     */
+    FlowResult execute(const MacroOp &macro, const UopFlow &flow);
+
+  private:
+    void execUop(const Uop &uop, DynUop &dyn, FlowResult &result,
+                 Addr fall_through);
+    Addr agen(const Uop &uop) const;
+    std::uint64_t aluSrc2(const Uop &uop) const;
+    void execScalarAlu(const Uop &uop);
+    void execScalarFp(const Uop &uop);
+    void execVector(const Uop &uop);
+
+    ArchState &state_;
+};
+
+} // namespace csd
+
+#endif // CSD_CPU_EXECUTOR_HH

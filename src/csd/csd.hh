@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The context-sensitive decoder (paper §III).
+ *
+ * Implements the Translator interface used by the front end and swaps
+ * translations based on execution context:
+ *
+ *  - Stealth mode (§IV): triggered by MSR writes (register tracking),
+ *    tainted-PC scratchpads, DIFT taint interception, or the hardware
+ *    watchdog; injects decoy micro-ops covering the decoy address-range
+ *    MSRs, then turns itself off and arms the watchdog.
+ *  - Selective devectorization (§V): triggered by the unit-criticality
+ *    power-gating controller; rewrites VPU arithmetic into scalar flows.
+ *  - MCU custom translations (§III-C): rules installed through the
+ *    auto-translated microcode update path.
+ */
+
+#ifndef CSD_CSD_CSD_HH
+#define CSD_CSD_CSD_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "csd/decoy.hh"
+#include "csd/mcu.hh"
+#include "csd/msr.hh"
+#include "csd/watchdog.hh"
+#include "decode/translator.hh"
+#include "dift/taint.hh"
+
+namespace csd
+{
+
+/** Translation context ids (micro-op cache tag bits). */
+enum : unsigned
+{
+    ctxNative = 0,
+    ctxStealth = 1,
+    ctxDevect = 2,
+    ctxMcu = 3,
+    ctxNoise = 4,
+};
+
+/** The context-sensitive decoder. */
+class ContextSensitiveDecoder : public Translator
+{
+  public:
+    /**
+     * @param msrs  MSR file; the decoder installs its register-tracking
+     *              hook so writes switch context immediately
+     * @param taint optional DIFT tracker for the dynamic trigger
+     */
+    explicit ContextSensitiveDecoder(MsrFile &msrs,
+                                     TaintTracker *taint = nullptr);
+
+    // --- Translator interface -------------------------------------------
+
+    UopFlow translate(const MacroOp &op) override;
+
+    /** Context used by the most recent translate() call. */
+    unsigned contextId() const override { return lastCtx_; }
+
+    /** Advance the decoder clock; fires the watchdog. */
+    void tick(Tick now) override;
+
+    // --- Devectorization control (unit-criticality predictor) -----------
+
+    /** Enable/disable vector->scalar translation (VPU gated). */
+    void setDevectorize(bool on);
+    bool devectorizing() const { return devect_; }
+
+    // --- Stealth-mode introspection --------------------------------------
+
+    /** Ranges still pending decoy injection in this stealth burst. */
+    std::size_t pendingRanges() const { return pending_.size(); }
+
+    /** True if stealth translation is armed (control bit set). */
+    bool stealthArmed() const;
+
+    /** Decoy loop shape knob (ablation). */
+    DecoyStyle decoyStyle = DecoyStyle::MicroLoop;
+
+    /** Max NOPs injected per instruction in timing-noise mode. */
+    unsigned noiseMaxNops = 3;
+
+    /** Seed the timing-noise LFSR (chip-internal entropy stand-in). */
+    void seedNoise(std::uint64_t seed) { noiseLfsr_ = seed | 1; }
+
+    // --- MCU --------------------------------------------------------------
+
+    McuEngine &mcu() { return mcu_; }
+
+    /** Enable applying installed MCU rules. */
+    void setMcuMode(bool on) { mcuMode_ = on; }
+    bool mcuMode() const { return mcuMode_; }
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    void onMsrWrite(MsrAddr addr, std::uint64_t value);
+
+    /** Copy the decoy-range MSRs into the decoder's internal registers. */
+    void retriggerStealth();
+
+    /** Is this instruction tainted under the active trigger mechanisms? */
+    bool instrTainted(const MacroOp &op) const;
+
+    UopFlow applyMcu(const MacroOp &op, UopFlow flow);
+    void applyTimingNoise(const MacroOp &op, UopFlow &flow);
+
+    MsrFile &msrs_;
+    TaintTracker *taint_;
+    WatchdogTimer watchdog_;
+    McuEngine mcu_;
+
+    struct PendingRange
+    {
+        AddrRange range;
+        bool isInstr;
+    };
+    std::vector<PendingRange> pending_;
+
+    bool devect_ = false;
+    bool mcuMode_ = false;
+    unsigned lastCtx_ = ctxNative;
+    Tick now_ = 0;
+    std::uint64_t noiseLfsr_ = 0xace1ace1ace1ace1ull;
+
+    StatGroup stats_;
+    Counter translations_;
+    Counter stealthFlows_;
+    Counter decoyUops_;
+    Counter devectFlows_;
+    Counter mcuFlows_;
+    Counter stealthTriggers_;
+    Counter watchdogFires_;
+    Counter noiseUops_;
+};
+
+} // namespace csd
+
+#endif // CSD_CSD_CSD_HH

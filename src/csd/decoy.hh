@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Decoy micro-op injection (paper §IV-B, Fig. 3/4).
+ *
+ * Stealth-mode translation appends a decoy micro-loop to the flow of a
+ * tainted load/store/branch. The loop touches every cache block of a
+ * decoy address range, obfuscating the key-dependent access pattern an
+ * attacker could otherwise observe. Decoys write only decoder-temporary
+ * registers, so they are architecturally invisible and unreadable from
+ * any privilege level.
+ */
+
+#ifndef CSD_CSD_DECOY_HH
+#define CSD_CSD_DECOY_HH
+
+#include "common/addr_range.hh"
+#include "uop/flow.hh"
+
+namespace csd
+{
+
+/** Decoy loop shape (ablation: the unrolled form breaks the micro-op
+ *  cache's 3-way window check; the micro-loop form does not). */
+enum class DecoyStyle : std::uint8_t
+{
+    MicroLoop,  //!< ld/add fused body replayed blockCount times (Fig. 4c)
+    Unrolled,   //!< one decoy load uop per cache block
+};
+
+/**
+ * Inject decoy loads covering @p range into @p flow.
+ *
+ * The decoys are placed before the flow's trailing branch micro-op (if
+ * any) so they execute regardless of the branch direction. Flows that
+ * already contain a micro-loop are left unmodified when the micro-loop
+ * style is requested (one loop per flow); callers fall back to the
+ * next tainted instruction.
+ *
+ * @param flow     flow to modify
+ * @param range    decoy address range (all its blocks get loaded)
+ * @param is_instr true if the range is code (loads hit the I-cache)
+ * @param style    micro-loop or unrolled
+ * @return true if decoys were injected
+ */
+bool injectDecoys(UopFlow &flow, const AddrRange &range, bool is_instr,
+                  DecoyStyle style);
+
+/** Count decoy uops in a flow (expanded, honoring the micro-loop). */
+std::uint64_t countDecoyUops(const UopFlow &flow);
+
+} // namespace csd
+
+#endif // CSD_CSD_DECOY_HH

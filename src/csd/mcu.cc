@@ -1,0 +1,233 @@
+#include "csd/mcu.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+#include "uop/translate.hh"
+
+namespace csd
+{
+
+std::uint32_t
+mcuChecksum(const McuBlob &blob)
+{
+    // FNV-1a over a canonical serialization of the data part.
+    std::uint32_t hash = 2166136261u;
+    auto mix = [&hash](std::uint64_t value) {
+        for (unsigned i = 0; i < 8; ++i) {
+            hash ^= static_cast<std::uint8_t>(value >> (8 * i));
+            hash *= 16777619u;
+        }
+    };
+    for (const McuEntry &entry : blob.entries) {
+        mix(static_cast<std::uint64_t>(entry.targetOpcode));
+        mix(static_cast<std::uint64_t>(entry.placement));
+        for (const MacroOp &op : entry.nativeCode) {
+            mix(static_cast<std::uint64_t>(op.opcode));
+            mix(static_cast<std::uint64_t>(op.dst));
+            mix(static_cast<std::uint64_t>(op.src1));
+            mix(static_cast<std::uint64_t>(op.imm));
+            mix(static_cast<std::uint64_t>(op.mem.disp));
+        }
+    }
+    return hash;
+}
+
+void
+sealMcu(McuBlob &blob)
+{
+    blob.header.checksum = mcuChecksum(blob);
+}
+
+McuEngine::McuEngine() : stats_("mcu")
+{
+    stats_.addCounter("updates_applied", &updatesApplied_,
+                      "microcode updates accepted");
+    stats_.addCounter("updates_rejected", &updatesRejected_,
+                      "microcode updates failing verification");
+    stats_.addCounter("uops_installed", &uopsInstalled_,
+                      "custom uops in the microcode engine");
+    stats_.addCounter("uops_optimized_away", &uopsOptimizedAway_,
+                      "uops removed by the auto-translation optimizer");
+}
+
+namespace
+{
+
+/** Remap every architectural GPR in @p uops onto decoder temporaries. */
+bool
+remapToTemps(std::vector<Uop> &uops, std::string *error)
+{
+    // t0..t5 are available; t6/t7 are reserved for decoys.
+    constexpr unsigned avail = numIntTemps - 2;
+    std::array<int, numGprs> map;
+    map.fill(-1);
+    unsigned next = 0;
+
+    auto remap = [&](RegId &reg) -> bool {
+        if (reg.cls != RegClass::Int || !reg.valid())
+            return true;
+        if (reg.idx >= numGprs)
+            return true;  // already a temp
+        if (map[reg.idx] < 0) {
+            if (next >= avail)
+                return false;
+            map[reg.idx] = static_cast<int>(next++);
+        }
+        reg = intTemp(static_cast<unsigned>(map[reg.idx]));
+        return true;
+    };
+
+    for (Uop &uop : uops) {
+        if (!remap(uop.dst) || !remap(uop.src1) || !remap(uop.src2) ||
+            !remap(uop.src3)) {
+            if (error)
+                *error = "update uses more registers than the decoder "
+                         "has temporaries";
+            return false;
+        }
+    }
+    return true;
+}
+
+/**
+ * The auto-translation optimizer: conservative dead-code elimination
+ * over decoder temporaries (a stand-in for the front end's compaction
+ * pass). A temp definition is removed only when it is overwritten
+ * before being read — temps live to the end of the flow are kept,
+ * since instrumentation updates read them out-of-band.
+ */
+unsigned
+eliminateDeadTemps(std::vector<Uop> &uops)
+{
+    unsigned removed = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t i = 0; i < uops.size(); ++i) {
+            const Uop &uop = uops[i];
+            if (!uop.dst.valid() || !uop.dst.isIntTemp())
+                continue;
+            if (uop.isMem() || uop.isBranch() || uop.writesFlags)
+                continue;
+            // Removable only if overwritten before any read.
+            bool overwritten_first = false;
+            for (std::size_t j = i + 1; j < uops.size(); ++j) {
+                const Uop &later = uops[j];
+                if ((later.src1 == uop.dst) || (later.src2 == uop.dst) ||
+                    (later.src3 == uop.dst)) {
+                    break;  // read first: live
+                }
+                if (later.dst == uop.dst) {
+                    overwritten_first = true;
+                    break;
+                }
+            }
+            if (overwritten_first) {
+                uops.erase(uops.begin() + static_cast<std::ptrdiff_t>(i));
+                ++removed;
+                changed = true;
+                break;
+            }
+        }
+    }
+    return removed;
+}
+
+} // namespace
+
+bool
+McuEngine::translateEntry(const McuEntry &entry, bool allow_arch_writes,
+                          CustomTranslation &out, std::string *error)
+{
+    out.placement = entry.placement;
+    out.uops.clear();
+
+    for (const MacroOp &op : entry.nativeCode) {
+        if (isBranch(op.opcode)) {
+            if (error)
+                *error = "control transfer not allowed in custom "
+                         "translations";
+            return false;
+        }
+        if (nativelyMicrosequenced(op.opcode)) {
+            if (error)
+                *error = "microsequenced instructions not allowed in "
+                         "custom translations";
+            return false;
+        }
+        const UopFlow flow = translateNative(op);
+        out.uops.insert(out.uops.end(), flow.uops.begin(),
+                        flow.uops.end());
+    }
+
+    if (!allow_arch_writes) {
+        if (!remapToTemps(out.uops, error))
+            return false;
+        for (const Uop &uop : out.uops) {
+            if (uop.isStore()) {
+                if (error)
+                    *error = "memory writes require allowArchWrites in "
+                             "the MCU header";
+                return false;
+            }
+        }
+    }
+
+    uopsOptimizedAway_ += eliminateDeadTemps(out.uops);
+    return true;
+}
+
+bool
+McuEngine::applyUpdate(const McuBlob &blob, std::string *error)
+{
+    auto reject = [&](const std::string &why) {
+        if (error)
+            *error = why;
+        ++updatesRejected_;
+        return false;
+    };
+
+    if (blob.header.signature != mcuSignature)
+        return reject("bad MCU signature");
+    if (!blob.header.autoTranslate)
+        return reject("MCU not marked for CSD auto-translation");
+    if (blob.header.checksum != mcuChecksum(blob))
+        return reject("MCU integrity check failed");
+    if (blob.entries.empty())
+        return reject("MCU contains no translation entries");
+
+    // Translate everything before installing anything (atomic update).
+    std::map<MacroOpcode, CustomTranslation> staged;
+    for (const McuEntry &entry : blob.entries) {
+        CustomTranslation xlat;
+        std::string why;
+        if (!translateEntry(entry, blob.header.allowArchWrites, xlat,
+                            &why)) {
+            return reject(why);
+        }
+        staged[entry.targetOpcode] = std::move(xlat);
+    }
+
+    for (auto &[opcode, xlat] : staged) {
+        uopsInstalled_ += xlat.uops.size();
+        table_[opcode] = std::move(xlat);
+    }
+    ++updatesApplied_;
+    return true;
+}
+
+const CustomTranslation *
+McuEngine::lookup(MacroOpcode opcode) const
+{
+    auto it = table_.find(opcode);
+    return it == table_.end() ? nullptr : &it->second;
+}
+
+void
+McuEngine::clear()
+{
+    table_.clear();
+}
+
+} // namespace csd

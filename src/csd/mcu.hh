@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Microcode update (MCU) with auto-translation (paper §III-C, Fig. 2).
+ *
+ * A privileged runtime system pushes a microcode update whose data part
+ * is written in native x86 instructions. The header carries a reserved
+ * field marking it for context-sensitive decoding; the processor
+ * verifies signature and integrity, auto-translates the native code
+ * into micro-ops using the existing decoder tables, optimizes the
+ * result, and installs it in the microcode engine as a custom
+ * translation for a target opcode.
+ *
+ * Custom translations must not alter architectural register or memory
+ * state unless the header explicitly allows it: by default the
+ * auto-translator remaps every GPR in the update to decoder-temporary
+ * registers and rejects updates that write memory.
+ */
+
+#ifndef CSD_CSD_MCU_HH
+#define CSD_CSD_MCU_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "isa/macroop.hh"
+#include "uop/flow.hh"
+
+namespace csd
+{
+
+/** Magic signature of a valid MCU blob. */
+constexpr std::uint32_t mcuSignature = 0xc5d0c0de;
+
+/** Where the custom uops go relative to the native translation. */
+enum class McuPlacement : std::uint8_t
+{
+    Prepend,  //!< custom uops run before the native flow
+    Append,   //!< custom uops run after the native flow
+    Replace,  //!< custom uops replace the native flow entirely
+};
+
+/** One translation rule in an update. */
+struct McuEntry
+{
+    MacroOpcode targetOpcode = MacroOpcode::Nop;
+    McuPlacement placement = McuPlacement::Append;
+    /** The "data part": native x86 instructions to auto-translate. */
+    std::vector<MacroOp> nativeCode;
+};
+
+/** Update header (paper Fig. 2). */
+struct McuHeader
+{
+    std::uint32_t signature = mcuSignature;
+    std::uint32_t revision = 1;
+    /** Reserved field: marks the update for CSD auto-translation. */
+    bool autoTranslate = true;
+    /** Header declares that the update may write architectural state. */
+    bool allowArchWrites = false;
+    /** Integrity checksum over the data part. */
+    std::uint32_t checksum = 0;
+};
+
+/** A complete update blob. */
+struct McuBlob
+{
+    McuHeader header;
+    std::vector<McuEntry> entries;
+};
+
+/** Compute the integrity checksum over a blob's data part. */
+std::uint32_t mcuChecksum(const McuBlob &blob);
+
+/** Convenience: fill in the header checksum. */
+void sealMcu(McuBlob &blob);
+
+/** An installed, auto-translated custom translation. */
+struct CustomTranslation
+{
+    McuPlacement placement = McuPlacement::Append;
+    std::vector<Uop> uops;
+};
+
+/**
+ * The processor-side microcode update engine: verification,
+ * auto-translation, optimization, and the custom translation table.
+ */
+class McuEngine
+{
+  public:
+    McuEngine();
+
+    /**
+     * Verify and install @p blob. On failure nothing is installed and
+     * @p error (if non-null) describes the reason.
+     */
+    bool applyUpdate(const McuBlob &blob, std::string *error = nullptr);
+
+    /** Installed rule for @p opcode, or nullptr. */
+    const CustomTranslation *lookup(MacroOpcode opcode) const;
+
+    /** Drop all installed translations. */
+    void clear();
+
+    /** Number of installed rules. */
+    std::size_t size() const { return table_.size(); }
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    bool translateEntry(const McuEntry &entry, bool allow_arch_writes,
+                        CustomTranslation &out, std::string *error);
+
+    std::map<MacroOpcode, CustomTranslation> table_;
+
+    StatGroup stats_;
+    Counter updatesApplied_;
+    Counter updatesRejected_;
+    Counter uopsInstalled_;
+    Counter uopsOptimizedAway_;
+};
+
+} // namespace csd
+
+#endif // CSD_CSD_MCU_HH

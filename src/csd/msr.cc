@@ -1,0 +1,115 @@
+#include "csd/msr.hh"
+
+#include "common/logging.hh"
+
+namespace csd
+{
+
+void
+MsrFile::notify(MsrAddr addr, std::uint64_t value)
+{
+    if (hook_)
+        hook_(addr, value);
+}
+
+void
+MsrFile::write(MsrAddr addr, std::uint64_t value)
+{
+    const auto raw = static_cast<std::uint32_t>(addr);
+    const auto irange_base =
+        static_cast<std::uint32_t>(MsrAddr::DecoyIRangeBase);
+    const auto drange_base =
+        static_cast<std::uint32_t>(MsrAddr::DecoyDRangeBase);
+    const auto pc_base = static_cast<std::uint32_t>(MsrAddr::TaintedPcBase);
+
+    if (addr == MsrAddr::CsdControl) {
+        control_ = value;
+    } else if (addr == MsrAddr::WatchdogPeriod) {
+        if (value == 0)
+            csd_fatal("MsrFile: watchdog period must be nonzero");
+        watchdogPeriod_ = value;
+    } else if (raw >= irange_base && raw < irange_base + 2 * numDecoyRanges) {
+        const unsigned slot = (raw - irange_base) / 2;
+        if ((raw - irange_base) % 2 == 0)
+            iRanges_[slot].start = value;
+        else
+            iRanges_[slot].end = value;
+    } else if (raw >= drange_base && raw < drange_base + 2 * numDecoyRanges) {
+        const unsigned slot = (raw - drange_base) / 2;
+        if ((raw - drange_base) % 2 == 0)
+            dRanges_[slot].start = value;
+        else
+            dRanges_[slot].end = value;
+    } else if (raw >= pc_base && raw < pc_base + numTaintedPcRegs) {
+        taintedPcs_[raw - pc_base] = value;
+    } else {
+        csd_fatal("MsrFile: write to unknown MSR 0x", std::hex, raw);
+    }
+    notify(addr, value);
+}
+
+std::uint64_t
+MsrFile::read(MsrAddr addr) const
+{
+    const auto raw = static_cast<std::uint32_t>(addr);
+    const auto irange_base =
+        static_cast<std::uint32_t>(MsrAddr::DecoyIRangeBase);
+    const auto drange_base =
+        static_cast<std::uint32_t>(MsrAddr::DecoyDRangeBase);
+    const auto pc_base = static_cast<std::uint32_t>(MsrAddr::TaintedPcBase);
+
+    if (addr == MsrAddr::CsdControl)
+        return control_;
+    if (addr == MsrAddr::WatchdogPeriod)
+        return watchdogPeriod_;
+    if (raw >= irange_base && raw < irange_base + 2 * numDecoyRanges) {
+        const unsigned slot = (raw - irange_base) / 2;
+        return (raw - irange_base) % 2 == 0 ? iRanges_[slot].start
+                                            : iRanges_[slot].end;
+    }
+    if (raw >= drange_base && raw < drange_base + 2 * numDecoyRanges) {
+        const unsigned slot = (raw - drange_base) / 2;
+        return (raw - drange_base) % 2 == 0 ? dRanges_[slot].start
+                                            : dRanges_[slot].end;
+    }
+    if (raw >= pc_base && raw < pc_base + numTaintedPcRegs)
+        return taintedPcs_[raw - pc_base];
+    csd_fatal("MsrFile: read of unknown MSR 0x", std::hex, raw);
+}
+
+void
+MsrFile::setDecoyIRange(unsigned idx, const AddrRange &range)
+{
+    if (idx >= numDecoyRanges)
+        csd_fatal("MsrFile: decoy I-range slot out of bounds");
+    const auto base = static_cast<std::uint32_t>(MsrAddr::DecoyIRangeBase);
+    write(static_cast<MsrAddr>(base + 2 * idx), range.start);
+    write(static_cast<MsrAddr>(base + 2 * idx + 1), range.end);
+}
+
+void
+MsrFile::setDecoyDRange(unsigned idx, const AddrRange &range)
+{
+    if (idx >= numDecoyRanges)
+        csd_fatal("MsrFile: decoy D-range slot out of bounds");
+    const auto base = static_cast<std::uint32_t>(MsrAddr::DecoyDRangeBase);
+    write(static_cast<MsrAddr>(base + 2 * idx), range.start);
+    write(static_cast<MsrAddr>(base + 2 * idx + 1), range.end);
+}
+
+void
+MsrFile::setTaintedPc(unsigned idx, Addr pc)
+{
+    if (idx >= numTaintedPcRegs)
+        csd_fatal("MsrFile: tainted-PC slot out of bounds");
+    const auto base = static_cast<std::uint32_t>(MsrAddr::TaintedPcBase);
+    write(static_cast<MsrAddr>(base + idx), pc);
+}
+
+void
+MsrFile::setWatchdogPeriod(Cycles period)
+{
+    write(MsrAddr::WatchdogPeriod, period);
+}
+
+} // namespace csd

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Model-specific registers that configure context-sensitive decoding.
+ *
+ * Software (OS / antivirus / runtime) triggers translation modes by
+ * writing these MSRs; the decoder's existing register-tracking
+ * optimization observes the writes and switches context (paper §III-B).
+ * The decoy address-range MSRs play the role of the paper's MTRR-like
+ * registers that mark sensitive instruction and data ranges (§IV-B),
+ * and five scratchpad registers hold antivirus-identified tainted PCs
+ * (§VI-A).
+ */
+
+#ifndef CSD_CSD_MSR_HH
+#define CSD_CSD_MSR_HH
+
+#include <array>
+#include <functional>
+
+#include "common/addr_range.hh"
+#include "common/types.hh"
+
+namespace csd
+{
+
+/** Number of decoy address-range register pairs per kind. */
+constexpr unsigned numDecoyRanges = 5;
+
+/** Number of antivirus tainted-PC scratchpad registers. */
+constexpr unsigned numTaintedPcRegs = 5;
+
+/** MSR addresses (arbitrary model-specific numbering). */
+enum class MsrAddr : std::uint32_t
+{
+    CsdControl = 0xc0010000,        //!< mode enable bits
+    DecoyIRangeBase = 0xc0010010,   //!< 5 pairs: start/end (instruction)
+    DecoyDRangeBase = 0xc0010020,   //!< 5 pairs: start/end (data)
+    TaintedPcBase = 0xc0010030,     //!< 5 tainted instruction PCs
+    WatchdogPeriod = 0xc0010040,    //!< stealth re-trigger period
+};
+
+/** Bits of the CsdControl MSR. */
+enum CsdControlBits : std::uint64_t
+{
+    ctrlStealthEnable = 1ull << 0,   //!< stealth-mode translation armed
+    ctrlDevectEnable = 1ull << 1,    //!< selective devectorization armed
+    ctrlDiftTrigger = 1ull << 2,     //!< stealth triggered by DIFT taint
+    ctrlPcRangeTrigger = 1ull << 3,  //!< stealth triggered by tainted PCs
+    /** Timing-noise injection (paper §IV-E): a pseudo-random stream of
+     *  NOP micro-ops skews timing-analysis attacks. */
+    ctrlTimingNoise = 1ull << 4,
+};
+
+/**
+ * The MSR file with register tracking: every write notifies the
+ * context-sensitive decoder so a mode switch can be triggered
+ * immediately (at decode granularity).
+ */
+class MsrFile
+{
+  public:
+    using WriteHook = std::function<void(MsrAddr, std::uint64_t)>;
+
+    /** Install the decoder's register-tracking hook. */
+    void setWriteHook(WriteHook hook) { hook_ = std::move(hook); }
+
+    /** Privileged wrmsr. */
+    void write(MsrAddr addr, std::uint64_t value);
+
+    /** Privileged rdmsr. */
+    std::uint64_t read(MsrAddr addr) const;
+
+    // ------------------------------------------------------------------
+    // Typed convenience accessors used by system software models.
+    // ------------------------------------------------------------------
+
+    std::uint64_t control() const { return control_; }
+    void setControl(std::uint64_t bits)
+    {
+        write(MsrAddr::CsdControl, bits);
+    }
+
+    /** Program decoy instruction range slot @p idx. */
+    void setDecoyIRange(unsigned idx, const AddrRange &range);
+    /** Program decoy data range slot @p idx. */
+    void setDecoyDRange(unsigned idx, const AddrRange &range);
+    /** Program tainted-PC scratchpad @p idx (invalidAddr clears). */
+    void setTaintedPc(unsigned idx, Addr pc);
+    void setWatchdogPeriod(Cycles period);
+
+    const std::array<AddrRange, numDecoyRanges> &decoyIRanges() const
+    {
+        return iRanges_;
+    }
+    const std::array<AddrRange, numDecoyRanges> &decoyDRanges() const
+    {
+        return dRanges_;
+    }
+    const std::array<Addr, numTaintedPcRegs> &taintedPcs() const
+    {
+        return taintedPcs_;
+    }
+    Cycles watchdogPeriod() const { return watchdogPeriod_; }
+
+  private:
+    void notify(MsrAddr addr, std::uint64_t value);
+
+    std::uint64_t control_ = 0;
+    std::array<AddrRange, numDecoyRanges> iRanges_{};
+    std::array<AddrRange, numDecoyRanges> dRanges_{};
+    std::array<Addr, numTaintedPcRegs> taintedPcs_{
+        invalidAddr, invalidAddr, invalidAddr, invalidAddr, invalidAddr};
+    Cycles watchdogPeriod_ = 1000;
+
+    WriteHook hook_;
+};
+
+} // namespace csd
+
+#endif // CSD_CSD_MSR_HH

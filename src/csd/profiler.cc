@@ -1,0 +1,57 @@
+#include "csd/profiler.hh"
+
+#include <algorithm>
+
+namespace csd
+{
+
+void
+DecoderProfiler::account(const MacroOp &op, const UopFlow &flow)
+{
+    auto bump = [this](ProfileEvent event, std::uint64_t n = 1) {
+        counts_[static_cast<unsigned>(event)] += n;
+    };
+
+    bump(ProfileEvent::Instructions);
+    bump(ProfileEvent::Uops, flow.expandedCount());
+    if (flow.fromMsrom)
+        bump(ProfileEvent::MicrosequencedFlows);
+    if (isVector(op.opcode))
+        bump(ProfileEvent::VectorOps);
+
+    for (const Uop &uop : flow.uops) {
+        if (uop.isLoad())
+            bump(ProfileEvent::Loads);
+        if (uop.isStore())
+            bump(ProfileEvent::Stores);
+        if (uop.isBranch())
+            bump(ProfileEvent::Branches);
+        if (uop.writesFlags)
+            bump(ProfileEvent::FlagWriters);
+    }
+
+    ++pcCounts_[op.pc];
+}
+
+std::vector<std::pair<Addr, std::uint64_t>>
+DecoderProfiler::hottest(std::size_t n) const
+{
+    std::vector<std::pair<Addr, std::uint64_t>> entries(
+        pcCounts_.begin(), pcCounts_.end());
+    std::sort(entries.begin(), entries.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second > b.second;
+              });
+    if (entries.size() > n)
+        entries.resize(n);
+    return entries;
+}
+
+void
+DecoderProfiler::reset()
+{
+    counts_.fill(0);
+    pcCounts_.clear();
+}
+
+} // namespace csd

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Hardware watchdog timer that periodically re-triggers a translation
+ * mode (paper §IV-B: stealth mode turns itself off once the decoy
+ * ranges have been emptied, after arming the watchdog to fire before
+ * the attacker's best probe interval).
+ */
+
+#ifndef CSD_CSD_WATCHDOG_HH
+#define CSD_CSD_WATCHDOG_HH
+
+#include <functional>
+
+#include "common/types.hh"
+
+namespace csd
+{
+
+/** A periodic one-shot-rearmed timer driven by decoder ticks. */
+class WatchdogTimer
+{
+  public:
+    using Callback = std::function<void()>;
+
+    void setCallback(Callback cb) { callback_ = std::move(cb); }
+
+    /** Arm the timer to fire @p period cycles from @p now. */
+    void
+    arm(Tick now, Cycles period)
+    {
+        armed_ = true;
+        fireAt_ = now + period;
+        period_ = period;
+    }
+
+    void disarm() { armed_ = false; }
+    bool armed() const { return armed_; }
+    Tick fireAt() const { return fireAt_; }
+
+    /**
+     * Advance time; fires (and disarms) when the deadline passes.
+     * The callback typically re-triggers stealth mode, which re-arms.
+     */
+    void
+    tick(Tick now)
+    {
+        if (armed_ && now >= fireAt_) {
+            armed_ = false;
+            if (callback_)
+                callback_();
+        }
+    }
+
+  private:
+    bool armed_ = false;
+    Tick fireAt_ = 0;
+    Cycles period_ = 0;
+    Callback callback_;
+};
+
+} // namespace csd
+
+#endif // CSD_CSD_WATCHDOG_HH

@@ -1,0 +1,226 @@
+#include "decode/frontend.hh"
+
+#include "common/logging.hh"
+
+namespace csd
+{
+
+FrontEnd::FrontEnd(const FrontEndParams &params, MemHierarchy *mem)
+    : params_(params),
+      mem_(mem),
+      uopCache_(std::make_unique<UopCache>(params)),
+      lsd_(std::make_unique<LoopStreamDetector>(params)),
+      stats_("frontend")
+{
+    stats_.addCounter("macro_ops", &macroOps_, "macro-ops processed");
+    stats_.addCounter("slots_uop_cache", &slotsUopCache_,
+                      "fused slots streamed from the micro-op cache");
+    stats_.addCounter("slots_legacy", &slotsLegacy_,
+                      "fused slots from the legacy decode pipeline");
+    stats_.addCounter("slots_msrom", &slotsMsrom_,
+                      "fused slots microsequenced from the MSROM");
+    stats_.addCounter("slots_lsd", &slotsLsd_,
+                      "fused slots replayed by the loop stream detector");
+    stats_.addCounter("source_switches", &sourceSwitches_,
+                      "micro-op cache <-> legacy pipeline transitions");
+    stats_.addCounter("fetch_stall_cycles", &fetchStallCycles_,
+                      "cycles stalled on L1I misses");
+    stats_.addChild(&uopCache_->stats());
+    stats_.addChild(&lsd_->stats());
+}
+
+unsigned
+FrontEnd::slotLimit() const
+{
+    switch (source_) {
+      case DeliverySource::UopCache: return params_.uopCacheStreamWidth;
+      case DeliverySource::Legacy:   return params_.decodeWidth;
+      case DeliverySource::Msrom:    return params_.msromWidth;
+      case DeliverySource::Lsd:      return params_.lsdStreamWidth;
+    }
+    return params_.decodeWidth;
+}
+
+void
+FrontEnd::forceNextCycle()
+{
+    ++feCycle_;
+    slotsThisCycle_ = 0;
+    bytesThisCycle_ = 0;
+    macroOpsThisCycle_ = 0;
+    complexUsedThisCycle_ = false;
+}
+
+void
+FrontEnd::completePendingFill()
+{
+    if (fillWindow_ == invalidAddr)
+        return;
+    uopCache_->fill(fillWindow_, fillCtx_, static_cast<unsigned>(fillSlots_),
+                    fillCacheable_);
+    fillWindow_ = invalidAddr;
+    fillSlots_ = 0;
+    fillCacheable_ = true;
+}
+
+void
+FrontEnd::noteSwitch(DeliverySource next)
+{
+    if (next == source_)
+        return;
+    const auto streams = [](DeliverySource s) {
+        return s == DeliverySource::UopCache || s == DeliverySource::Lsd;
+    };
+    // Crossing between the streaming structures and the legacy decode
+    // pipeline costs a bubble (the Intel optimization manual's
+    // switch-penalty guidance, paper §III-B).
+    if (streams(next) != streams(source_)) {
+        feCycle_ += params_.uopCacheSwitchPenalty;
+        slotsThisCycle_ = 0;
+        bytesThisCycle_ = 0;
+        macroOpsThisCycle_ = 0;
+        complexUsedThisCycle_ = false;
+        ++sourceSwitches_;
+    }
+    source_ = next;
+}
+
+void
+FrontEnd::beginMacroOp(const MacroOp &op, const UopFlow &flow, unsigned ctx,
+                       bool taken, Addr next_pc)
+{
+    ++macroOps_;
+
+    // Translation context switches interact with the micro-op cache.
+    if (haveLastCtx_ && ctx != curCtx_) {
+        completePendingFill();
+        uopCache_->onContextSwitch();
+        lsd_->reset();
+        curWindow_ = invalidAddr;
+    }
+    haveLastCtx_ = true;
+
+    const auto slots = deliveredSlots(flow);
+    const bool lsd_eligible = !flow.fromMsrom && !flow.loop;
+
+    // The LSD observes every op; lock state decides this op's source.
+    lsd_->observe(op, static_cast<unsigned>(slots), lsd_eligible, taken,
+                  next_pc);
+    if (lsd_->active()) {
+        noteSwitch(DeliverySource::Lsd);
+        return;
+    }
+
+    // Micro-op cache probe, once per 32-byte window.
+    if (params_.uopCacheEnabled) {
+        const Addr window = uopCache_->windowOf(op.pc);
+        if (window != curWindow_ || ctx != curCtx_) {
+            // Leaving a window we were decoding in legacy mode: try to
+            // install its accumulated translation.
+            completePendingFill();
+            curWindow_ = window;
+            curCtx_ = ctx;
+            curWindowHit_ = uopCache_->lookup(op.pc, ctx);
+        }
+        if (curWindowHit_) {
+            noteSwitch(DeliverySource::UopCache);
+            return;
+        }
+    } else {
+        curCtx_ = ctx;
+    }
+
+    // Legacy decode pipeline (possibly microsequenced).
+    noteSwitch(flow.fromMsrom ? DeliverySource::Msrom
+                              : DeliverySource::Legacy);
+
+    // Instruction fetch: stall on L1I misses, once per touched block.
+    if (mem_) {
+        const Addr first_block = blockAlign(op.pc);
+        const Addr last_block = blockAlign(op.pc + op.length - 1);
+        for (Addr block = first_block; block <= last_block;
+             block += cacheBlockSize) {
+            if (block == lastFetchBlock_)
+                continue;
+            lastFetchBlock_ = block;
+            const auto result = mem_->fetchInstr(block);
+            if (result.levelHit > 1) {
+                const Cycles stall =
+                    result.latency - mem_->params().l1i.hitLatency;
+                feCycle_ += stall;
+                fetchStallCycles_ += stall;
+                slotsThisCycle_ = 0;
+                bytesThisCycle_ = 0;
+                macroOpsThisCycle_ = 0;
+                complexUsedThisCycle_ = false;
+            }
+        }
+    }
+
+    // Structural decode constraints.
+    if (macroOpsThisCycle_ >= params_.decodeWidth)
+        forceNextCycle();
+    if (bytesThisCycle_ + op.length > params_.fetchBytesPerCycle)
+        forceNextCycle();
+    const bool needs_complex = flow.uops.size() > 1 || flow.fromMsrom;
+    if (needs_complex && complexUsedThisCycle_)
+        forceNextCycle();
+    ++macroOpsThisCycle_;
+    bytesThisCycle_ += op.length;
+    complexUsedThisCycle_ = complexUsedThisCycle_ || needs_complex;
+
+    // Accumulate the window's translation for a micro-op cache fill.
+    if (params_.uopCacheEnabled) {
+        if (fillWindow_ == invalidAddr) {
+            fillWindow_ = curWindow_;
+            fillCtx_ = ctx;
+        }
+        fillSlots_ += slots;
+        fillCacheable_ =
+            fillCacheable_ && uopCacheEligible(flow, params_);
+    }
+}
+
+Tick
+FrontEnd::nextSlotCycle()
+{
+    if (slotsThisCycle_ >= slotLimit())
+        forceNextCycle();
+    ++slotsThisCycle_;
+    switch (source_) {
+      case DeliverySource::UopCache: ++slotsUopCache_; break;
+      case DeliverySource::Legacy:   ++slotsLegacy_; break;
+      case DeliverySource::Msrom:    ++slotsMsrom_; break;
+      case DeliverySource::Lsd:      ++slotsLsd_; break;
+    }
+    return feCycle_;
+}
+
+void
+FrontEnd::redirect(Tick cycle)
+{
+    completePendingFill();
+    if (cycle > feCycle_)
+        feCycle_ = cycle;
+    slotsThisCycle_ = 0;
+    bytesThisCycle_ = 0;
+    macroOpsThisCycle_ = 0;
+    complexUsedThisCycle_ = false;
+    curWindow_ = invalidAddr;
+    curWindowHit_ = false;
+    lastFetchBlock_ = invalidAddr;
+}
+
+std::uint64_t
+FrontEnd::slotsFrom(DeliverySource src) const
+{
+    switch (src) {
+      case DeliverySource::UopCache: return slotsUopCache_.value();
+      case DeliverySource::Legacy:   return slotsLegacy_.value();
+      case DeliverySource::Msrom:    return slotsMsrom_.value();
+      case DeliverySource::Lsd:      return slotsLsd_.value();
+    }
+    return 0;
+}
+
+} // namespace csd

@@ -1,0 +1,79 @@
+#include "decode/lsd.hh"
+
+namespace csd
+{
+
+LoopStreamDetector::LoopStreamDetector(const FrontEndParams &params)
+    : params_(params), stats_("lsd")
+{
+    stats_.addCounter("locks", &locks_, "times the LSD locked a loop");
+    stats_.addCounter("unlocks", &unlocks_, "times the LSD released");
+}
+
+void
+LoopStreamDetector::reset()
+{
+    if (locked_)
+        ++unlocks_;
+    locked_ = false;
+    candTarget_ = invalidAddr;
+    candBranch_ = invalidAddr;
+    streak_ = 0;
+    bodySlots_ = 0;
+    bodyEligible_ = true;
+}
+
+void
+LoopStreamDetector::observe(const MacroOp &op, unsigned fused_slots,
+                            bool eligible, bool taken, Addr next_pc)
+{
+    if (!params_.lsdEnabled)
+        return;
+
+    if (locked_) {
+        // Stay locked while control remains inside [target, branchEnd).
+        const bool in_loop = op.pc >= lockedTarget_ &&
+                             op.pc < lockedBranchEnd_;
+        const bool leaves = next_pc < lockedTarget_ ||
+                            next_pc >= lockedBranchEnd_;
+        if (!in_loop || (isBranch(op.opcode) && leaves &&
+                         next_pc != lockedTarget_)) {
+            locked_ = false;
+            ++unlocks_;
+            // fall through to candidate tracking below
+        } else {
+            return;
+        }
+    }
+
+    // Accumulate the body between visits to the candidate head.
+    if (candTarget_ != invalidAddr) {
+        bodySlots_ += fused_slots;
+        bodyEligible_ = bodyEligible_ && eligible;
+    }
+
+    const bool backward_taken = taken && isDirectBranch(op.opcode) &&
+                                next_pc <= op.pc;
+    if (!backward_taken)
+        return;
+
+    if (op.pc == candBranch_ && next_pc == candTarget_) {
+        ++streak_;
+        if (streak_ >= 3 && bodyEligible_ &&
+            bodySlots_ <= params_.lsdMaxSlots && bodySlots_ > 0) {
+            locked_ = true;
+            lockedTarget_ = candTarget_;
+            lockedBranchEnd_ = op.nextPc();
+            ++locks_;
+        }
+    } else {
+        candTarget_ = next_pc;
+        candBranch_ = op.pc;
+        streak_ = 1;
+    }
+    // Restart body accounting for the next trip.
+    bodySlots_ = 0;
+    bodyEligible_ = true;
+}
+
+} // namespace csd

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Loop stream detector.
+ *
+ * Detects small hot loops (a backward direct branch whose body fits in
+ * the uop queue) and, once locked, streams their uops without engaging
+ * the fetch, length-decode, micro-op cache, or legacy decode machinery.
+ */
+
+#ifndef CSD_DECODE_LSD_HH
+#define CSD_DECODE_LSD_HH
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "decode/params.hh"
+#include "isa/macroop.hh"
+
+namespace csd
+{
+
+/** Loop stream detector state machine. */
+class LoopStreamDetector
+{
+  public:
+    explicit LoopStreamDetector(const FrontEndParams &params);
+
+    /**
+     * Observe one dynamic macro-op in program order.
+     *
+     * @param op          the macro-op
+     * @param fused_slots fused-domain slots of its flow
+     * @param eligible    flow can stream from the queue (no MSROM/loop)
+     * @param taken       control transferred away from fall-through
+     * @param next_pc     the PC control went to
+     */
+    void observe(const MacroOp &op, unsigned fused_slots, bool eligible,
+                 bool taken, Addr next_pc);
+
+    /** True iff the LSD is currently streaming a locked loop. */
+    bool active() const { return locked_; }
+
+    /** Drop lock and candidate state (redirect, mode switch). */
+    void reset();
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    FrontEndParams params_;
+
+    // Candidate loop: target (loop head) and branch PC (loop tail).
+    Addr candTarget_ = invalidAddr;
+    Addr candBranch_ = invalidAddr;
+    unsigned streak_ = 0;
+
+    // Slots accumulated since the last visit to the candidate head.
+    std::uint64_t bodySlots_ = 0;
+    bool bodyEligible_ = true;
+
+    bool locked_ = false;
+    Addr lockedTarget_ = invalidAddr;
+    Addr lockedBranchEnd_ = invalidAddr;  //!< nextPc of the loop branch
+
+    StatGroup stats_;
+    Counter locks_;
+    Counter unlocks_;
+};
+
+} // namespace csd
+
+#endif // CSD_DECODE_LSD_HH

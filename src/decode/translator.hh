@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Translator interface: the hook point for context-sensitive decoding.
+ *
+ * The front end asks its Translator for the micro-op flow of each
+ * macro-op in program order. The native translator is the static
+ * table-driven translation; the context-sensitive decoder (csd/)
+ * implements the same interface and swaps translations based on the
+ * current execution context.
+ */
+
+#ifndef CSD_DECODE_TRANSLATOR_HH
+#define CSD_DECODE_TRANSLATOR_HH
+
+#include "common/types.hh"
+#include "isa/macroop.hh"
+#include "uop/flow.hh"
+#include "uop/translate.hh"
+
+namespace csd
+{
+
+/** Produces micro-op flows for macro-ops, possibly context-dependent. */
+class Translator
+{
+  public:
+    virtual ~Translator() = default;
+
+    /** Translate @p op in program order. May advance internal state. */
+    virtual UopFlow translate(const MacroOp &op) = 0;
+
+    /**
+     * Identifier of the translation context used by the most recent
+     * translate() call, for the micro-op cache's context tag bits. The
+     * native translation is context 0.
+     */
+    virtual unsigned contextId() const { return 0; }
+
+    /** Advance time-based triggers (watchdog timers). */
+    virtual void tick(Tick now) { (void)now; }
+};
+
+/** The default static translation (contexts never change). */
+class NativeTranslator : public Translator
+{
+  public:
+    UopFlow translate(const MacroOp &op) override
+    {
+        return translateNative(op);
+    }
+};
+
+} // namespace csd
+
+#endif // CSD_DECODE_TRANSLATOR_HH

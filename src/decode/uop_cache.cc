@@ -1,0 +1,146 @@
+#include "decode/uop_cache.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace csd
+{
+
+UopCache::UopCache(const FrontEndParams &params)
+    : params_(params), stats_("uop_cache")
+{
+    if (!isPowerOf2(params_.uopCacheSets))
+        csd_fatal("UopCache: set count must be a power of two");
+    ways_.resize(static_cast<std::size_t>(params_.uopCacheSets) *
+                 params_.uopCacheWays);
+    stats_.addCounter("lookups", &lookups_, "window probes");
+    stats_.addCounter("hits", &hits_, "window hits");
+    stats_.addCounter("fills", &fills_, "successful window fills");
+    stats_.addCounter("fill_rejects", &fillRejects_,
+                      "windows rejected by the 3-way/6-uop checks");
+    stats_.addCounter("context_flushes", &contextFlushes_,
+                      "full flushes on mode switch (no context bits)");
+}
+
+unsigned
+UopCache::setIndex(Addr window) const
+{
+    return static_cast<unsigned>(window / params_.uopCacheWindowBytes) &
+           (params_.uopCacheSets - 1);
+}
+
+bool
+UopCache::lookup(Addr pc, unsigned ctx)
+{
+    ++lookups_;
+    const Addr window = windowOf(pc);
+    Way *base = set(setIndex(window));
+    unsigned matching = 0;
+    unsigned needed = 0;
+    for (unsigned i = 0; i < params_.uopCacheWays; ++i) {
+        if (base[i].valid && base[i].window == window &&
+            base[i].ctx == ctx) {
+            base[i].lruStamp = ++lruClock_;
+            ++matching;
+            needed = base[i].waysInWindow;
+        }
+    }
+    // A streaming hit requires the complete window translation.
+    const bool hit = matching > 0 && matching == needed;
+    if (hit)
+        ++hits_;
+    return hit;
+}
+
+bool
+UopCache::contains(Addr pc, unsigned ctx) const
+{
+    const Addr window = windowOf(pc);
+    const Way *base = set(setIndex(window));
+    unsigned matching = 0;
+    unsigned needed = 0;
+    for (unsigned i = 0; i < params_.uopCacheWays; ++i) {
+        if (base[i].valid && base[i].window == window &&
+            base[i].ctx == ctx) {
+            ++matching;
+            needed = base[i].waysInWindow;
+        }
+    }
+    return matching > 0 && matching == needed;
+}
+
+bool
+UopCache::fill(Addr window, unsigned ctx, unsigned fused_slots,
+               bool cacheable)
+{
+    if (windowOf(window) != window)
+        csd_panic("UopCache::fill: unaligned window");
+
+    // Re-filling always starts from a clean slate for this window+ctx.
+    invalidateWindow(window, ctx);
+
+    const unsigned per_way = params_.uopCacheSlotsPerWay;
+    const unsigned ways_needed = (fused_slots + per_way - 1) / per_way;
+    if (!cacheable || fused_slots == 0 ||
+        ways_needed > params_.uopCacheMaxWaysPerWindow ||
+        ways_needed > params_.uopCacheWays) {
+        ++fillRejects_;
+        return false;
+    }
+
+    Way *base = set(setIndex(window));
+    for (unsigned need = 0; need < ways_needed; ++need) {
+        Way *victim = nullptr;
+        for (unsigned i = 0; i < params_.uopCacheWays; ++i) {
+            if (!base[i].valid) {
+                victim = &base[i];
+                break;
+            }
+            if (!victim || base[i].lruStamp < victim->lruStamp)
+                victim = &base[i];
+        }
+        unsigned slots = per_way;
+        if (need == ways_needed - 1 && fused_slots % per_way != 0)
+            slots = fused_slots % per_way;
+        victim->valid = true;
+        victim->window = window;
+        victim->ctx = ctx;
+        victim->slots = slots;
+        victim->waysInWindow = ways_needed;
+        victim->lruStamp = ++lruClock_;
+    }
+    ++fills_;
+    return true;
+}
+
+void
+UopCache::invalidateWindow(Addr window, unsigned ctx)
+{
+    Way *base = set(setIndex(window));
+    for (unsigned i = 0; i < params_.uopCacheWays; ++i) {
+        if (base[i].valid && base[i].window == window &&
+            base[i].ctx == ctx) {
+            base[i] = Way();
+        }
+    }
+}
+
+void
+UopCache::flushAll()
+{
+    for (Way &way : ways_)
+        way = Way();
+}
+
+void
+UopCache::onContextSwitch()
+{
+    if (!params_.uopCacheContextBits) {
+        flushAll();
+        ++contextFlushes_;
+    }
+    // With context bits, translations from different modes co-reside;
+    // nothing to do.
+}
+
+} // namespace csd

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The micro-op cache (paper §III-A/B).
+ *
+ * Organized as 32 sets x 8 ways, each way holding up to 6 fused
+ * micro-ops of one 32-byte code window; a window may occupy at most 3
+ * ways (18 micro-ops). Tags are extended with context bits (one
+ * translation-context id per way) so that translations produced by
+ * different custom decoders co-reside; the alternative — flushing on
+ * every translation-mode switch — is also implemented for ablation.
+ *
+ * The cache is a timing structure: translations are deterministic per
+ * (macro-op, context), so only residency and slot counts are stored,
+ * never the uops themselves.
+ */
+
+#ifndef CSD_DECODE_UOP_CACHE_HH
+#define CSD_DECODE_UOP_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "decode/params.hh"
+
+namespace csd
+{
+
+/** The micro-op cache. */
+class UopCache
+{
+  public:
+    explicit UopCache(const FrontEndParams &params);
+
+    /** Base address of the window containing @p pc. */
+    Addr windowOf(Addr pc) const
+    {
+        return pc & ~static_cast<Addr>(params_.uopCacheWindowBytes - 1);
+    }
+
+    /**
+     * Probe for the window containing @p pc under translation context
+     * @p ctx. A hit means the whole window's translation streams from
+     * the micro-op cache. Updates LRU and hit/miss stats.
+     */
+    bool lookup(Addr pc, unsigned ctx);
+
+    /** Residency check without stats/LRU side effects. */
+    bool contains(Addr pc, unsigned ctx) const;
+
+    /**
+     * Try to install a window's translation occupying @p fused_slots
+     * fused-domain slots. Fails (and invalidates any stale copy) if the
+     * window needs more than 3 ways or @p cacheable is false — e.g. a
+     * flow longer than 6 fused uops or a decoy micro-loop (paper
+     * §III-B). Returns true on success.
+     */
+    bool fill(Addr window, unsigned ctx, unsigned fused_slots,
+              bool cacheable);
+
+    /** Invalidate every way of @p window in context @p ctx. */
+    void invalidateWindow(Addr window, unsigned ctx);
+
+    /** Flush the entire cache (mode switch without context bits). */
+    void flushAll();
+
+    /** Called on a translation mode switch. */
+    void onContextSwitch();
+
+    double
+    hitRate() const
+    {
+        const auto total = lookups_.value();
+        return total == 0 ? 0.0
+                          : static_cast<double>(hits_.value()) / total;
+    }
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        Addr window = invalidAddr;
+        unsigned ctx = 0;
+        unsigned slots = 0;
+        unsigned waysInWindow = 1;  //!< a hit needs the full window
+        std::uint64_t lruStamp = 0;
+    };
+
+    unsigned setIndex(Addr window) const;
+    Way *set(unsigned index) { return &ways_[index * params_.uopCacheWays]; }
+    const Way *
+    set(unsigned index) const
+    {
+        return &ways_[index * params_.uopCacheWays];
+    }
+
+    FrontEndParams params_;
+    std::vector<Way> ways_;
+    std::uint64_t lruClock_ = 0;
+
+    StatGroup stats_;
+    Counter lookups_;
+    Counter hits_;
+    Counter fills_;
+    Counter fillRejects_;
+    Counter contextFlushes_;
+};
+
+} // namespace csd
+
+#endif // CSD_DECODE_UOP_CACHE_HH

@@ -1,0 +1,165 @@
+#include "dift/taint.hh"
+
+namespace csd
+{
+
+TaintTracker::TaintTracker() : stats_("dift")
+{
+    stats_.addCounter("tainted_loads", &taintedLoads_,
+                      "loads flagged as key-dependent at decode");
+    stats_.addCounter("tainted_branches", &taintedBranches_,
+                      "branches flagged as key-dependent at decode");
+    stats_.addCounter("propagations", &propagations_,
+                      "uops through which taint propagated");
+}
+
+void
+TaintTracker::addTaintSource(const AddrRange &range)
+{
+    sources_.push_back(range);
+    // Pre-taint the source bytes themselves.
+    taintMem(range.start, static_cast<unsigned>(range.size()), true);
+}
+
+void
+TaintTracker::reset()
+{
+    sources_.clear();
+    regTaint_.reset();
+    taintedGranules_.clear();
+}
+
+void
+TaintTracker::setRegTaint(const RegId &reg, bool tainted)
+{
+    if (!reg.valid())
+        return;
+    regTaint_.set(reg.flatIndex(), tainted);
+}
+
+void
+TaintTracker::taintMem(Addr addr, unsigned size, bool tainted)
+{
+    const Addr first = addr >> granuleShift;
+    const Addr last = (addr + (size ? size - 1 : 0)) >> granuleShift;
+    for (Addr granule = first; granule <= last; ++granule) {
+        if (tainted)
+            taintedGranules_.insert(granule);
+        else
+            taintedGranules_.erase(granule);
+    }
+}
+
+bool
+TaintTracker::memTainted(Addr addr, unsigned size) const
+{
+    const Addr first = addr >> granuleShift;
+    const Addr last = (addr + (size ? size - 1 : 0)) >> granuleShift;
+    for (Addr granule = first; granule <= last; ++granule)
+        if (taintedGranules_.count(granule))
+            return true;
+    for (const AddrRange &range : sources_)
+        if (range.overlaps(AddrRange(addr, addr + (size ? size : 1))))
+            return true;
+    return false;
+}
+
+bool
+TaintTracker::taintedLoadOrBranch(const MacroOp &op) const
+{
+    if (op.hasMem && (isMemRead(op) || isMemWrite(op))) {
+        const bool base_taint =
+            op.mem.hasBase() && regTainted(intReg(op.mem.base));
+        const bool index_taint =
+            op.mem.hasIndex() && regTainted(intReg(op.mem.index));
+        // A store whose data register carries taint is equally
+        // key-dependent (the DIFT intercepts the tainted operand).
+        const bool data_taint = op.opcode == MacroOpcode::Store &&
+                                op.src1 != Gpr::Invalid &&
+                                regTainted(intReg(op.src1));
+        if (base_taint || index_taint || data_taint) {
+            if (isMemRead(op))
+                ++const_cast<Counter &>(taintedLoads_);
+            return true;
+        }
+        return false;
+    }
+    if (op.opcode == MacroOpcode::Jcc && op.cond != Cond::Always) {
+        if (regTainted(flagsReg())) {
+            ++const_cast<Counter &>(taintedBranches_);
+            return true;
+        }
+        return false;
+    }
+    if (op.opcode == MacroOpcode::JmpInd || op.opcode == MacroOpcode::Ret) {
+        if (op.opcode == MacroOpcode::JmpInd &&
+            regTainted(intReg(op.src1))) {
+            ++const_cast<Counter &>(taintedBranches_);
+            return true;
+        }
+        return false;
+    }
+    return false;
+}
+
+bool
+TaintTracker::uopSourceTaint(const Uop &uop, Addr eff_addr) const
+{
+    bool tainted = false;
+    if (uop.isLoad()) {
+        // Data taint plus pointer taint: a lookup indexed by a tainted
+        // value yields a tainted value (the AES T-table pattern).
+        tainted = memTainted(eff_addr, uop.memSize);
+        if (uop.src1.valid())
+            tainted = tainted || regTainted(uop.src1);
+        if (uop.src2.valid())
+            tainted = tainted || regTainted(uop.src2);
+        return tainted;
+    }
+    if (uop.src1.valid())
+        tainted = tainted || regTainted(uop.src1);
+    if (!uop.immData && uop.src2.valid() && !uop.isMem())
+        tainted = tainted || regTainted(uop.src2);
+    if (uop.readsFlags)
+        tainted = tainted || regTainted(flagsReg());
+    return tainted;
+}
+
+void
+TaintTracker::propagate(const UopFlow &flow, const FlowResult &result)
+{
+    (void)flow;
+    for (const DynUop &dyn : result.dynUops) {
+        const Uop &uop = *dyn.uop;
+        if (uop.decoy)
+            continue;  // decoys live outside the program dataflow
+
+        if (uop.isStore()) {
+            bool data_taint = uop.src3.valid() && regTainted(uop.src3);
+            // Pointer taint flows into the stored location as well.
+            if (uop.src1.valid())
+                data_taint = data_taint || regTainted(uop.src1);
+            if (uop.src2.valid())
+                data_taint = data_taint || regTainted(uop.src2);
+            taintMem(dyn.effAddr, uop.memSize, data_taint);
+            if (data_taint)
+                ++propagations_;
+            continue;
+        }
+
+        if (uop.isBranch())
+            continue;  // no data result
+
+        const bool tainted = uopSourceTaint(uop, dyn.effAddr);
+        // Immediate loads break dependences (limm overwrites dst).
+        const bool clears = uop.op == MicroOpcode::LoadImm;
+        if (uop.dst.valid())
+            setRegTaint(uop.dst, clears ? false : tainted);
+        if (uop.writesFlags)
+            setRegTaint(flagsReg(), tainted);
+        if (tainted)
+            ++propagations_;
+    }
+}
+
+} // namespace csd

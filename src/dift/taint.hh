@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Lightweight hardware dynamic information-flow tracking (DIFT).
+ *
+ * The paper uses DIFT as the trigger that detects key-dependent loads
+ * and branches and enables stealth-mode translation (§VI-A), charging
+ * it an extra 4-cycle L2 tag-access latency. This module tracks taint
+ * through registers, flags, and shadow memory. Taint sources are
+ * address ranges (the key material).
+ */
+
+#ifndef CSD_DIFT_TAINT_HH
+#define CSD_DIFT_TAINT_HH
+
+#include <bitset>
+#include <unordered_set>
+#include <vector>
+
+#include "common/addr_range.hh"
+#include "common/stats.hh"
+#include "cpu/executor.hh"
+#include "uop/flow.hh"
+
+namespace csd
+{
+
+/** Register + shadow-memory taint tracker. */
+class TaintTracker
+{
+  public:
+    TaintTracker();
+
+    /** Mark an address range as a taint source (e.g. the secret key). */
+    void addTaintSource(const AddrRange &range);
+
+    /** Drop all taint state and sources. */
+    void reset();
+
+    /** Is a register currently tainted? */
+    bool regTainted(const RegId &reg) const
+    {
+        return regTaint_.test(reg.flatIndex());
+    }
+
+    /** Is any byte of [addr, addr+size) tainted? */
+    bool memTainted(Addr addr, unsigned size) const;
+
+    /**
+     * Decode-time check: does @p op constitute a tainted load, store,
+     * or branch — i.e. should stealth-mode translation inject decoys
+     * for it? A memory op is tainted if any address register is; a
+     * conditional branch if the flags are; an indirect branch if its
+     * target register is.
+     */
+    bool taintedLoadOrBranch(const MacroOp &op) const;
+
+    /**
+     * Propagate taint through an executed flow. Decoy micro-ops are
+     * skipped: they exist outside the program's dataflow.
+     */
+    void propagate(const UopFlow &flow, const FlowResult &result);
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    void setRegTaint(const RegId &reg, bool tainted);
+    bool uopSourceTaint(const Uop &uop, Addr eff_addr) const;
+    void taintMem(Addr addr, unsigned size, bool tainted);
+
+    static constexpr unsigned granuleShift = 3; //!< 8-byte granules
+
+    std::vector<AddrRange> sources_;
+    std::bitset<numFlatRegs> regTaint_;
+    std::unordered_set<Addr> taintedGranules_;
+
+    StatGroup stats_;
+    Counter taintedLoads_;
+    Counter taintedBranches_;
+    Counter propagations_;
+};
+
+} // namespace csd
+
+#endif // CSD_DIFT_TAINT_HH

@@ -1,0 +1,72 @@
+#include "isa/registers.hh"
+
+#include "common/logging.hh"
+
+namespace csd
+{
+
+bool
+evalCond(Cond cond, const RFlags &flags)
+{
+    switch (cond) {
+      case Cond::Eq:     return flags.zf;
+      case Cond::Ne:     return !flags.zf;
+      case Cond::Lt:     return flags.sf != flags.of;
+      case Cond::Le:     return flags.zf || flags.sf != flags.of;
+      case Cond::Gt:     return !flags.zf && flags.sf == flags.of;
+      case Cond::Ge:     return flags.sf == flags.of;
+      case Cond::Ult:    return flags.cf;
+      case Cond::Ule:    return flags.cf || flags.zf;
+      case Cond::Ugt:    return !flags.cf && !flags.zf;
+      case Cond::Uge:    return !flags.cf;
+      case Cond::S:      return flags.sf;
+      case Cond::Ns:     return !flags.sf;
+      case Cond::Always: return true;
+    }
+    csd_panic("evalCond: bad condition code");
+}
+
+std::string
+gprName(Gpr reg)
+{
+    static const char *names[] = {
+        "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+        "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+    };
+    const auto idx = static_cast<unsigned>(reg);
+    if (idx >= numGprs)
+        return "gpr?";
+    return names[idx];
+}
+
+std::string
+xmmName(Xmm reg)
+{
+    const auto idx = static_cast<unsigned>(reg);
+    if (idx >= numXmms)
+        return "xmm?";
+    return "xmm" + std::to_string(idx);
+}
+
+std::string
+condName(Cond cond)
+{
+    switch (cond) {
+      case Cond::Eq:     return "e";
+      case Cond::Ne:     return "ne";
+      case Cond::Lt:     return "l";
+      case Cond::Le:     return "le";
+      case Cond::Gt:     return "g";
+      case Cond::Ge:     return "ge";
+      case Cond::Ult:    return "b";
+      case Cond::Ule:    return "be";
+      case Cond::Ugt:    return "a";
+      case Cond::Uge:    return "ae";
+      case Cond::S:      return "s";
+      case Cond::Ns:     return "ns";
+      case Cond::Always: return "mp";
+    }
+    return "??";
+}
+
+} // namespace csd

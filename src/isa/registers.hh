@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Architectural register definitions for the mini x86-like ISA.
+ *
+ * The ISA exposes 16 general-purpose 64-bit registers and 16 128-bit
+ * vector (XMM) registers plus the usual status flags. The micro-op layer
+ * additionally defines decoder-temporary registers (see uop/uop.hh) that
+ * are invisible at this level.
+ */
+
+#ifndef CSD_ISA_REGISTERS_HH
+#define CSD_ISA_REGISTERS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace csd
+{
+
+/** General purpose 64-bit registers. */
+enum class Gpr : std::uint8_t
+{
+    Rax, Rcx, Rdx, Rbx, Rsp, Rbp, Rsi, Rdi,
+    R8, R9, R10, R11, R12, R13, R14, R15,
+    NumRegs,
+    Invalid = 0xff,
+};
+
+/** 128-bit vector registers. */
+enum class Xmm : std::uint8_t
+{
+    Xmm0, Xmm1, Xmm2, Xmm3, Xmm4, Xmm5, Xmm6, Xmm7,
+    Xmm8, Xmm9, Xmm10, Xmm11, Xmm12, Xmm13, Xmm14, Xmm15,
+    NumRegs,
+    Invalid = 0xff,
+};
+
+constexpr unsigned numGprs = static_cast<unsigned>(Gpr::NumRegs);
+constexpr unsigned numXmms = static_cast<unsigned>(Xmm::NumRegs);
+
+/** Branch condition codes (subset of x86 Jcc conditions). */
+enum class Cond : std::uint8_t
+{
+    Eq,      //!< ZF
+    Ne,      //!< !ZF
+    Lt,      //!< SF != OF            (signed <)
+    Le,      //!< ZF || SF != OF      (signed <=)
+    Gt,      //!< !ZF && SF == OF     (signed >)
+    Ge,      //!< SF == OF            (signed >=)
+    Ult,     //!< CF                  (unsigned <, "B")
+    Ule,     //!< CF || ZF            (unsigned <=, "BE")
+    Ugt,     //!< !CF && !ZF          (unsigned >, "A")
+    Uge,     //!< !CF                 (unsigned >=, "AE")
+    S,       //!< SF
+    Ns,      //!< !SF
+    Always,  //!< unconditional
+};
+
+/** Status flags produced by arithmetic micro-ops. */
+struct RFlags
+{
+    bool zf = false;
+    bool sf = false;
+    bool cf = false;
+    bool of = false;
+
+    bool
+    operator==(const RFlags &other) const
+    {
+        return zf == other.zf && sf == other.sf && cf == other.cf &&
+               of == other.of;
+    }
+};
+
+/** Evaluate a condition code against a flag state. */
+bool evalCond(Cond cond, const RFlags &flags);
+
+/** Printable names. */
+std::string gprName(Gpr reg);
+std::string xmmName(Xmm reg);
+std::string condName(Cond cond);
+
+} // namespace csd
+
+#endif // CSD_ISA_REGISTERS_HH

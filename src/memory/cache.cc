@@ -1,0 +1,140 @@
+#include "memory/cache.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace csd
+{
+
+Cache::Cache(const CacheParams &params)
+    : params_(params), stats_(params.name)
+{
+    if (params_.assoc == 0)
+        csd_fatal("Cache ", params_.name, ": associativity must be > 0");
+    const std::uint64_t num_blocks = params_.sizeBytes / cacheBlockSize;
+    if (num_blocks == 0 || num_blocks % params_.assoc != 0)
+        csd_fatal("Cache ", params_.name, ": size ", params_.sizeBytes,
+                  " not divisible into ", params_.assoc, "-way sets");
+    numSets_ = static_cast<unsigned>(num_blocks / params_.assoc);
+    if (!isPowerOf2(numSets_))
+        csd_fatal("Cache ", params_.name, ": set count ", numSets_,
+                  " is not a power of two");
+    lines_.resize(num_blocks);
+
+    stats_.addCounter("accesses", &accesses_, "demand accesses");
+    stats_.addCounter("misses", &misses_, "demand misses");
+    stats_.addCounter("write_accesses", &writeAccesses_, "write accesses");
+    stats_.addCounter("evictions", &evictions_, "capacity/conflict evictions");
+    stats_.addCounter("invalidations", &invalidations_,
+                      "explicit invalidations (clflush)");
+}
+
+unsigned
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<unsigned>(blockNumber(addr)) & (numSets_ - 1);
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    const Addr tag = blockAlign(addr);
+    const unsigned set = setIndex(addr);
+    Line *base = &lines_[static_cast<std::size_t>(set) * params_.assoc];
+    for (unsigned way = 0; way < params_.assoc; ++way) {
+        if (base[way].valid && base[way].tag == tag)
+            return &base[way];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+bool
+Cache::access(Addr addr, bool is_write)
+{
+    ++accesses_;
+    if (is_write)
+        ++writeAccesses_;
+    Line *line = findLine(addr);
+    if (line) {
+        line->lruStamp = ++lruClock_;
+        if (is_write)
+            line->dirty = true;
+        return true;
+    }
+    ++misses_;
+    return false;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+void
+Cache::fill(Addr addr)
+{
+    if (findLine(addr))
+        return;  // already resident (e.g. racing fill)
+    const unsigned set = setIndex(addr);
+    Line *base = &lines_[static_cast<std::size_t>(set) * params_.assoc];
+    Line *victim = &base[0];
+    for (unsigned way = 0; way < params_.assoc; ++way) {
+        if (!base[way].valid) {
+            victim = &base[way];
+            break;
+        }
+        if (base[way].lruStamp < victim->lruStamp)
+            victim = &base[way];
+    }
+    if (victim->valid)
+        ++evictions_;
+    victim->valid = true;
+    victim->dirty = false;
+    victim->tag = blockAlign(addr);
+    victim->lruStamp = ++lruClock_;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    Line *line = findLine(addr);
+    if (!line)
+        return false;
+    line->valid = false;
+    line->dirty = false;
+    line->tag = invalidAddr;
+    ++invalidations_;
+    return true;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (Line &line : lines_) {
+        line.valid = false;
+        line.dirty = false;
+        line.tag = invalidAddr;
+    }
+}
+
+std::vector<Addr>
+Cache::setContents(unsigned set) const
+{
+    if (set >= numSets_)
+        csd_panic("Cache::setContents: bad set ", set);
+    std::vector<Addr> contents;
+    const Line *base = &lines_[static_cast<std::size_t>(set) * params_.assoc];
+    for (unsigned way = 0; way < params_.assoc; ++way)
+        if (base[way].valid)
+            contents.push_back(base[way].tag);
+    return contents;
+}
+
+} // namespace csd

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * A single level of set-associative cache with true-LRU replacement.
+ *
+ * The model is tag-only (data lives in the architectural memory image):
+ * what matters for both timing and the side-channel experiments is which
+ * blocks are resident, and the precise eviction behaviour an attacker
+ * can manipulate with PRIME+PROBE / FLUSH+RELOAD.
+ */
+
+#ifndef CSD_MEMORY_CACHE_HH
+#define CSD_MEMORY_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace csd
+{
+
+/** Configuration for one cache level. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 32 * 1024;
+    unsigned assoc = 8;
+    Cycles hitLatency = 4;
+};
+
+/** One set-associative cache level. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /**
+     * Access a block: on a hit, update LRU and return true; on a miss,
+     * return false (the caller fills via fill()).
+     */
+    bool access(Addr addr, bool is_write);
+
+    /** Probe residency without disturbing replacement state or stats. */
+    bool contains(Addr addr) const;
+
+    /** Install a block, evicting the LRU way of its set if needed. */
+    void fill(Addr addr);
+
+    /** Invalidate a block if present (clflush); returns prior presence. */
+    bool invalidate(Addr addr);
+
+    /** Invalidate the entire cache. */
+    void invalidateAll();
+
+    /** Index of the set @p addr maps to. */
+    unsigned setIndex(Addr addr) const;
+
+    /** All block base addresses currently resident in @p set. */
+    std::vector<Addr> setContents(unsigned set) const;
+
+    unsigned numSets() const { return numSets_; }
+    unsigned assoc() const { return params_.assoc; }
+    Cycles hitLatency() const { return params_.hitLatency; }
+    const std::string &name() const { return params_.name; }
+
+    StatGroup &stats() { return stats_; }
+    std::uint64_t accesses() const { return accesses_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    std::uint64_t hits() const
+    {
+        return accesses_.value() - misses_.value();
+    }
+    double
+    missRate() const
+    {
+        return accesses_.value() == 0
+            ? 0.0
+            : static_cast<double>(misses_.value()) / accesses_.value();
+    }
+
+  private:
+    struct Line
+    {
+        Addr tag = invalidAddr;  //!< block base address
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lruStamp = 0;
+    };
+
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+
+    CacheParams params_;
+    unsigned numSets_;
+    std::vector<Line> lines_;   //!< numSets_ x assoc, row-major
+    std::uint64_t lruClock_ = 0;
+
+    StatGroup stats_;
+    Counter accesses_;
+    Counter misses_;
+    Counter writeAccesses_;
+    Counter evictions_;
+    Counter invalidations_;
+};
+
+} // namespace csd
+
+#endif // CSD_MEMORY_CACHE_HH

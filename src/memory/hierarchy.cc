@@ -1,0 +1,91 @@
+#include "memory/hierarchy.hh"
+
+namespace csd
+{
+
+MemHierarchy::MemHierarchy(const MemHierarchyParams &params)
+    : params_(params),
+      l1i_(std::make_unique<Cache>(params.l1i)),
+      l1d_(std::make_unique<Cache>(params.l1d)),
+      l2_(std::make_unique<Cache>(params.l2)),
+      llc_(std::make_unique<Cache>(params.llc)),
+      stats_("mem")
+{
+    stats_.addCounter("dram_accesses", &dramAccesses_, "DRAM accesses");
+    stats_.addChild(&l1i_->stats());
+    stats_.addChild(&l1d_->stats());
+    stats_.addChild(&l2_->stats());
+    stats_.addChild(&llc_->stats());
+}
+
+MemAccessResult
+MemHierarchy::accessThrough(Cache &l1, Addr addr, bool is_write)
+{
+    MemAccessResult result;
+    result.latency = l1.hitLatency();
+    if (l1.access(addr, is_write)) {
+        result.levelHit = 1;
+        return result;
+    }
+
+    result.latency += l2_->hitLatency() + params_.extraL2Latency;
+    if (l2_->access(addr, is_write)) {
+        result.levelHit = 2;
+        l1.fill(addr);
+        return result;
+    }
+
+    result.latency += llc_->hitLatency();
+    if (llc_->access(addr, is_write)) {
+        result.levelHit = 3;
+        l2_->fill(addr);
+        l1.fill(addr);
+        return result;
+    }
+
+    result.latency += params_.dramLatency;
+    result.levelHit = 4;
+    ++dramAccesses_;
+    llc_->fill(addr);
+    l2_->fill(addr);
+    l1.fill(addr);
+    return result;
+}
+
+MemAccessResult
+MemHierarchy::readData(Addr addr)
+{
+    return accessThrough(*l1d_, addr, false);
+}
+
+MemAccessResult
+MemHierarchy::writeData(Addr addr)
+{
+    return accessThrough(*l1d_, addr, true);
+}
+
+MemAccessResult
+MemHierarchy::fetchInstr(Addr addr)
+{
+    return accessThrough(*l1i_, addr, false);
+}
+
+void
+MemHierarchy::flush(Addr addr)
+{
+    l1i_->invalidate(addr);
+    l1d_->invalidate(addr);
+    l2_->invalidate(addr);
+    llc_->invalidate(addr);
+}
+
+void
+MemHierarchy::invalidateAll()
+{
+    l1i_->invalidateAll();
+    l1d_->invalidateAll();
+    l2_->invalidateAll();
+    llc_->invalidateAll();
+}
+
+} // namespace csd

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The three-level cache hierarchy plus DRAM.
+ *
+ * Layout matches the paper's Sandy Bridge baseline (Table I): split
+ * 32 KB L1I/L1D, unified 256 KB L2, 8 MB LLC, with DRAM behind. The
+ * hierarchy is inclusive; clflush removes a block from every level
+ * (which is what FLUSH+RELOAD relies on). A configurable extra L2 tag
+ * latency models the lightweight hardware DIFT the paper charges
+ * 4 cycles for (§VI-A).
+ */
+
+#ifndef CSD_MEMORY_HIERARCHY_HH
+#define CSD_MEMORY_HIERARCHY_HH
+
+#include <memory>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "memory/cache.hh"
+
+namespace csd
+{
+
+/** Hierarchy configuration. */
+struct MemHierarchyParams
+{
+    CacheParams l1i{"l1i", 32 * 1024, 8, 3};
+    CacheParams l1d{"l1d", 32 * 1024, 8, 4};
+    CacheParams l2{"l2", 256 * 1024, 8, 12};
+    CacheParams llc{"llc", 8 * 1024 * 1024, 16, 30};
+    Cycles dramLatency = 200;
+
+    /** Extra cycles added to every L2 access (hardware DIFT tag check). */
+    Cycles extraL2Latency = 0;
+};
+
+/** Result of one hierarchy access. */
+struct MemAccessResult
+{
+    Cycles latency = 0;
+    /** 1 = L1, 2 = L2, 3 = LLC, 4 = DRAM. */
+    unsigned levelHit = 0;
+
+    bool l1Hit() const { return levelHit == 1; }
+};
+
+/** A blocking, inclusive, three-level cache hierarchy. */
+class MemHierarchy
+{
+  public:
+    explicit MemHierarchy(const MemHierarchyParams &params = {});
+
+    /** Demand data read at @p addr. */
+    MemAccessResult readData(Addr addr);
+
+    /** Demand data write at @p addr (write-allocate). */
+    MemAccessResult writeData(Addr addr);
+
+    /** Instruction fetch at @p addr. */
+    MemAccessResult fetchInstr(Addr addr);
+
+    /** clflush: remove the block from every level. */
+    void flush(Addr addr);
+
+    /** Drop all cached state (e.g. between benchmark repetitions). */
+    void invalidateAll();
+
+    Cache &l1i() { return *l1i_; }
+    Cache &l1d() { return *l1d_; }
+    Cache &l2() { return *l2_; }
+    Cache &llc() { return *llc_; }
+
+    const MemHierarchyParams &params() const { return params_; }
+
+    /** Set the DIFT tag-check penalty on L2 accesses. */
+    void setExtraL2Latency(Cycles extra) { params_.extraL2Latency = extra; }
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    MemAccessResult accessThrough(Cache &l1, Addr addr, bool is_write);
+
+    MemHierarchyParams params_;
+    std::unique_ptr<Cache> l1i_;
+    std::unique_ptr<Cache> l1d_;
+    std::unique_ptr<Cache> l2_;
+    std::unique_ptr<Cache> llc_;
+
+    StatGroup stats_;
+    Counter dramAccesses_;
+};
+
+} // namespace csd
+
+#endif // CSD_MEMORY_HIERARCHY_HH

@@ -1,0 +1,91 @@
+#include "sec/aes_attack.hh"
+
+#include "common/random.hh"
+#include "sec/attacker.hh"
+
+namespace csd
+{
+
+AesAttackResult
+runAesAttack(Victim &victim, const AesWorkload &workload,
+             const std::array<std::uint8_t, 16> &key,
+             const AesAttackConfig &config)
+{
+    AesAttackResult result;
+    result.recoveredHighNibble.fill(-1);
+    Random rng(config.seed);
+
+    for (unsigned byte = 0; byte < 16; ++byte) {
+        const unsigned table = byte % 4;
+        const Addr monitored = workload.tTableRange.start +
+                               table * 1024 +
+                               config.monitoredLine * cacheBlockSize;
+
+        FlushReloadAttacker fr(victim.mem(), {monitored}, false);
+        PrimeProbeAttacker pp(victim.mem(), {monitored}, false);
+
+        for (unsigned guess = 0; guess < 16; ++guess) {
+            unsigned touched = 0;
+            unsigned samples = 0;
+            for (unsigned sample = 0;
+                 sample < config.maxSamplesPerCandidate; ++sample) {
+                AesReference::Block pt{};
+                for (auto &b : pt)
+                    b = static_cast<std::uint8_t>(rng.next32());
+                pt[byte] = static_cast<std::uint8_t>(
+                    (guess << 4) | (rng.next32() & 0xf));
+                workload.setInput(victim.sim().state().mem, pt);
+
+                if (config.flushReload)
+                    fr.flush();
+                else
+                    pp.prime();
+
+                victim.invoke();
+                ++result.encryptions;
+                ++samples;
+
+                bool saw_victim;
+                if (config.flushReload) {
+                    saw_victim = fr.reload()[0].hit;
+                } else {
+                    // A probe miss means the victim displaced us.
+                    saw_victim = !pp.probe()[0].hit;
+                }
+                if (saw_victim)
+                    ++touched;
+                else
+                    break;  // eliminated: cannot be the key nibble
+            }
+            result.touchRate[byte][guess] =
+                static_cast<double>(touched) / samples;
+        }
+
+        // The correct guess is the unique one touched on every sample.
+        int best = -1;
+        unsigned full_rate_count = 0;
+        for (unsigned guess = 0; guess < 16; ++guess) {
+            if (result.touchRate[byte][guess] >= 1.0) {
+                ++full_rate_count;
+                best = static_cast<int>(guess);
+            }
+        }
+        if (full_rate_count == 1) {
+            // index = pt ^ key touches `monitoredLine` iff
+            // guess == high(key) ^ monitoredLine.
+            result.recoveredHighNibble[byte] =
+                best ^ static_cast<int>(config.monitoredLine);
+        }
+    }
+
+    for (unsigned byte = 0; byte < 16; ++byte) {
+        if (result.recoveredHighNibble[byte] >= 0 &&
+            result.recoveredHighNibble[byte] == (key[byte] >> 4)) {
+            ++result.nibblesCorrect;
+        }
+    }
+    result.keyBitsRecovered = 4 * result.nibblesCorrect;
+    return result;
+}
+
+} // namespace csd

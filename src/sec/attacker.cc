@@ -1,0 +1,114 @@
+#include "sec/attacker.hh"
+
+#include "common/logging.hh"
+
+namespace csd
+{
+
+FlushReloadAttacker::FlushReloadAttacker(MemHierarchy &mem,
+                                         std::vector<Addr> targets,
+                                         bool instr_side)
+    : mem_(mem), targets_(std::move(targets)), instrSide_(instr_side)
+{
+    // A reload that at worst hits the LLC is "fast"; DRAM is "slow".
+    threshold_ = mem_.params().l1d.hitLatency +
+                 mem_.params().l2.hitLatency +
+                 mem_.params().llc.hitLatency +
+                 mem_.params().extraL2Latency;
+    for (Addr &addr : targets_)
+        addr = blockAlign(addr);
+}
+
+void
+FlushReloadAttacker::flush()
+{
+    for (Addr addr : targets_)
+        mem_.flush(addr);
+}
+
+std::vector<ProbeResult>
+FlushReloadAttacker::reload()
+{
+    std::vector<ProbeResult> results;
+    results.reserve(targets_.size());
+    for (Addr addr : targets_) {
+        const MemAccessResult access =
+            instrSide_ ? mem_.fetchInstr(addr) : mem_.readData(addr);
+        ProbeResult result;
+        result.addr = addr;
+        result.latency = access.latency;
+        result.hit = access.latency <= threshold_;
+        results.push_back(result);
+    }
+    return results;
+}
+
+PrimeProbeAttacker::PrimeProbeAttacker(MemHierarchy &mem,
+                                       std::vector<Addr> victim_lines,
+                                       bool instr_side, Addr attacker_base)
+    : mem_(mem), victimLines_(std::move(victim_lines)),
+      instrSide_(instr_side)
+{
+    Cache &l1 = instrSide_ ? mem_.l1i() : mem_.l1d();
+    l1HitLatency_ = l1.hitLatency();
+    const Addr set_stride =
+        static_cast<Addr>(l1.numSets()) * cacheBlockSize;
+
+    evictionSets_.reserve(victimLines_.size());
+    for (Addr line : victimLines_) {
+        const unsigned set = l1.setIndex(line);
+        std::vector<Addr> eviction_set;
+        eviction_set.reserve(l1.assoc());
+        for (unsigned way = 0; way < l1.assoc(); ++way) {
+            eviction_set.push_back(attacker_base +
+                                   static_cast<Addr>(set) *
+                                       cacheBlockSize +
+                                   way * set_stride);
+        }
+        evictionSets_.push_back(std::move(eviction_set));
+    }
+}
+
+MemAccessResult
+PrimeProbeAttacker::access(Addr addr)
+{
+    return instrSide_ ? mem_.fetchInstr(addr) : mem_.readData(addr);
+}
+
+void
+PrimeProbeAttacker::prime()
+{
+    for (const auto &eviction_set : evictionSets_)
+        for (Addr addr : eviction_set)
+            access(addr);
+    // Second pass guarantees full residency even with LRU interference
+    // between the attacker's own lines.
+    for (const auto &eviction_set : evictionSets_)
+        for (Addr addr : eviction_set)
+            access(addr);
+}
+
+std::vector<ProbeResult>
+PrimeProbeAttacker::probe()
+{
+    std::vector<ProbeResult> results;
+    results.reserve(evictionSets_.size());
+    for (std::size_t idx = 0; idx < evictionSets_.size(); ++idx) {
+        ProbeResult result;
+        result.addr = victimLines_[idx];
+        bool all_hit = true;
+        Cycles total = 0;
+        for (Addr addr : evictionSets_[idx]) {
+            const MemAccessResult acc = access(addr);
+            total += acc.latency;
+            if (acc.latency > l1HitLatency_)
+                all_hit = false;
+        }
+        result.latency = total;
+        result.hit = all_hit;
+        results.push_back(result);
+    }
+    return results;
+}
+
+} // namespace csd

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Cache side-channel attacker primitives (paper §IV, §VI-B).
+ *
+ * The attacker co-resides with the victim and shares the cache
+ * hierarchy. It can flush or evict any line and make precise timing
+ * measurements (the paper grants it precise counters), but never sees
+ * cache contents. Both classic probes are provided:
+ *
+ *  - FLUSH+RELOAD: clflush shared lines, later reload and time them —
+ *    a fast reload means the victim brought the line back.
+ *  - PRIME+PROBE: fill a cache set with attacker lines, later re-access
+ *    them and time — a slow probe means the victim evicted one.
+ */
+
+#ifndef CSD_SEC_ATTACKER_HH
+#define CSD_SEC_ATTACKER_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "memory/hierarchy.hh"
+
+namespace csd
+{
+
+/** One timed probe observation. */
+struct ProbeResult
+{
+    Addr addr = 0;
+    Cycles latency = 0;
+    bool hit = false;  //!< classified against the attacker's threshold
+};
+
+/** FLUSH+RELOAD attacker over a set of shared lines. */
+class FlushReloadAttacker
+{
+  public:
+    /**
+     * @param mem        the shared hierarchy
+     * @param targets    line addresses to monitor (shared pages)
+     * @param instr_side probe through the I-cache path (code lines)
+     */
+    FlushReloadAttacker(MemHierarchy &mem, std::vector<Addr> targets,
+                        bool instr_side);
+
+    /** clflush every monitored line from the whole hierarchy. */
+    void flush();
+
+    /** Reload each line, classifying hit/miss by access time. */
+    std::vector<ProbeResult> reload();
+
+    /** Reload latencies at or below this count as hits. */
+    Cycles hitThreshold() const { return threshold_; }
+
+    const std::vector<Addr> &targets() const { return targets_; }
+
+  private:
+    MemHierarchy &mem_;
+    std::vector<Addr> targets_;
+    bool instrSide_;
+    Cycles threshold_;
+};
+
+/** PRIME+PROBE attacker over the sets of chosen victim lines. */
+class PrimeProbeAttacker
+{
+  public:
+    /**
+     * @param mem          the shared hierarchy
+     * @param victim_lines victim line addresses whose L1 sets to watch
+     * @param instr_side   attack the L1I instead of the L1D
+     * @param attacker_base start of the attacker's own address region
+     */
+    PrimeProbeAttacker(MemHierarchy &mem, std::vector<Addr> victim_lines,
+                       bool instr_side, Addr attacker_base = 0x20000000);
+
+    /** Fill every watched set with attacker lines. */
+    void prime();
+
+    /**
+     * Re-access the eviction sets; one result per watched victim line.
+     * `hit == false` means at least one attacker way missed, i.e. the
+     * victim touched the set since prime().
+     */
+    std::vector<ProbeResult> probe();
+
+    /** Eviction-set addresses for watched line @p idx (for tests). */
+    const std::vector<Addr> &evictionSet(std::size_t idx) const
+    {
+        return evictionSets_[idx];
+    }
+
+  private:
+    MemAccessResult access(Addr addr);
+
+    MemHierarchy &mem_;
+    std::vector<Addr> victimLines_;
+    bool instrSide_;
+    std::vector<std::vector<Addr>> evictionSets_;
+    Cycles l1HitLatency_;
+};
+
+} // namespace csd
+
+#endif // CSD_SEC_ATTACKER_HH

@@ -1,0 +1,85 @@
+#include "sec/rsa_attack.hh"
+
+#include "sec/attacker.hh"
+
+namespace csd
+{
+
+RsaAttackResult
+runRsaAttack(Victim &victim, const RsaWorkload &workload,
+             const RsaAttackConfig &config)
+{
+    RsaAttackResult result;
+    const Addr square_line = blockAlign(workload.squareRange.start);
+    const Addr multiply_line = blockAlign(workload.multiplyRange.start);
+
+    FlushReloadAttacker fr(victim.mem(), {square_line, multiply_line},
+                           true);
+    PrimeProbeAttacker pp(victim.mem(), {square_line, multiply_line},
+                          true);
+
+    victim.sim().restart();
+
+    bool running = true;
+    std::uint64_t slices = 0;
+    while (running && slices < config.maxSlices) {
+        if (config.flushReload)
+            fr.flush();
+        else
+            pp.prime();
+
+        running = victim.invokeSlice(config.sliceInstructions);
+        ++slices;
+
+        bool square_hot, multiply_hot;
+        if (config.flushReload) {
+            const auto probes = fr.reload();
+            square_hot = probes[0].hit;
+            multiply_hot = probes[1].hit;
+        } else {
+            const auto probes = pp.probe();
+            square_hot = !probes[0].hit;
+            multiply_hot = !probes[1].hit;
+        }
+        result.timeline.emplace_back(square_hot, multiply_hot);
+    }
+
+    // Parse: an episode starts when a line goes hot after being cold.
+    // Each square episode is one bit; the bit is 1 iff a multiply
+    // episode occurs before the next square episode.
+    enum class Event { Square, Multiply };
+    std::vector<Event> events;
+    bool prev_square = false, prev_multiply = false;
+    for (const auto &[sq, mul] : result.timeline) {
+        if (sq && !prev_square)
+            events.push_back(Event::Square);
+        if (mul && !prev_multiply)
+            events.push_back(Event::Multiply);
+        prev_square = sq;
+        prev_multiply = mul;
+    }
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        if (events[i] != Event::Square)
+            continue;
+        const bool followed_by_multiply =
+            i + 1 < events.size() && events[i + 1] == Event::Multiply;
+        result.recoveredBits.push_back(followed_by_multiply);
+    }
+
+    // Score against ground truth (msb first).
+    result.totalBits = workload.expBits;
+    for (unsigned i = 0; i < workload.expBits; ++i) {
+        const bool truth =
+            (workload.exponent >> (workload.expBits - 1 - i)) & 1;
+        if (i < result.recoveredBits.size() &&
+            result.recoveredBits[i] == truth) {
+            ++result.bitsCorrect;
+        }
+    }
+    result.accuracy = result.totalBits == 0
+        ? 0.0
+        : static_cast<double>(result.bitsCorrect) / result.totalBits;
+    return result;
+}
+
+} // namespace csd

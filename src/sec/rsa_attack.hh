@@ -1,0 +1,58 @@
+/**
+ * @file
+ * FLUSH+RELOAD / PRIME+PROBE attack on square-and-multiply RSA
+ * (paper §VII-A, Fig. 7b).
+ *
+ * The attacker monitors the first I-cache lines of the victim's
+ * `square` and `multiply` functions at a fixed probe interval while
+ * one modular exponentiation runs. Each square episode corresponds to
+ * one exponent bit; a multiply episode before the next square means
+ * that bit was 1. Per-slice hot/cold traces (the raw Fig. 7b series)
+ * are returned alongside the parsed exponent.
+ */
+
+#ifndef CSD_SEC_RSA_ATTACK_HH
+#define CSD_SEC_RSA_ATTACK_HH
+
+#include <vector>
+
+#include "sec/victim.hh"
+#include "workloads/rsa.hh"
+
+namespace csd
+{
+
+/** Attack configuration. */
+struct RsaAttackConfig
+{
+    /** Victim instructions executed per probe interval. */
+    std::uint64_t sliceInstructions = 400;
+
+    /** true: FLUSH+RELOAD, false: PRIME+PROBE on the L1I. */
+    bool flushReload = true;
+
+    /** Safety bound on the number of slices. */
+    std::uint64_t maxSlices = 2000000;
+};
+
+/** Attack outcome. */
+struct RsaAttackResult
+{
+    /** Per-slice (square hot, multiply hot) observations. */
+    std::vector<std::pair<bool, bool>> timeline;
+
+    /** Parsed exponent bits, most significant first. */
+    std::vector<bool> recoveredBits;
+
+    unsigned bitsCorrect = 0;   //!< positional matches vs ground truth
+    unsigned totalBits = 0;     //!< ground-truth exponent width
+    double accuracy = 0.0;
+};
+
+/** Run one full-exponentiation attack. */
+RsaAttackResult runRsaAttack(Victim &victim, const RsaWorkload &workload,
+                             const RsaAttackConfig &config = {});
+
+} // namespace csd
+
+#endif // CSD_SEC_RSA_ATTACK_HH

@@ -1,0 +1,91 @@
+#include "sec/spy.hh"
+
+#include <algorithm>
+
+namespace csd
+{
+
+SpyWorkload
+SpyWorkload::buildFlushReload(Addr target, unsigned probes,
+                              unsigned delay_iters)
+{
+    SpyWorkload spy;
+    spy.probes = probes;
+    spy.target = blockAlign(target);
+
+    // The spy lives in its own address region, far from any victim.
+    ProgramBuilder b(0x10400000, 0x10600000);
+    const Addr results = b.reserveData("spy_results", 4 * probes, 64);
+
+    auto probe_loop = b.newLabel();
+    auto delay_loop = b.newLabel();
+
+    b.beginSymbol("spy_main");
+    b.markEntry();
+    b.movri(Gpr::R13, 0);  // probe index
+
+    b.bind(probe_loop);
+    // FLUSH the monitored line out of the shared hierarchy.
+    b.clflush(memAbs(spy.target, MemSize::B8));
+
+    // Wait out the probe interval (the victim runs in other quanta).
+    if (delay_iters > 0) {
+        b.movri(Gpr::R8, delay_iters);
+        b.bind(delay_loop);
+        b.subi(Gpr::R8, 1);
+        b.jcc(Cond::Ne, delay_loop);
+    }
+
+    // RELOAD and time it.
+    b.rdtsc();                       // rax = t0
+    b.movrr(Gpr::R9, Gpr::Rax);
+    b.load(Gpr::Rsi, memAbs(spy.target, MemSize::B8));
+    b.rdtsc();                       // rax = t1
+    b.sub(Gpr::Rax, Gpr::R9);
+    b.store(memTable(results, Gpr::R13, 4, MemSize::B4), Gpr::Rax);
+
+    b.addi(Gpr::R13, 1);
+    b.cmpi(Gpr::R13, probes);
+    b.jcc(Cond::Lt, probe_loop);
+    b.halt();
+    b.endSymbol("spy_main");
+
+    spy.program = b.build();
+    spy.resultsAddr = results;
+    return spy;
+}
+
+std::vector<std::uint32_t>
+SpyWorkload::latencies(const SparseMemory &mem) const
+{
+    std::vector<std::uint32_t> values(probes);
+    for (unsigned i = 0; i < probes; ++i)
+        values[i] =
+            static_cast<std::uint32_t>(mem.read(resultsAddr + 4 * i, 4));
+    return values;
+}
+
+std::uint32_t
+SpyWorkload::calibrateThreshold(const SparseMemory &mem) const
+{
+    const auto values = latencies(mem);
+    if (values.empty())
+        return 0;
+    const auto [lo_it, hi_it] =
+        std::minmax_element(values.begin(), values.end());
+    if (*hi_it == *lo_it)
+        return *lo_it + 1;
+    return *lo_it + (*hi_it - *lo_it) / 2;
+}
+
+std::vector<bool>
+SpyWorkload::hits(const SparseMemory &mem, std::uint32_t threshold) const
+{
+    const auto values = latencies(mem);
+    std::vector<bool> result(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i)
+        result[i] = values[i] <= threshold;
+    return result;
+}
+
+} // namespace csd

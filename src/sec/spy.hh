@@ -1,0 +1,61 @@
+/**
+ * @file
+ * A FLUSH+RELOAD spy written in the simulated ISA itself.
+ *
+ * The attack harnesses in aes_attack/rsa_attack manipulate the cache
+ * model directly; this generator instead builds a *program* that runs
+ * as a co-located hardware context (see sim/duo.hh), flushing a shared
+ * line with `clflush`, timing its reload with `rdtsc`, and logging the
+ * measured latencies to memory — the paper's actual attacker
+ * deployment model (§IV-A). `rdtsc` is modeled with rdtscp/lfence
+ * serialization, as real timing spies enforce.
+ */
+
+#ifndef CSD_SEC_SPY_HH
+#define CSD_SEC_SPY_HH
+
+#include <vector>
+
+#include "cpu/arch_state.hh"
+#include "isa/program.hh"
+
+namespace csd
+{
+
+/** A generated spy program and its result buffer. */
+struct SpyWorkload
+{
+    Program program;
+    Addr resultsAddr = 0;
+    unsigned probes = 0;
+    Addr target = 0;
+
+    /**
+     * Build a FLUSH+RELOAD spy.
+     *
+     * @param target      shared line to monitor
+     * @param probes      number of flush/wait/reload rounds
+     * @param delay_iters busy-wait iterations per probe interval
+     */
+    static SpyWorkload buildFlushReload(Addr target, unsigned probes,
+                                        unsigned delay_iters = 64);
+
+    /** Measured reload latencies, one per probe. */
+    std::vector<std::uint32_t> latencies(const SparseMemory &mem) const;
+
+    /**
+     * Classify the latencies into hits (reload beat the threshold).
+     * The spy picks its threshold the way real ones do: between the
+     * observed fast and slow clusters.
+     */
+    std::vector<bool> hits(const SparseMemory &mem,
+                           std::uint32_t threshold) const;
+
+    /** A threshold between the two latency clusters (midpoint of the
+     *  observed min and max); falls back to min+1 if unimodal. */
+    std::uint32_t calibrateThreshold(const SparseMemory &mem) const;
+};
+
+} // namespace csd
+
+#endif // CSD_SEC_SPY_HH

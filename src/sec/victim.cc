@@ -1,0 +1,51 @@
+#include "sec/victim.hh"
+
+namespace csd
+{
+
+Victim::Victim(const Program &prog, const DefenseConfig &defense,
+               SimMode mode)
+    : defense_(defense)
+{
+    params_.mode = mode;
+    if (defense_.enabled)
+        params_.mem.extraL2Latency = defense_.diftL2Penalty;
+    sim_ = std::make_unique<Simulation>(prog, params_);
+
+    if (defense_.enabled) {
+        msrs_ = std::make_unique<MsrFile>();
+        taint_ = std::make_unique<TaintTracker>();
+        csd_ = std::make_unique<ContextSensitiveDecoder>(*msrs_,
+                                                         taint_.get());
+        for (const AddrRange &source : defense_.taintSources)
+            if (source.valid())
+                taint_->addTaintSource(source);
+        msrs_->setWatchdogPeriod(defense_.watchdogPeriod);
+        if (defense_.decoyDRange.valid())
+            msrs_->setDecoyDRange(0, defense_.decoyDRange);
+        if (defense_.decoyIRange.valid())
+            msrs_->setDecoyIRange(0, defense_.decoyIRange);
+        msrs_->setControl(ctrlStealthEnable | ctrlDiftTrigger);
+
+        sim_->setTaintTracker(taint_.get());
+        sim_->setCsd(csd_.get());
+    }
+}
+
+void
+Victim::invoke()
+{
+    sim_->restart();
+    sim_->runToHalt();
+}
+
+bool
+Victim::invokeSlice(std::uint64_t n)
+{
+    if (sim_->halted())
+        sim_->restart();
+    sim_->run(n);
+    return !sim_->halted();
+}
+
+} // namespace csd

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Victim environment bundle: a Simulation wired with (optionally) the
+ * full stealth-mode defense stack — MSR file, context-sensitive
+ * decoder, DIFT taint tracker, decoy address ranges, and watchdog.
+ */
+
+#ifndef CSD_SEC_VICTIM_HH
+#define CSD_SEC_VICTIM_HH
+
+#include <memory>
+
+#include "csd/csd.hh"
+#include "sim/simulation.hh"
+
+namespace csd
+{
+
+/** Defense configuration for a victim run. */
+struct DefenseConfig
+{
+    bool enabled = false;
+    AddrRange decoyDRange;      //!< sensitive data (e.g. T-tables)
+    AddrRange decoyIRange;      //!< sensitive code (e.g. multiply)
+    /** Key material / secret intermediates (DIFT sources). */
+    std::vector<AddrRange> taintSources;
+    Cycles watchdogPeriod = 1000;
+    Cycles diftL2Penalty = 4;   //!< hardware DIFT tag-access cost
+};
+
+/** A victim simulation, optionally defended by stealth mode. */
+class Victim
+{
+  public:
+    Victim(const Program &prog, const DefenseConfig &defense,
+           SimMode mode = SimMode::CacheOnly);
+
+    Simulation &sim() { return *sim_; }
+    MemHierarchy &mem() { return sim_->mem(); }
+
+    /** Run one complete invocation of the victim program. */
+    void invoke();
+
+    /** Run at most @p n instructions of the current invocation;
+     *  restarts the program first if it had halted. Returns true while
+     *  the invocation is still in progress. */
+    bool invokeSlice(std::uint64_t n);
+
+    bool defended() const { return defense_.enabled; }
+    ContextSensitiveDecoder *csd() { return csd_.get(); }
+
+  private:
+    DefenseConfig defense_;
+    SimParams params_;
+    std::unique_ptr<MsrFile> msrs_;
+    std::unique_ptr<TaintTracker> taint_;
+    std::unique_ptr<ContextSensitiveDecoder> csd_;
+    std::unique_ptr<Simulation> sim_;
+};
+
+} // namespace csd
+
+#endif // CSD_SEC_VICTIM_HH

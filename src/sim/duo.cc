@@ -1,0 +1,37 @@
+#include "sim/duo.hh"
+
+namespace csd
+{
+
+DuoSimulation::DuoSimulation(const Program &a, const Program &b,
+                             const SimParams &params)
+    : mem_(params.mem),
+      a_(std::make_unique<Simulation>(a, params, &mem_)),
+      b_(std::make_unique<Simulation>(b, params, &mem_))
+{
+}
+
+bool
+DuoSimulation::bothHalted() const
+{
+    return a_->halted() && b_->halted();
+}
+
+std::uint64_t
+DuoSimulation::run(std::uint64_t quantum, std::uint64_t max_total)
+{
+    std::uint64_t total = 0;
+    while (!bothHalted() && total < max_total) {
+        std::uint64_t progress = 0;
+        if (!a_->halted())
+            progress += a_->run(quantum);
+        if (!b_->halted())
+            progress += b_->run(quantum);
+        if (progress == 0)
+            break;  // both wedged on instruction limits
+        total += progress;
+    }
+    return total;
+}
+
+} // namespace csd

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Two co-located hardware contexts sharing one cache hierarchy.
+ *
+ * The paper's threat model (§IV-A) has a spy running side-by-side with
+ * the victim, observing it purely through shared micro-architectural
+ * state. DuoSimulation runs two programs — e.g. a victim cryptosystem
+ * and a mini-ISA spy using `clflush`/`rdtsc` — over one MemHierarchy,
+ * interleaving execution at a configurable quantum (SMT-style
+ * fine-grained sharing at small quanta, OS time-slicing at large ones).
+ */
+
+#ifndef CSD_SIM_DUO_HH
+#define CSD_SIM_DUO_HH
+
+#include "sim/simulation.hh"
+
+namespace csd
+{
+
+/** Two simulations over a shared memory hierarchy. */
+class DuoSimulation
+{
+  public:
+    /**
+     * @param a first program (by convention, the victim)
+     * @param b second program (by convention, the spy)
+     */
+    DuoSimulation(const Program &a, const Program &b,
+                  const SimParams &params = {});
+
+    Simulation &first() { return *a_; }
+    Simulation &second() { return *b_; }
+    MemHierarchy &mem() { return mem_; }
+
+    /**
+     * Interleave execution: alternately run each context for
+     * @p quantum instructions until both halt or @p max_total
+     * instructions have executed across both. A halted context simply
+     * yields its quanta. Returns total instructions executed.
+     */
+    std::uint64_t run(std::uint64_t quantum, std::uint64_t max_total);
+
+    bool bothHalted() const;
+
+  private:
+    MemHierarchy mem_;
+    std::unique_ptr<Simulation> a_;
+    std::unique_ptr<Simulation> b_;
+};
+
+} // namespace csd
+
+#endif // CSD_SIM_DUO_HH

@@ -1,0 +1,326 @@
+#include "sim/simulation.hh"
+
+#include "common/logging.hh"
+#include "csd/csd.hh"
+#include "csd/devect.hh"
+
+namespace csd
+{
+
+Simulation::Simulation(const Program &prog, const SimParams &params)
+    : Simulation(prog, params, nullptr)
+{
+}
+
+Simulation::Simulation(const Program &prog, const SimParams &params,
+                       MemHierarchy *shared_mem)
+    : prog_(prog),
+      params_(params),
+      executor_(state_),
+      ownedMem_(shared_mem ? nullptr
+                           : std::make_unique<MemHierarchy>(params.mem)),
+      mem_(shared_mem ? shared_mem : ownedMem_.get()),
+      frontend_(std::make_unique<FrontEnd>(params.frontend, mem_)),
+      backend_(std::make_unique<BackEnd>(params.backend, mem_)),
+      bpred_(std::make_unique<BranchPredictor>(params.bpred)),
+      translator_(&nativeTranslator_),
+      energyModel_(params.energy),
+      stats_("sim")
+{
+    state_.loadProgram(prog);
+    idqRing_.assign(28, 0);
+
+    stats_.addCounter("instructions", &instructions_,
+                      "macro-ops committed");
+    stats_.addCounter("slots_delivered", &slotsDelivered_,
+                      "fused-domain slots sent to the back end");
+    stats_.addCounter("decoy_uops_executed", &decoyUopsExecuted_,
+                      "decoy uops that flowed through the pipeline");
+    stats_.addCounter("devect_uops_executed", &devectUopsExecuted_,
+                      "uops from devectorized flows");
+    stats_.addCounter("macro_fused_pairs", &macroFusedPairs_,
+                      "cmp/test+jcc pairs macro-fused");
+    stats_.addCounter("vpu_wake_stalls", &vpuStalls_,
+                      "cycles stalled on conventional demand wakes");
+    stats_.addChild(&frontend_->stats());
+    stats_.addChild(&backend_->stats());
+    stats_.addChild(&bpred_->stats());
+    stats_.addChild(&mem_->stats());
+}
+
+Simulation::~Simulation() = default;
+
+void
+Simulation::setTranslator(Translator *translator)
+{
+    translator_ = translator ? translator : &nativeTranslator_;
+}
+
+void
+Simulation::setCsd(ContextSensitiveDecoder *csd)
+{
+    csd_ = csd;
+    setTranslator(csd);
+}
+
+void
+Simulation::setTaintTracker(TaintTracker *taint)
+{
+    taint_ = taint;
+}
+
+void
+Simulation::setPowerController(PowerGateController *power)
+{
+    power_ = power;
+}
+
+std::uint64_t
+Simulation::uopsExecuted() const
+{
+    return backend_->uopsExecuted();
+}
+
+bool
+Simulation::step()
+{
+    if (state_.halted)
+        return false;
+    if (instructions_.value() >= params_.maxInstructions)
+        return false;
+
+    const MacroOp *op = prog_.at(state_.pc);
+    if (!op)
+        csd_fatal("Simulation: no instruction at pc 0x", std::hex,
+                  state_.pc);
+
+    // Power-gating decision (unit-criticality predictor input).
+    if (power_) {
+        const unsigned vec_uops =
+            devectorizable(op->opcode) ? 1u : 0u;
+        const auto directive = power_->onMacroOp(*op, cycles_, vec_uops);
+        if (csd_)
+            csd_->setDevectorize(directive.devectorize);
+        if (directive.stallCycles > 0) {
+            // Conventional PG: pipeline stalls for the demand wake.
+            cycles_ += directive.stallCycles;
+            vpuStalls_ += directive.stallCycles;
+            frontend_->redirect(cycles_);
+        }
+    }
+
+    // Decode (context-sensitive translation), with decode-time passes.
+    state_.cycleHint = cycles_;
+    translator_->tick(cycles_);
+    UopFlow flow = translator_->translate(*op);
+    applyFusionConfig(flow, params_.frontend);
+    applySpTracking(flow, params_.frontend);
+    const unsigned ctx = translator_->contextId();
+
+    // Functional execution with per-uop annotations.
+    const FlowResult result = executor_.execute(*op, flow);
+    curCtx_ = ctx;
+
+    // DIFT propagation (program order, as the hardware would).
+    if (taint_)
+        taint_->propagate(flow, result);
+
+    if (params_.mode == SimMode::Detailed)
+        stepDetailed(*op, flow, result);
+    else
+        stepCacheOnly(*op, flow, result);
+
+    ++instructions_;
+    havePrevMacro_ = true;
+    prevMacro_ = *op;
+    return !state_.halted;
+}
+
+void
+Simulation::stepDetailed(const MacroOp &op, const UopFlow &flow,
+                         const FlowResult &result)
+{
+    // Macro-fusion: an eligible jcc rides its predecessor's slot.
+    const bool macro_fused = params_.frontend.macroFusion &&
+                             havePrevMacro_ &&
+                             macroFusesWithPrev(prevMacro_, op) &&
+                             flow.uops.size() == 1 && !flow.loop;
+    if (macro_fused)
+        ++macroFusedPairs_;
+
+    frontend_->beginMacroOp(op, flow, curCtx_, result.tookBranch,
+                            result.nextPc);
+
+    Tick deliver = lastSlotCycle_;
+    Tick branch_complete = 0;
+
+    for (const DynUop &dyn : result.dynUops) {
+        const Uop &uop = *dyn.uop;
+        const bool takes_slot = !uop.eliminated && !uop.fusedFollower &&
+                                !(macro_fused && uop.isBranch());
+        if (takes_slot) {
+            deliver = frontend_->nextSlotCycle();
+            // IDQ backpressure: this slot's queue entry must have been
+            // freed by an older dispatch.
+            if (idqCount_ >= idqRing_.size())
+                deliver = std::max(deliver, idqRing_[idqIdx_]);
+            ++slotsDelivered_;
+            // Front-end dynamic energy by delivery source.
+            frontendDynamic_ +=
+                frontend_->source() == DeliverySource::Legacy ||
+                        frontend_->source() == DeliverySource::Msrom
+                    ? energyModel_.params().legacyDecodeEnergy
+                    : energyModel_.params().uopCacheStreamEnergy;
+        }
+        lastSlotCycle_ = deliver;
+
+        const auto timing = backend_->process(uop, dyn, deliver);
+
+        // rdtsc's architectural value is its execution timestamp.
+        if (uop.op == MicroOpcode::ReadCycles && uop.dst.valid())
+            state_.writeInt(uop.dst, timing.issue);
+
+        if (takes_slot) {
+            idqRing_[idqIdx_] = timing.dispatch;
+            idqIdx_ = (idqIdx_ + 1) % idqRing_.size();
+            if (idqCount_ < idqRing_.size())
+                ++idqCount_;
+        }
+
+        if (!uop.eliminated) {
+            const double energy = energyModel_.uopEnergy(uop);
+            if (onVpu(uop))
+                vpuDynamic_ += energy;
+            else
+                coreDynamic_ += energy;
+            if (uop.decoy)
+                ++decoyUopsExecuted_;
+            if (curCtx_ == ctxDevect)
+                ++devectUopsExecuted_;
+        }
+        if (uop.isBranch())
+            branch_complete = timing.complete;
+    }
+
+    // Control flow: predict, train, and redirect the front end.
+    if (isBranch(op.opcode)) {
+        const auto pred = bpred_->predict(op);
+        const bool correct = bpred_->update(op, pred, result.tookBranch,
+                                            result.nextPc);
+        if (!correct) {
+            frontend_->redirect(branch_complete +
+                                params_.backend.mispredictResteer);
+        } else if (result.tookBranch) {
+            frontend_->redirect(frontend_->cycle() +
+                                params_.backend.takenBranchBubble);
+        }
+    }
+
+    cycles_ = std::max(cycles_, backend_->lastCommit());
+}
+
+void
+Simulation::stepCacheOnly(const MacroOp &op, const UopFlow &flow,
+                          const FlowResult &result)
+{
+    // Instruction fetch: touch the I-cache once per block.
+    const Addr first = blockAlign(op.pc);
+    const Addr last = blockAlign(op.pc + op.length - 1);
+    Cycles latency = 0;
+    for (Addr block = first; block <= last; block += cacheBlockSize) {
+        if (block != lastFetchBlock_) {
+            latency += mem_->fetchInstr(block).latency;
+            lastFetchBlock_ = block;
+        }
+    }
+
+    for (const DynUop &dyn : result.dynUops) {
+        const Uop &uop = *dyn.uop;
+        if (uop.eliminated)
+            continue;
+        ++slotsDelivered_;
+        if (uop.decoy)
+            ++decoyUopsExecuted_;
+        if (uop.isLoad()) {
+            latency += (uop.instrFetch ? mem_->fetchInstr(dyn.effAddr)
+                                       : mem_->readData(dyn.effAddr))
+                           .latency;
+        } else if (uop.isStore()) {
+            mem_->writeData(dyn.effAddr);
+        } else if (uop.op == MicroOpcode::CacheFlush) {
+            mem_->flush(dyn.effAddr);
+            latency += 40;
+        }
+        const double energy = energyModel_.uopEnergy(uop);
+        if (onVpu(uop))
+            vpuDynamic_ += energy;
+        else
+            coreDynamic_ += energy;
+    }
+
+    // Pseudo-cycles: one per uop plus a fraction of memory latency
+    // (enough to drive the watchdog at a realistic rate).
+    cycles_ += deliveredUops(flow) + latency / 4;
+    (void)result;
+}
+
+std::uint64_t
+Simulation::run(std::uint64_t max_instructions)
+{
+    std::uint64_t executed = 0;
+    while (executed < max_instructions && step())
+        ++executed;
+    return executed;
+}
+
+void
+Simulation::runToHalt()
+{
+    while (step()) {
+    }
+}
+
+void
+Simulation::restart()
+{
+    state_.pc = prog_.entry();
+    state_.halted = false;
+    havePrevMacro_ = false;
+}
+
+EnergyBreakdown
+Simulation::energy() const
+{
+    const EnergyParams &ep = energyModel_.params();
+    EnergyBreakdown breakdown;
+    breakdown.coreDynamic = coreDynamic_;
+    breakdown.vpuDynamic = vpuDynamic_;
+    breakdown.frontendDynamic = frontendDynamic_;
+    breakdown.coreStatic = ep.coreLeakage * static_cast<double>(cycles_);
+
+    if (power_) {
+        // finalize() must have been called by the harness.
+        const double on = static_cast<double>(power_->onCycles());
+        const double waking = static_cast<double>(power_->wakingCycles());
+        const double gated = static_cast<double>(power_->gatedCycles());
+        breakdown.vpuStatic = ep.vpuLeakage * (on + waking);
+        breakdown.headerStatic = ep.headerLeakage * gated;
+        breakdown.gatingOverhead =
+            energyModel_.gatingOverhead() *
+            static_cast<double>(power_->gateEvents());
+    } else {
+        breakdown.vpuStatic =
+            ep.vpuLeakage * static_cast<double>(cycles_);
+    }
+    return breakdown;
+}
+
+double
+Simulation::ipc() const
+{
+    return cycles_ == 0
+        ? 0.0
+        : static_cast<double>(instructions_.value()) / cycles_;
+}
+
+} // namespace csd

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The top-level simulator: program-order driver connecting the
+ * translator (native or context-sensitive), the functional executor,
+ * the decode front end, the out-of-order back end, the cache
+ * hierarchy, DIFT, and the power-gating controller.
+ *
+ * Two fidelity levels share all functional and cache state:
+ *  - detailed: full front-end + back-end cycle accounting (performance
+ *    experiments, Figs. 8-16)
+ *  - cache-only: functional execution with cache residency/timing only
+ *    (security experiments, Fig. 7 — attack success depends on cache
+ *    state, not pipeline cycles)
+ */
+
+#ifndef CSD_SIM_SIMULATION_HH
+#define CSD_SIM_SIMULATION_HH
+
+#include <memory>
+
+#include "common/stats.hh"
+#include "cpu/arch_state.hh"
+#include "cpu/backend.hh"
+#include "cpu/branch_pred.hh"
+#include "cpu/executor.hh"
+#include "decode/frontend.hh"
+#include "decode/translator.hh"
+#include "dift/taint.hh"
+#include "isa/program.hh"
+#include "memory/hierarchy.hh"
+#include "power/energy.hh"
+#include "power/gating.hh"
+
+namespace csd
+{
+
+class ContextSensitiveDecoder;
+
+/** Simulation fidelity. */
+enum class SimMode : std::uint8_t
+{
+    Detailed,   //!< front end + OoO back end cycle model
+    CacheOnly,  //!< functional + cache residency (fast)
+};
+
+/** Simulator configuration. */
+struct SimParams
+{
+    SimMode mode = SimMode::Detailed;
+    FrontEndParams frontend;
+    MemHierarchyParams mem;
+    BackEndParams backend;
+    BranchPredParams bpred;
+    EnergyParams energy;
+    std::uint64_t maxInstructions = 1ull << 40;
+};
+
+/** The simulator. */
+class Simulation
+{
+  public:
+    Simulation(const Program &prog, const SimParams &params = {});
+
+    /**
+     * Co-located construction: share @p shared_mem with other
+     * simulations (hardware contexts on one core / socket). The caller
+     * keeps ownership of the hierarchy.
+     */
+    Simulation(const Program &prog, const SimParams &params,
+               MemHierarchy *shared_mem);
+
+    ~Simulation();
+
+    // --- wiring (before run) ---------------------------------------------
+
+    /** Use a custom translator (e.g. the CSD); default is native. */
+    void setTranslator(Translator *translator);
+
+    /** Convenience: install a CSD and keep the devectorization hook. */
+    void setCsd(ContextSensitiveDecoder *csd);
+
+    /** Enable DIFT propagation. */
+    void setTaintTracker(TaintTracker *taint);
+
+    /** Drive VPU power gating. */
+    void setPowerController(PowerGateController *power);
+
+    // --- execution ---------------------------------------------------------
+
+    /** Execute one macro-op. Returns false once halted. */
+    bool step();
+
+    /** Execute up to @p max_instructions; returns number executed. */
+    std::uint64_t run(std::uint64_t max_instructions);
+
+    /** Run until the program halts. */
+    void runToHalt();
+
+    /**
+     * Re-arm the program for another run (attack harnesses invoke the
+     * victim thousands of times): resets PC/halted, keeps all cache,
+     * memory, predictor, translator, and statistic state.
+     */
+    void restart();
+
+    bool halted() const { return state_.halted; }
+
+    // --- results -----------------------------------------------------------
+
+    Tick cycles() const { return cycles_; }
+    std::uint64_t instructions() const { return instructions_.value(); }
+    std::uint64_t uopsExecuted() const;
+    std::uint64_t slotsDelivered() const { return slotsDelivered_.value(); }
+    double ipc() const;
+
+    /** Energy consumed so far, with static terms up to cycles(). */
+    EnergyBreakdown energy() const;
+
+    ArchState &state() { return state_; }
+    MemHierarchy &mem() { return *mem_; }
+    FrontEnd &frontend() { return *frontend_; }
+    BackEnd &backend() { return *backend_; }
+    BranchPredictor &bpred() { return *bpred_; }
+    const Program &program() const { return prog_; }
+    const EnergyModel &energyModel() const { return energyModel_; }
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    void stepDetailed(const MacroOp &op, const UopFlow &flow,
+                      const FlowResult &result);
+    void stepCacheOnly(const MacroOp &op, const UopFlow &flow,
+                       const FlowResult &result);
+
+    const Program &prog_;
+    SimParams params_;
+
+    ArchState state_;
+    FunctionalExecutor executor_;
+    std::unique_ptr<MemHierarchy> ownedMem_;
+    MemHierarchy *mem_;
+    std::unique_ptr<FrontEnd> frontend_;
+    std::unique_ptr<BackEnd> backend_;
+    std::unique_ptr<BranchPredictor> bpred_;
+    NativeTranslator nativeTranslator_;
+    Translator *translator_;
+    ContextSensitiveDecoder *csd_ = nullptr;
+    TaintTracker *taint_ = nullptr;
+    PowerGateController *power_ = nullptr;
+    EnergyModel energyModel_;
+
+    Tick cycles_ = 0;
+    Addr lastFetchBlock_ = invalidAddr;
+    unsigned curCtx_ = 0;
+
+    // Macro-fusion pairing state.
+    bool havePrevMacro_ = false;
+    MacroOp prevMacro_;
+    Tick lastSlotCycle_ = 0;
+
+    // IDQ backpressure ring (fused slots).
+    std::vector<Tick> idqRing_;
+    std::size_t idqIdx_ = 0;
+    std::uint64_t idqCount_ = 0;
+
+    // Dynamic energy accumulators (nJ).
+    double coreDynamic_ = 0;
+    double vpuDynamic_ = 0;
+    double frontendDynamic_ = 0;
+
+    StatGroup stats_;
+    Counter instructions_;
+    Counter slotsDelivered_;
+    Counter decoyUopsExecuted_;
+    Counter devectUopsExecuted_;
+    Counter macroFusedPairs_;
+    Counter vpuStalls_;
+};
+
+} // namespace csd
+
+#endif // CSD_SIM_SIMULATION_HH

@@ -1,0 +1,476 @@
+#include "uop/translate.hh"
+
+#include "common/logging.hh"
+
+namespace csd
+{
+
+namespace
+{
+
+/** Map a scalar ALU macro-opcode (any form) to its micro-opcode. */
+MicroOpcode
+aluMicroOp(MacroOpcode op)
+{
+    switch (op) {
+      case MacroOpcode::Add: case MacroOpcode::AddI: case MacroOpcode::AddM:
+        return MicroOpcode::Add;
+      case MacroOpcode::Adc: case MacroOpcode::AdcI:
+        return MicroOpcode::Adc;
+      case MacroOpcode::Sub: case MacroOpcode::SubI: case MacroOpcode::SubM:
+        return MicroOpcode::Sub;
+      case MacroOpcode::Sbb: case MacroOpcode::SbbI:
+        return MicroOpcode::Sbb;
+      case MacroOpcode::And: case MacroOpcode::AndI: case MacroOpcode::AndM:
+        return MicroOpcode::And;
+      case MacroOpcode::Or: case MacroOpcode::OrI: case MacroOpcode::OrM:
+        return MicroOpcode::Or;
+      case MacroOpcode::Xor: case MacroOpcode::XorI: case MacroOpcode::XorM:
+        return MicroOpcode::Xor;
+      case MacroOpcode::Shl: case MacroOpcode::ShlI:
+        return MicroOpcode::Shl;
+      case MacroOpcode::Shr: case MacroOpcode::ShrI:
+        return MicroOpcode::Shr;
+      case MacroOpcode::Sar: case MacroOpcode::SarI:
+        return MicroOpcode::Sar;
+      case MacroOpcode::Rol: case MacroOpcode::RolI:
+        return MicroOpcode::Rol;
+      case MacroOpcode::Ror: case MacroOpcode::RorI:
+        return MicroOpcode::Ror;
+      case MacroOpcode::Imul: case MacroOpcode::ImulM:
+        return MicroOpcode::Mul;
+      case MacroOpcode::Cmp: case MacroOpcode::CmpI: case MacroOpcode::CmpM:
+        return MicroOpcode::Cmp;
+      case MacroOpcode::Test: case MacroOpcode::TestI:
+        return MicroOpcode::Test;
+      case MacroOpcode::Not:
+        return MicroOpcode::Not;
+      case MacroOpcode::Neg:
+        return MicroOpcode::Neg;
+      default:
+        csd_panic("aluMicroOp: not an ALU macro-op");
+    }
+}
+
+/** Map a vector macro-opcode to (micro-opcode, lane width). */
+std::pair<MicroOpcode, std::uint8_t>
+vecMicroOp(MacroOpcode op)
+{
+    switch (op) {
+      case MacroOpcode::Paddb:  return {MicroOpcode::VAdd, 1};
+      case MacroOpcode::Paddw:  return {MicroOpcode::VAdd, 2};
+      case MacroOpcode::Paddd:  return {MicroOpcode::VAdd, 4};
+      case MacroOpcode::Paddq:  return {MicroOpcode::VAdd, 8};
+      case MacroOpcode::Psubb:  return {MicroOpcode::VSub, 1};
+      case MacroOpcode::Psubw:  return {MicroOpcode::VSub, 2};
+      case MacroOpcode::Psubd:  return {MicroOpcode::VSub, 4};
+      case MacroOpcode::Psubq:  return {MicroOpcode::VSub, 8};
+      case MacroOpcode::Pand:   return {MicroOpcode::VAnd, 8};
+      case MacroOpcode::Por:    return {MicroOpcode::VOr, 8};
+      case MacroOpcode::Pxor:   return {MicroOpcode::VXor, 8};
+      case MacroOpcode::Pmullw: return {MicroOpcode::VMulLo16, 2};
+      case MacroOpcode::PslldI: return {MicroOpcode::VShlI, 4};
+      case MacroOpcode::PsrldI: return {MicroOpcode::VShrI, 4};
+      case MacroOpcode::Addps:  return {MicroOpcode::FAddPs, 4};
+      case MacroOpcode::Mulps:  return {MicroOpcode::FMulPs, 4};
+      case MacroOpcode::Subps:  return {MicroOpcode::FSubPs, 4};
+      case MacroOpcode::Addpd:  return {MicroOpcode::FAddPd, 8};
+      case MacroOpcode::Mulpd:  return {MicroOpcode::FMulPd, 8};
+      case MacroOpcode::Subpd:  return {MicroOpcode::FSubPd, 8};
+      case MacroOpcode::Divps:  return {MicroOpcode::FDivPs, 4};
+      case MacroOpcode::Sqrtps: return {MicroOpcode::FSqrtPs, 4};
+      default:
+        csd_panic("vecMicroOp: not a vector ALU macro-op");
+    }
+}
+
+/** Seed common metadata from the parent macro-op. */
+Uop
+baseUop(const MacroOp &macro, MicroOpcode op)
+{
+    Uop uop;
+    uop.op = op;
+    uop.macroPc = macro.pc;
+    uop.width = macro.width;
+    return uop;
+}
+
+/** Fill a uop's agen fields from a macro memory operand. */
+void
+setAgen(Uop &uop, const MemOperand &mem)
+{
+    if (mem.hasBase())
+        uop.src1 = intReg(mem.base);
+    if (mem.hasIndex())
+        uop.src2 = intReg(mem.index);
+    uop.scale = mem.scale;
+    uop.disp = mem.disp;
+    uop.memSize = static_cast<std::uint8_t>(mem.size);
+}
+
+void
+finalizeIndices(UopFlow &flow)
+{
+    for (std::size_t i = 0; i < flow.uops.size(); ++i)
+        flow.uops[i].uopIdx = static_cast<std::uint8_t>(
+            i < 255 ? i : 255);
+}
+
+} // namespace
+
+UopFlow
+translateNative(const MacroOp &macro)
+{
+    UopFlow flow;
+    auto &uops = flow.uops;
+
+    switch (macro.opcode) {
+      case MacroOpcode::MovRR: {
+        Uop u = baseUop(macro, MicroOpcode::Mov);
+        u.dst = intReg(macro.dst);
+        u.src1 = intReg(macro.src1);
+        uops.push_back(u);
+        break;
+      }
+      case MacroOpcode::MovRI: {
+        Uop u = baseUop(macro, MicroOpcode::LoadImm);
+        u.dst = intReg(macro.dst);
+        u.imm = macro.imm;
+        uops.push_back(u);
+        break;
+      }
+      case MacroOpcode::Load: {
+        Uop u = baseUop(macro, MicroOpcode::Load);
+        u.dst = intReg(macro.dst);
+        setAgen(u, macro.mem);
+        uops.push_back(u);
+        break;
+      }
+      case MacroOpcode::Store: {
+        Uop u = baseUop(macro, MicroOpcode::Store);
+        setAgen(u, macro.mem);
+        u.src3 = intReg(macro.src1);
+        uops.push_back(u);
+        break;
+      }
+      case MacroOpcode::StoreImm: {
+        Uop u = baseUop(macro, MicroOpcode::StoreImm);
+        setAgen(u, macro.mem);
+        u.imm = macro.imm;
+        uops.push_back(u);
+        break;
+      }
+      case MacroOpcode::Lea: {
+        Uop u = baseUop(macro, MicroOpcode::Lea);
+        u.dst = intReg(macro.dst);
+        setAgen(u, macro.mem);
+        uops.push_back(u);
+        break;
+      }
+      case MacroOpcode::Push: {
+        Uop sub = baseUop(macro, MicroOpcode::Sub);
+        sub.dst = intReg(Gpr::Rsp);
+        sub.src1 = intReg(Gpr::Rsp);
+        sub.immData = true;
+        sub.imm = 8;
+        uops.push_back(sub);
+        Uop st = baseUop(macro, MicroOpcode::Store);
+        st.src1 = intReg(Gpr::Rsp);
+        st.src3 = intReg(macro.src1);
+        st.memSize = 8;
+        uops.push_back(st);
+        break;
+      }
+      case MacroOpcode::Pop: {
+        Uop ld = baseUop(macro, MicroOpcode::Load);
+        ld.dst = intReg(macro.dst);
+        ld.src1 = intReg(Gpr::Rsp);
+        ld.memSize = 8;
+        uops.push_back(ld);
+        Uop add = baseUop(macro, MicroOpcode::Add);
+        add.dst = intReg(Gpr::Rsp);
+        add.src1 = intReg(Gpr::Rsp);
+        add.immData = true;
+        add.imm = 8;
+        uops.push_back(add);
+        break;
+      }
+
+      // Register-register ALU
+      case MacroOpcode::Add: case MacroOpcode::Adc: case MacroOpcode::Sub:
+      case MacroOpcode::Sbb: case MacroOpcode::And: case MacroOpcode::Or:
+      case MacroOpcode::Xor: case MacroOpcode::Shl: case MacroOpcode::Shr:
+      case MacroOpcode::Sar: case MacroOpcode::Rol: case MacroOpcode::Ror:
+      case MacroOpcode::Imul: case MacroOpcode::Cmp:
+      case MacroOpcode::Test: {
+        Uop u = baseUop(macro, aluMicroOp(macro.opcode));
+        const bool compare_only = macro.opcode == MacroOpcode::Cmp ||
+                                  macro.opcode == MacroOpcode::Test;
+        if (!compare_only)
+            u.dst = intReg(macro.dst);
+        u.src1 = intReg(macro.dst);
+        u.src2 = intReg(macro.src1);
+        u.writesFlags = writesFlags(macro);
+        u.readsFlags = readsFlags(macro);
+        uops.push_back(u);
+        break;
+      }
+      case MacroOpcode::Not: case MacroOpcode::Neg: {
+        Uop u = baseUop(macro, aluMicroOp(macro.opcode));
+        u.dst = intReg(macro.dst);
+        u.src1 = intReg(macro.dst);
+        u.writesFlags = writesFlags(macro);
+        uops.push_back(u);
+        break;
+      }
+
+      // Register-immediate ALU
+      case MacroOpcode::AddI: case MacroOpcode::AdcI: case MacroOpcode::SubI:
+      case MacroOpcode::SbbI: case MacroOpcode::AndI: case MacroOpcode::OrI:
+      case MacroOpcode::XorI: case MacroOpcode::ShlI: case MacroOpcode::ShrI:
+      case MacroOpcode::SarI: case MacroOpcode::RolI: case MacroOpcode::RorI:
+      case MacroOpcode::CmpI: case MacroOpcode::TestI: {
+        Uop u = baseUop(macro, aluMicroOp(macro.opcode));
+        const bool compare_only = macro.opcode == MacroOpcode::CmpI ||
+                                  macro.opcode == MacroOpcode::TestI;
+        if (!compare_only)
+            u.dst = intReg(macro.dst);
+        u.src1 = intReg(macro.dst);
+        u.immData = true;
+        u.imm = macro.imm;
+        u.writesFlags = writesFlags(macro);
+        u.readsFlags = readsFlags(macro);
+        uops.push_back(u);
+        break;
+      }
+
+      // Load-op forms: ld t0, [mem]; op dst, dst, t0 — micro-fused pair.
+      case MacroOpcode::AddM: case MacroOpcode::SubM: case MacroOpcode::AndM:
+      case MacroOpcode::OrM: case MacroOpcode::XorM: case MacroOpcode::CmpM:
+      case MacroOpcode::ImulM: {
+        Uop ld = baseUop(macro, MicroOpcode::Load);
+        ld.dst = intTemp(0);
+        setAgen(ld, macro.mem);
+        ld.fusedLeader = true;
+        uops.push_back(ld);
+        Uop op = baseUop(macro, aluMicroOp(macro.opcode));
+        if (macro.opcode != MacroOpcode::CmpM)
+            op.dst = intReg(macro.dst);
+        op.src1 = intReg(macro.dst);
+        op.src2 = intTemp(0);
+        op.writesFlags = writesFlags(macro);
+        op.fusedFollower = true;
+        uops.push_back(op);
+        break;
+      }
+
+      case MacroOpcode::Jmp: {
+        Uop u = baseUop(macro, MicroOpcode::Br);
+        u.cond = Cond::Always;
+        u.target = macro.target;
+        uops.push_back(u);
+        break;
+      }
+      case MacroOpcode::Jcc: {
+        Uop u = baseUop(macro, MicroOpcode::Br);
+        u.cond = macro.cond;
+        u.target = macro.target;
+        u.readsFlags = true;
+        uops.push_back(u);
+        break;
+      }
+      case MacroOpcode::JmpInd: {
+        Uop u = baseUop(macro, MicroOpcode::BrInd);
+        u.src1 = intReg(macro.src1);
+        uops.push_back(u);
+        break;
+      }
+      case MacroOpcode::Call: {
+        Uop sub = baseUop(macro, MicroOpcode::Sub);
+        sub.dst = intReg(Gpr::Rsp);
+        sub.src1 = intReg(Gpr::Rsp);
+        sub.immData = true;
+        sub.imm = 8;
+        uops.push_back(sub);
+        Uop st = baseUop(macro, MicroOpcode::StoreImm);
+        st.src1 = intReg(Gpr::Rsp);
+        st.imm = static_cast<std::int64_t>(macro.nextPc());
+        st.memSize = 8;
+        uops.push_back(st);
+        Uop br = baseUop(macro, MicroOpcode::Br);
+        br.cond = Cond::Always;
+        br.target = macro.target;
+        uops.push_back(br);
+        break;
+      }
+      case MacroOpcode::Ret: {
+        Uop ld = baseUop(macro, MicroOpcode::Load);
+        ld.dst = intTemp(0);
+        ld.src1 = intReg(Gpr::Rsp);
+        ld.memSize = 8;
+        uops.push_back(ld);
+        Uop add = baseUop(macro, MicroOpcode::Add);
+        add.dst = intReg(Gpr::Rsp);
+        add.src1 = intReg(Gpr::Rsp);
+        add.immData = true;
+        add.imm = 8;
+        uops.push_back(add);
+        Uop br = baseUop(macro, MicroOpcode::BrInd);
+        br.src1 = intTemp(0);
+        uops.push_back(br);
+        break;
+      }
+
+      case MacroOpcode::MovdqaLoad: {
+        Uop u = baseUop(macro, MicroOpcode::LoadVec);
+        u.dst = vecReg(macro.xdst);
+        setAgen(u, macro.mem);
+        u.memSize = 16;
+        uops.push_back(u);
+        break;
+      }
+      case MacroOpcode::MovdqaStore: {
+        Uop u = baseUop(macro, MicroOpcode::StoreVec);
+        setAgen(u, macro.mem);
+        u.src3 = vecReg(macro.xsrc);
+        u.memSize = 16;
+        uops.push_back(u);
+        break;
+      }
+      case MacroOpcode::MovdqaRR: {
+        Uop u = baseUop(macro, MicroOpcode::VMov);
+        u.dst = vecReg(macro.xdst);
+        u.src1 = vecReg(macro.xsrc);
+        uops.push_back(u);
+        break;
+      }
+      case MacroOpcode::PslldI: case MacroOpcode::PsrldI: {
+        auto [mop, lane] = vecMicroOp(macro.opcode);
+        Uop u = baseUop(macro, mop);
+        u.dst = vecReg(macro.xdst);
+        u.src1 = vecReg(macro.xdst);
+        u.lane = lane;
+        u.immData = true;
+        u.imm = macro.imm;
+        uops.push_back(u);
+        break;
+      }
+      case MacroOpcode::Paddb: case MacroOpcode::Paddw:
+      case MacroOpcode::Paddd: case MacroOpcode::Paddq:
+      case MacroOpcode::Psubb: case MacroOpcode::Psubw:
+      case MacroOpcode::Psubd: case MacroOpcode::Psubq:
+      case MacroOpcode::Pand: case MacroOpcode::Por: case MacroOpcode::Pxor:
+      case MacroOpcode::Pmullw:
+      case MacroOpcode::Addps: case MacroOpcode::Mulps:
+      case MacroOpcode::Subps: case MacroOpcode::Addpd:
+      case MacroOpcode::Mulpd: case MacroOpcode::Subpd:
+      case MacroOpcode::Divps: case MacroOpcode::Sqrtps: {
+        auto [mop, lane] = vecMicroOp(macro.opcode);
+        Uop u = baseUop(macro, mop);
+        u.dst = vecReg(macro.xdst);
+        u.src1 = vecReg(macro.xdst);
+        u.src2 = vecReg(macro.xsrc);
+        u.lane = lane;
+        uops.push_back(u);
+        break;
+      }
+
+      case MacroOpcode::Nop: {
+        uops.push_back(baseUop(macro, MicroOpcode::Nop));
+        break;
+      }
+      case MacroOpcode::Clflush: {
+        Uop u = baseUop(macro, MicroOpcode::CacheFlush);
+        setAgen(u, macro.mem);
+        uops.push_back(u);
+        break;
+      }
+      case MacroOpcode::Rdtsc: {
+        Uop u = baseUop(macro, MicroOpcode::ReadCycles);
+        u.dst = intReg(Gpr::Rax);
+        uops.push_back(u);
+        break;
+      }
+      case MacroOpcode::Cpuid: {
+        // A long microsequenced flow standing in for CPUID's serializing
+        // busywork: clobber rax..rdx and burn front-end slots.
+        for (unsigned i = 0; i < 4; ++i) {
+            Uop u = baseUop(macro, MicroOpcode::LoadImm);
+            u.dst = intReg(static_cast<Gpr>(i));
+            u.imm = 0;
+            uops.push_back(u);
+        }
+        for (unsigned i = 0; i < 16; ++i)
+            uops.push_back(baseUop(macro, MicroOpcode::Nop));
+        flow.fromMsrom = true;
+        break;
+      }
+      case MacroOpcode::RepStosI: {
+        // t0 = base; loop: st [t0], 0 ; t0 += 64 (one store per block).
+        Uop limm = baseUop(macro, MicroOpcode::LoadImm);
+        limm.dst = intTemp(0);
+        limm.imm = macro.imm;
+        uops.push_back(limm);
+        Uop st = baseUop(macro, MicroOpcode::StoreImm);
+        st.src1 = intTemp(0);
+        st.imm = 0;
+        st.memSize = 8;
+        uops.push_back(st);
+        Uop add = baseUop(macro, MicroOpcode::Add);
+        add.dst = intTemp(0);
+        add.src1 = intTemp(0);
+        add.immData = true;
+        add.imm = cacheBlockSize;
+        uops.push_back(add);
+        MicroLoop loop;
+        loop.bodyStart = 1;
+        loop.bodyEnd = 3;
+        loop.tripCount = static_cast<std::uint32_t>(macro.imm2);
+        flow.loop = loop;
+        flow.fromMsrom = true;
+        break;
+      }
+      case MacroOpcode::Halt: {
+        uops.push_back(baseUop(macro, MicroOpcode::Halt));
+        break;
+      }
+
+      default:
+        csd_panic("translateNative: unhandled macro-opcode ",
+                  static_cast<int>(macro.opcode));
+    }
+
+    if (uops.size() > 4)
+        flow.fromMsrom = true;
+    finalizeIndices(flow);
+    return flow;
+}
+
+unsigned
+nativeUopCount(MacroOpcode op)
+{
+    switch (op) {
+      case MacroOpcode::Push:
+      case MacroOpcode::Pop:
+      case MacroOpcode::AddM: case MacroOpcode::SubM:
+      case MacroOpcode::AndM: case MacroOpcode::OrM: case MacroOpcode::XorM:
+      case MacroOpcode::CmpM: case MacroOpcode::ImulM:
+        return 2;
+      case MacroOpcode::Call:
+      case MacroOpcode::Ret:
+      case MacroOpcode::RepStosI:
+        return 3;
+      case MacroOpcode::Cpuid:
+        return 20;
+      default:
+        return 1;
+    }
+}
+
+bool
+nativelyMicrosequenced(MacroOpcode op)
+{
+    return op == MacroOpcode::Cpuid || op == MacroOpcode::RepStosI;
+}
+
+} // namespace csd

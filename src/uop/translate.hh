@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Static table-driven native translation: macro-op -> micro-op flow.
+ *
+ * This is the translation performed by the four native x86 decoders and
+ * the microcode ROM (paper §III-A). Context-sensitive custom decoders
+ * wrap or replace this translation (see csd/).
+ */
+
+#ifndef CSD_UOP_TRANSLATE_HH
+#define CSD_UOP_TRANSLATE_HH
+
+#include "isa/macroop.hh"
+#include "uop/flow.hh"
+
+namespace csd
+{
+
+/** Translate one macro-op with the native (static) translation tables. */
+UopFlow translateNative(const MacroOp &op);
+
+/**
+ * Number of uops the native translation produces (static slots, not
+ * loop-expanded). Used by the decode stage to steer instructions to the
+ * complex decoder or the MSROM.
+ */
+unsigned nativeUopCount(MacroOpcode op);
+
+/** True iff the native translation must be microsequenced (> 4 uops). */
+bool nativelyMicrosequenced(MacroOpcode op);
+
+} // namespace csd
+
+#endif // CSD_UOP_TRANSLATE_HH

@@ -1,0 +1,271 @@
+#include "uop/uop.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace csd
+{
+
+FuClass
+fuClass(const Uop &uop)
+{
+    switch (uop.op) {
+      case MicroOpcode::Add: case MicroOpcode::Adc:
+      case MicroOpcode::Sub: case MicroOpcode::Sbb:
+      case MicroOpcode::And: case MicroOpcode::Or: case MicroOpcode::Xor:
+      case MicroOpcode::Shl: case MicroOpcode::Shr: case MicroOpcode::Sar:
+      case MicroOpcode::Rol: case MicroOpcode::Ror:
+      case MicroOpcode::Not: case MicroOpcode::Neg:
+      case MicroOpcode::Mov: case MicroOpcode::LoadImm:
+      case MicroOpcode::Lea:
+      case MicroOpcode::Cmp: case MicroOpcode::Test:
+      case MicroOpcode::VExtract: case MicroOpcode::VInsert:
+        return FuClass::IntAlu;
+      case MicroOpcode::Mul:
+        return FuClass::IntMul;
+      case MicroOpcode::Load: case MicroOpcode::LoadVec:
+        return FuClass::MemLoad;
+      case MicroOpcode::Store: case MicroOpcode::StoreImm:
+      case MicroOpcode::StoreVec:
+        return FuClass::MemStore;
+      case MicroOpcode::Br: case MicroOpcode::BrInd:
+        return FuClass::Branch;
+      case MicroOpcode::VAdd: case MicroOpcode::VSub:
+      case MicroOpcode::VAnd: case MicroOpcode::VOr: case MicroOpcode::VXor:
+      case MicroOpcode::VShlI: case MicroOpcode::VShrI:
+      case MicroOpcode::VMov:
+      case MicroOpcode::FAddPs: case MicroOpcode::FSubPs:
+      case MicroOpcode::FAddPd: case MicroOpcode::FSubPd:
+        return FuClass::VecAlu;
+      case MicroOpcode::VMulLo16:
+      case MicroOpcode::FMulPs: case MicroOpcode::FMulPd:
+        return FuClass::VecMul;
+      case MicroOpcode::FDivPs: case MicroOpcode::FSqrtPs:
+        return FuClass::VecFpDiv;
+      case MicroOpcode::FAddS: case MicroOpcode::FSubS:
+      case MicroOpcode::FMulS: case MicroOpcode::FDivS:
+      case MicroOpcode::FSqrtS:
+      case MicroOpcode::FAddSd: case MicroOpcode::FSubSd:
+      case MicroOpcode::FMulSd:
+        return FuClass::FpScalar;
+      case MicroOpcode::CacheFlush:
+        return FuClass::MemStore;
+      case MicroOpcode::ReadCycles:
+        return FuClass::IntAlu;
+      case MicroOpcode::Nop: case MicroOpcode::Halt:
+        return FuClass::None;
+      default:
+        csd_panic("fuClass: unhandled micro-opcode ",
+                  static_cast<int>(uop.op));
+    }
+}
+
+Cycles
+fuLatency(const Uop &uop)
+{
+    switch (fuClass(uop)) {
+      case FuClass::IntAlu:
+        return uop.op == MicroOpcode::ReadCycles ? 12 : 1;
+      case FuClass::IntMul:   return 3;
+      case FuClass::Branch:   return 1;
+      case FuClass::MemLoad:  return 0;   // memory system supplies latency
+      case FuClass::MemStore: return 0;
+      case FuClass::VecAlu:   return 1;
+      case FuClass::VecMul:   return 5;
+      case FuClass::VecFpDiv:
+        return uop.op == MicroOpcode::FSqrtPs ? 18 : 14;
+      case FuClass::FpScalar:
+        switch (uop.op) {
+          case MicroOpcode::FMulS: case MicroOpcode::FMulSd: return 5;
+          case MicroOpcode::FDivS:  return 14;
+          case MicroOpcode::FSqrtS: return 18;
+          default: return 3;
+        }
+      case FuClass::None:     return 1;
+    }
+    return 1;
+}
+
+bool
+onVpu(const Uop &uop)
+{
+    switch (fuClass(uop)) {
+      case FuClass::VecAlu:
+      case FuClass::VecMul:
+      case FuClass::VecFpDiv:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+regName(const RegId &reg)
+{
+    switch (reg.cls) {
+      case RegClass::Int:
+        if (reg.idx < numGprs)
+            return gprName(static_cast<Gpr>(reg.idx));
+        return "t" + std::to_string(reg.idx - numGprs);
+      case RegClass::Vec:
+        if (reg.idx < numXmms)
+            return xmmName(static_cast<Xmm>(reg.idx));
+        return "vt" + std::to_string(reg.idx - numXmms);
+      case RegClass::Flags:
+        return "flags";
+      case RegClass::None:
+        return "-";
+    }
+    return "?";
+}
+
+namespace
+{
+
+const char *
+uopMnemonic(MicroOpcode op)
+{
+    switch (op) {
+      case MicroOpcode::Add:      return "add";
+      case MicroOpcode::Adc:      return "adc";
+      case MicroOpcode::Sub:      return "sub";
+      case MicroOpcode::Sbb:      return "sbb";
+      case MicroOpcode::And:      return "and";
+      case MicroOpcode::Or:       return "or";
+      case MicroOpcode::Xor:      return "xor";
+      case MicroOpcode::Shl:      return "shl";
+      case MicroOpcode::Shr:      return "shr";
+      case MicroOpcode::Sar:      return "sar";
+      case MicroOpcode::Rol:      return "rol";
+      case MicroOpcode::Ror:      return "ror";
+      case MicroOpcode::Mul:      return "mul";
+      case MicroOpcode::Not:      return "not";
+      case MicroOpcode::Neg:      return "neg";
+      case MicroOpcode::Mov:      return "mov";
+      case MicroOpcode::LoadImm:  return "limm";
+      case MicroOpcode::Lea:      return "lea";
+      case MicroOpcode::Cmp:      return "cmp";
+      case MicroOpcode::Test:     return "test";
+      case MicroOpcode::Load:     return "ld";
+      case MicroOpcode::Store:    return "st";
+      case MicroOpcode::StoreImm: return "sti";
+      case MicroOpcode::LoadVec:  return "vld";
+      case MicroOpcode::StoreVec: return "vst";
+      case MicroOpcode::Br:       return "br";
+      case MicroOpcode::BrInd:    return "brind";
+      case MicroOpcode::VAdd:     return "vadd";
+      case MicroOpcode::VSub:     return "vsub";
+      case MicroOpcode::VAnd:     return "vand";
+      case MicroOpcode::VOr:      return "vor";
+      case MicroOpcode::VXor:     return "vxor";
+      case MicroOpcode::VMulLo16: return "vmul16";
+      case MicroOpcode::VShlI:    return "vshl";
+      case MicroOpcode::VShrI:    return "vshr";
+      case MicroOpcode::VMov:     return "vmov";
+      case MicroOpcode::FAddPs:   return "faddps";
+      case MicroOpcode::FMulPs:   return "fmulps";
+      case MicroOpcode::FSubPs:   return "fsubps";
+      case MicroOpcode::FAddPd:   return "faddpd";
+      case MicroOpcode::FMulPd:   return "fmulpd";
+      case MicroOpcode::FSubPd:   return "fsubpd";
+      case MicroOpcode::FDivPs:   return "fdivps";
+      case MicroOpcode::FSqrtPs:  return "fsqrtps";
+      case MicroOpcode::VExtract: return "vext";
+      case MicroOpcode::VInsert:  return "vins";
+      case MicroOpcode::FAddS:    return "fadds";
+      case MicroOpcode::FSubS:    return "fsubs";
+      case MicroOpcode::FMulS:    return "fmuls";
+      case MicroOpcode::FDivS:    return "fdivs";
+      case MicroOpcode::FSqrtS:   return "fsqrts";
+      case MicroOpcode::FAddSd:   return "faddsd";
+      case MicroOpcode::FSubSd:   return "fsubsd";
+      case MicroOpcode::FMulSd:   return "fmulsd";
+      case MicroOpcode::CacheFlush: return "clflush";
+      case MicroOpcode::ReadCycles: return "rdtsc";
+      case MicroOpcode::Nop:      return "nop";
+      case MicroOpcode::Halt:     return "halt";
+      default:                    return "???";
+    }
+}
+
+std::string
+agenString(const Uop &uop)
+{
+    std::ostringstream os;
+    os << "[";
+    bool any = false;
+    if (uop.src1.valid()) {
+        os << regName(uop.src1);
+        any = true;
+    }
+    if (uop.src2.valid() && uop.isMem()) {
+        if (any)
+            os << "+";
+        os << regName(uop.src2);
+        if (uop.scale != 1)
+            os << "*" << static_cast<int>(uop.scale);
+        any = true;
+    }
+    if (uop.disp != 0 || !any) {
+        if (any && uop.disp >= 0)
+            os << "+";
+        os << "0x" << std::hex << uop.disp;
+    }
+    os << "]";
+    return os.str();
+}
+
+} // namespace
+
+std::string
+toString(const Uop &uop)
+{
+    std::ostringstream os;
+    if (uop.decoy)
+        os << "*";
+    if (uop.op == MicroOpcode::Br && uop.cond != Cond::Always) {
+        os << "br_" << condName(uop.cond) << " 0x" << std::hex
+           << uop.target;
+        return os.str();
+    }
+    os << uopMnemonic(uop.op);
+    switch (uop.op) {
+      case MicroOpcode::Load:
+      case MicroOpcode::LoadVec:
+        os << " " << regName(uop.dst) << ", " << agenString(uop);
+        break;
+      case MicroOpcode::Store:
+      case MicroOpcode::StoreVec:
+        os << " " << agenString(uop) << ", " << regName(uop.src3);
+        break;
+      case MicroOpcode::StoreImm:
+        os << " " << agenString(uop) << ", 0x" << std::hex << uop.imm;
+        break;
+      case MicroOpcode::Br:
+        os << " 0x" << std::hex << uop.target;
+        break;
+      case MicroOpcode::BrInd:
+        os << " " << regName(uop.src1);
+        break;
+      case MicroOpcode::LoadImm:
+        os << " " << regName(uop.dst) << ", 0x" << std::hex << uop.imm;
+        break;
+      case MicroOpcode::Nop:
+      case MicroOpcode::Halt:
+        break;
+      default:
+        if (uop.dst.valid())
+            os << " " << regName(uop.dst);
+        if (uop.src1.valid())
+            os << ", " << regName(uop.src1);
+        if (uop.immData)
+            os << ", 0x" << std::hex << uop.imm;
+        else if (uop.src2.valid())
+            os << ", " << regName(uop.src2);
+        break;
+    }
+    return os.str();
+}
+
+} // namespace csd

@@ -1,0 +1,503 @@
+#include "workloads/aes.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace csd
+{
+
+namespace
+{
+
+/** FIPS-197 S-box. */
+const std::uint8_t sbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67,
+    0x2b, 0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59,
+    0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7,
+    0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1,
+    0x71, 0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05,
+    0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83,
+    0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29,
+    0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b,
+    0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa,
+    0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c,
+    0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc,
+    0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+    0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19,
+    0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee,
+    0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4,
+    0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6,
+    0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70,
+    0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9,
+    0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e,
+    0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf, 0x8c, 0xa1,
+    0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0,
+    0x54, 0xbb, 0x16,
+};
+
+std::uint8_t invSbox[256];
+
+std::uint8_t
+xtime(std::uint8_t x)
+{
+    return static_cast<std::uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1b : 0));
+}
+
+std::uint8_t
+gmul(std::uint8_t a, std::uint8_t b)
+{
+    std::uint8_t result = 0;
+    while (b) {
+        if (b & 1)
+            result ^= a;
+        a = xtime(a);
+        b >>= 1;
+    }
+    return result;
+}
+
+struct Tables
+{
+    std::array<std::array<std::uint32_t, 256>, 4> te;
+    std::array<std::uint32_t, 256> te4;
+    std::array<std::array<std::uint32_t, 256>, 4> td;
+    std::array<std::uint32_t, 256> td4;
+
+    Tables()
+    {
+        for (unsigned i = 0; i < 256; ++i)
+            invSbox[sbox[i]] = static_cast<std::uint8_t>(i);
+        for (unsigned x = 0; x < 256; ++x) {
+            const std::uint8_t s = sbox[x];
+            const std::uint8_t s2 = xtime(s);
+            const std::uint8_t s3 = static_cast<std::uint8_t>(s ^ s2);
+            const std::uint32_t w =
+                (static_cast<std::uint32_t>(s2) << 24) |
+                (static_cast<std::uint32_t>(s) << 16) |
+                (static_cast<std::uint32_t>(s) << 8) | s3;
+            te[0][x] = w;
+            te[1][x] = rotr32(w, 8);
+            te[2][x] = rotr32(w, 16);
+            te[3][x] = rotr32(w, 24);
+            te4[x] = 0x01010101u * s;
+
+            const std::uint8_t is = invSbox[x];
+            const std::uint32_t dw =
+                (static_cast<std::uint32_t>(gmul(is, 0x0e)) << 24) |
+                (static_cast<std::uint32_t>(gmul(is, 0x09)) << 16) |
+                (static_cast<std::uint32_t>(gmul(is, 0x0d)) << 8) |
+                gmul(is, 0x0b);
+            td[0][x] = dw;
+            td[1][x] = rotr32(dw, 8);
+            td[2][x] = rotr32(dw, 16);
+            td[3][x] = rotr32(dw, 24);
+            td4[x] = 0x01010101u * is;
+        }
+    }
+};
+
+const Tables &
+tables()
+{
+    static const Tables instance;
+    return instance;
+}
+
+std::uint32_t
+getu32(const std::uint8_t *p)
+{
+    return (static_cast<std::uint32_t>(p[0]) << 24) |
+           (static_cast<std::uint32_t>(p[1]) << 16) |
+           (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+}
+
+void
+putu32(std::uint8_t *p, std::uint32_t w)
+{
+    p[0] = static_cast<std::uint8_t>(w >> 24);
+    p[1] = static_cast<std::uint8_t>(w >> 16);
+    p[2] = static_cast<std::uint8_t>(w >> 8);
+    p[3] = static_cast<std::uint8_t>(w);
+}
+
+const std::uint32_t rcon[10] = {
+    0x01000000, 0x02000000, 0x04000000, 0x08000000, 0x10000000,
+    0x20000000, 0x40000000, 0x80000000, 0x1b000000, 0x36000000,
+};
+
+std::uint32_t
+subWord(std::uint32_t w)
+{
+    return (static_cast<std::uint32_t>(sbox[(w >> 24) & 0xff]) << 24) |
+           (static_cast<std::uint32_t>(sbox[(w >> 16) & 0xff]) << 16) |
+           (static_cast<std::uint32_t>(sbox[(w >> 8) & 0xff]) << 8) |
+           sbox[w & 0xff];
+}
+
+} // namespace
+
+AesReference::RoundKeys
+AesReference::expandKey(const std::array<std::uint8_t, 16> &key)
+{
+    RoundKeys rk{};
+    for (unsigned i = 0; i < 4; ++i)
+        rk[i] = getu32(&key[4 * i]);
+    for (unsigned i = 4; i < 44; ++i) {
+        std::uint32_t temp = rk[i - 1];
+        if (i % 4 == 0)
+            temp = subWord(rotl32(temp, 8)) ^ rcon[i / 4 - 1];
+        rk[i] = rk[i - 4] ^ temp;
+    }
+    return rk;
+}
+
+AesReference::RoundKeys
+AesReference::invExpandKey(const std::array<std::uint8_t, 16> &key)
+{
+    const RoundKeys rk = expandKey(key);
+    const Tables &t = tables();
+    RoundKeys dk{};
+    // Reverse the round order.
+    for (unsigned round = 0; round <= 10; ++round)
+        for (unsigned i = 0; i < 4; ++i)
+            dk[4 * round + i] = rk[4 * (10 - round) + i];
+    // Apply InvMixColumns to rounds 1..9 (equivalent inverse cipher).
+    for (unsigned j = 4; j < 40; ++j) {
+        const std::uint32_t w = dk[j];
+        dk[j] = t.td[0][sbox[(w >> 24) & 0xff]] ^
+                t.td[1][sbox[(w >> 16) & 0xff]] ^
+                t.td[2][sbox[(w >> 8) & 0xff]] ^
+                t.td[3][sbox[w & 0xff]];
+    }
+    return dk;
+}
+
+AesReference::Block
+AesReference::encrypt(const RoundKeys &rk, const Block &in)
+{
+    const Tables &tab = tables();
+    std::uint32_t s0 = getu32(&in[0]) ^ rk[0];
+    std::uint32_t s1 = getu32(&in[4]) ^ rk[1];
+    std::uint32_t s2 = getu32(&in[8]) ^ rk[2];
+    std::uint32_t s3 = getu32(&in[12]) ^ rk[3];
+
+    for (unsigned round = 1; round <= 9; ++round) {
+        const std::uint32_t t0 = tab.te[0][s0 >> 24] ^
+                                 tab.te[1][(s1 >> 16) & 0xff] ^
+                                 tab.te[2][(s2 >> 8) & 0xff] ^
+                                 tab.te[3][s3 & 0xff] ^ rk[4 * round];
+        const std::uint32_t t1 = tab.te[0][s1 >> 24] ^
+                                 tab.te[1][(s2 >> 16) & 0xff] ^
+                                 tab.te[2][(s3 >> 8) & 0xff] ^
+                                 tab.te[3][s0 & 0xff] ^ rk[4 * round + 1];
+        const std::uint32_t t2 = tab.te[0][s2 >> 24] ^
+                                 tab.te[1][(s3 >> 16) & 0xff] ^
+                                 tab.te[2][(s0 >> 8) & 0xff] ^
+                                 tab.te[3][s1 & 0xff] ^ rk[4 * round + 2];
+        const std::uint32_t t3 = tab.te[0][s3 >> 24] ^
+                                 tab.te[1][(s0 >> 16) & 0xff] ^
+                                 tab.te[2][(s1 >> 8) & 0xff] ^
+                                 tab.te[3][s2 & 0xff] ^ rk[4 * round + 3];
+        s0 = t0;
+        s1 = t1;
+        s2 = t2;
+        s3 = t3;
+    }
+
+    auto last = [&tab](std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                       std::uint32_t d, std::uint32_t key) {
+        return (tab.te[2][a >> 24] & 0xff000000u) ^
+               (tab.te[3][(b >> 16) & 0xff] & 0x00ff0000u) ^
+               (tab.te[0][(c >> 8) & 0xff] & 0x0000ff00u) ^
+               (tab.te[1][d & 0xff] & 0x000000ffu) ^ key;
+    };
+    const std::uint32_t o0 = last(s0, s1, s2, s3, rk[40]);
+    const std::uint32_t o1 = last(s1, s2, s3, s0, rk[41]);
+    const std::uint32_t o2 = last(s2, s3, s0, s1, rk[42]);
+    const std::uint32_t o3 = last(s3, s0, s1, s2, rk[43]);
+
+    Block out{};
+    putu32(&out[0], o0);
+    putu32(&out[4], o1);
+    putu32(&out[8], o2);
+    putu32(&out[12], o3);
+    return out;
+}
+
+AesReference::Block
+AesReference::decrypt(const RoundKeys &dk, const Block &in)
+{
+    const Tables &tab = tables();
+    std::uint32_t s0 = getu32(&in[0]) ^ dk[0];
+    std::uint32_t s1 = getu32(&in[4]) ^ dk[1];
+    std::uint32_t s2 = getu32(&in[8]) ^ dk[2];
+    std::uint32_t s3 = getu32(&in[12]) ^ dk[3];
+
+    for (unsigned round = 1; round <= 9; ++round) {
+        const std::uint32_t t0 = tab.td[0][s0 >> 24] ^
+                                 tab.td[1][(s3 >> 16) & 0xff] ^
+                                 tab.td[2][(s2 >> 8) & 0xff] ^
+                                 tab.td[3][s1 & 0xff] ^ dk[4 * round];
+        const std::uint32_t t1 = tab.td[0][s1 >> 24] ^
+                                 tab.td[1][(s0 >> 16) & 0xff] ^
+                                 tab.td[2][(s3 >> 8) & 0xff] ^
+                                 tab.td[3][s2 & 0xff] ^ dk[4 * round + 1];
+        const std::uint32_t t2 = tab.td[0][s2 >> 24] ^
+                                 tab.td[1][(s1 >> 16) & 0xff] ^
+                                 tab.td[2][(s0 >> 8) & 0xff] ^
+                                 tab.td[3][s3 & 0xff] ^ dk[4 * round + 2];
+        const std::uint32_t t3 = tab.td[0][s3 >> 24] ^
+                                 tab.td[1][(s2 >> 16) & 0xff] ^
+                                 tab.td[2][(s1 >> 8) & 0xff] ^
+                                 tab.td[3][s0 & 0xff] ^ dk[4 * round + 3];
+        s0 = t0;
+        s1 = t1;
+        s2 = t2;
+        s3 = t3;
+    }
+
+    auto last = [&tab](std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                       std::uint32_t d, std::uint32_t key) {
+        return (tab.td4[a >> 24] & 0xff000000u) ^
+               (tab.td4[(b >> 16) & 0xff] & 0x00ff0000u) ^
+               (tab.td4[(c >> 8) & 0xff] & 0x0000ff00u) ^
+               (tab.td4[d & 0xff] & 0x000000ffu) ^ key;
+    };
+    const std::uint32_t o0 = last(s0, s3, s2, s1, dk[40]);
+    const std::uint32_t o1 = last(s1, s0, s3, s2, dk[41]);
+    const std::uint32_t o2 = last(s2, s1, s0, s3, dk[42]);
+    const std::uint32_t o3 = last(s3, s2, s1, s0, dk[43]);
+
+    Block out{};
+    putu32(&out[0], o0);
+    putu32(&out[4], o1);
+    putu32(&out[8], o2);
+    putu32(&out[12], o3);
+    return out;
+}
+
+const std::array<std::uint32_t, 256> &
+AesReference::te(unsigned idx)
+{
+    if (idx >= 4)
+        csd_panic("AesReference::te: bad table index");
+    return tables().te[idx];
+}
+
+const std::array<std::uint32_t, 256> &
+AesReference::te4()
+{
+    return tables().te4;
+}
+
+const std::array<std::uint32_t, 256> &
+AesReference::td(unsigned idx)
+{
+    if (idx >= 4)
+        csd_panic("AesReference::td: bad table index");
+    return tables().td[idx];
+}
+
+const std::array<std::uint32_t, 256> &
+AesReference::td4()
+{
+    return tables().td4;
+}
+
+namespace
+{
+
+/** Emitter state shared by the encrypt/decrypt generators. */
+struct AesEmitter
+{
+    ProgramBuilder &b;
+    std::array<Addr, 4> tableAddr;  //!< Te0..3 or Td0..3
+    Addr lastTable;                 //!< mask table for the last round
+    Addr rkAddr;
+    Addr ptAddr;
+
+    // s0..s3 in r8..r11, t0..t3 in r12..r15, index in rdi, scratch rsi.
+    static Gpr s(unsigned i) { return static_cast<Gpr>(8 + i); }
+    static Gpr t(unsigned i) { return static_cast<Gpr>(12 + i); }
+
+    /** rdi = (src >> shift) & 0xff */
+    void
+    extractByte(Gpr src, unsigned shift)
+    {
+        b.movrr(Gpr::Rdi, src);
+        if (shift)
+            b.shri(Gpr::Rdi, shift);
+        b.andi(Gpr::Rdi, 0xff);
+    }
+
+    void
+    loadState()
+    {
+        for (unsigned i = 0; i < 4; ++i) {
+            b.load(s(i), memAbs(ptAddr + 4 * i, MemSize::B4));
+            b.aluMem(MacroOpcode::XorM, s(i),
+                     memAbs(rkAddr + 4 * i, MemSize::B4), OpWidth::W32);
+        }
+    }
+
+    /** One main round; @p srcs gives the state-register index order of
+     *  the four table lookups for each output word. */
+    void
+    mainRound(unsigned round,
+              const std::array<std::array<unsigned, 4>, 4> &srcs)
+    {
+        for (unsigned i = 0; i < 4; ++i) {
+            for (unsigned k = 0; k < 4; ++k) {
+                extractByte(s(srcs[i][k]), 24 - 8 * k);
+                if (k == 0) {
+                    b.load(t(i), memTable(tableAddr[0], Gpr::Rdi, 4));
+                } else {
+                    b.aluMem(MacroOpcode::XorM, t(i),
+                             memTable(tableAddr[k], Gpr::Rdi, 4),
+                             OpWidth::W32);
+                }
+            }
+            b.aluMem(MacroOpcode::XorM, t(i),
+                     memAbs(rkAddr + (4 * round + i) * 4, MemSize::B4),
+                     OpWidth::W32);
+        }
+        for (unsigned i = 0; i < 4; ++i)
+            b.movrr(s(i), t(i));
+    }
+
+    /**
+     * Last round: masked lookups. @p tables_by_pos gives the table
+     * used at each byte position, @p srcs the state index order.
+     */
+    void
+    lastRound(const std::array<std::array<unsigned, 4>, 4> &srcs,
+              const std::array<Addr, 4> &tables_by_pos, Addr out_addr)
+    {
+        static const std::int64_t masks[4] = {
+            static_cast<std::int64_t>(0xff000000), 0x00ff0000, 0x0000ff00,
+            0x000000ff};
+        for (unsigned i = 0; i < 4; ++i) {
+            for (unsigned k = 0; k < 4; ++k) {
+                extractByte(s(srcs[i][k]), 24 - 8 * k);
+                if (k == 0) {
+                    b.load(t(i), memTable(tables_by_pos[0], Gpr::Rdi, 4));
+                    b.aluImm(MacroOpcode::AndI, t(i), masks[0],
+                             OpWidth::W32);
+                } else {
+                    b.load(Gpr::Rsi,
+                           memTable(tables_by_pos[k], Gpr::Rdi, 4));
+                    b.aluImm(MacroOpcode::AndI, Gpr::Rsi, masks[k],
+                             OpWidth::W32);
+                    b.alu(MacroOpcode::Xor, t(i), Gpr::Rsi, OpWidth::W32);
+                }
+            }
+            b.aluMem(MacroOpcode::XorM, t(i),
+                     memAbs(rkAddr + (40 + i) * 4, MemSize::B4),
+                     OpWidth::W32);
+        }
+        for (unsigned i = 0; i < 4; ++i)
+            b.store(memAbs(out_addr + 4 * i, MemSize::B4), t(i));
+    }
+};
+
+std::vector<std::uint32_t>
+toWords(const std::array<std::uint32_t, 256> &table)
+{
+    return std::vector<std::uint32_t>(table.begin(), table.end());
+}
+
+} // namespace
+
+AesWorkload
+AesWorkload::build(const std::array<std::uint8_t, 16> &key, bool decrypt)
+{
+    AesWorkload workload;
+    workload.decryptMode = decrypt;
+
+    ProgramBuilder b(0x400000, 0x600000);
+
+    // Data: the four T-tables are laid out contiguously (64 blocks).
+    std::array<Addr, 4> table_addr{};
+    for (unsigned i = 0; i < 4; ++i) {
+        const auto &table =
+            decrypt ? AesReference::td(i) : AesReference::te(i);
+        table_addr[i] = b.defineDataWords(
+            (decrypt ? "Td" : "Te") + std::to_string(i), toWords(table),
+            64);
+    }
+    Addr last_table = 0;
+    if (decrypt)
+        last_table =
+            b.defineDataWords("Td4", toWords(AesReference::td4()), 64);
+
+    const auto rk = decrypt ? AesReference::invExpandKey(key)
+                            : AesReference::expandKey(key);
+    const Addr rk_addr = b.defineDataWords(
+        "round_keys", std::vector<std::uint32_t>(rk.begin(), rk.end()),
+        64);
+    const Addr pt_addr = b.reserveData("input_block", 16, 64);
+    const Addr ct_addr = b.reserveData("output_block", 16, 64);
+
+    // Code.
+    b.beginSymbol("aes_main");
+    b.markEntry();
+    AesEmitter emit{b, table_addr, last_table, rk_addr, pt_addr};
+    emit.loadState();
+
+    // Shift-rows source orders.
+    const std::array<std::array<unsigned, 4>, 4> enc_srcs = {{
+        {{0, 1, 2, 3}}, {{1, 2, 3, 0}}, {{2, 3, 0, 1}}, {{3, 0, 1, 2}}}};
+    const std::array<std::array<unsigned, 4>, 4> dec_srcs = {{
+        {{0, 3, 2, 1}}, {{1, 0, 3, 2}}, {{2, 1, 0, 3}}, {{3, 2, 1, 0}}}};
+    const auto &srcs = decrypt ? dec_srcs : enc_srcs;
+
+    for (unsigned round = 1; round <= 9; ++round)
+        emit.mainRound(round, srcs);
+
+    if (decrypt) {
+        emit.lastRound(srcs,
+                       {last_table, last_table, last_table, last_table},
+                       ct_addr);
+    } else {
+        // Encryption's last round reuses Te2/Te3/Te0/Te1 byte positions.
+        emit.lastRound(srcs,
+                       {table_addr[2], table_addr[3], table_addr[0],
+                        table_addr[1]},
+                       ct_addr);
+    }
+    b.halt();
+    b.endSymbol("aes_main");
+
+    workload.program = b.build();
+    workload.ptAddr = pt_addr;
+    workload.ctAddr = ct_addr;
+    workload.tTableRange =
+        AddrRange(table_addr[0], table_addr[3] + 1024);
+    workload.keyRange = AddrRange(rk_addr, rk_addr + 44 * 4);
+    return workload;
+}
+
+void
+AesWorkload::setInput(SparseMemory &mem,
+                      const AesReference::Block &block) const
+{
+    // The program loads 32-bit little-endian words; pre-swap so each
+    // word equals the big-endian GETU32 of the reference code.
+    for (unsigned i = 0; i < 4; ++i)
+        mem.write(ptAddr + 4 * i, 4, getu32(&block[4 * i]));
+}
+
+AesReference::Block
+AesWorkload::output(const SparseMemory &mem) const
+{
+    AesReference::Block block{};
+    for (unsigned i = 0; i < 4; ++i) {
+        putu32(&block[4 * i], static_cast<std::uint32_t>(
+                                  mem.read(ctAddr + 4 * i, 4)));
+    }
+    return block;
+}
+
+} // namespace csd

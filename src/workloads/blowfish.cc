@@ -1,0 +1,209 @@
+#include "workloads/blowfish.hh"
+
+#include "common/random.hh"
+
+namespace csd
+{
+
+namespace
+{
+
+/** Deterministic stand-in for the pi-digit initialization constants. */
+BlowfishReference::Schedule
+initialSchedule()
+{
+    BlowfishReference::Schedule sched;
+    Random rng(0xb70f15a6u);
+    for (auto &p : sched.p)
+        p = rng.next32();
+    for (auto &box : sched.s)
+        for (auto &entry : box)
+            entry = rng.next32();
+    return sched;
+}
+
+std::uint32_t
+feistel(const BlowfishReference::Schedule &sched, std::uint32_t x)
+{
+    const std::uint32_t a = sched.s[0][(x >> 24) & 0xff];
+    const std::uint32_t b = sched.s[1][(x >> 16) & 0xff];
+    const std::uint32_t c = sched.s[2][(x >> 8) & 0xff];
+    const std::uint32_t d = sched.s[3][x & 0xff];
+    return ((a + b) ^ c) + d;
+}
+
+} // namespace
+
+std::pair<std::uint32_t, std::uint32_t>
+BlowfishReference::encrypt(const Schedule &sched, std::uint32_t left,
+                           std::uint32_t right)
+{
+    for (unsigned round = 0; round < 16; ++round) {
+        left ^= sched.p[round];
+        right ^= feistel(sched, left);
+        std::swap(left, right);
+    }
+    std::swap(left, right);
+    right ^= sched.p[16];
+    left ^= sched.p[17];
+    return {left, right};
+}
+
+std::pair<std::uint32_t, std::uint32_t>
+BlowfishReference::decrypt(const Schedule &sched, std::uint32_t left,
+                           std::uint32_t right)
+{
+    for (unsigned round = 17; round > 1; --round) {
+        left ^= sched.p[round];
+        right ^= feistel(sched, left);
+        std::swap(left, right);
+    }
+    std::swap(left, right);
+    right ^= sched.p[1];
+    left ^= sched.p[0];
+    return {left, right};
+}
+
+BlowfishReference::Schedule
+BlowfishReference::expandKey(const std::vector<std::uint8_t> &key)
+{
+    Schedule sched = initialSchedule();
+    if (key.empty() || key.size() > 56)
+        csd_fatal("BlowfishReference: key must be 1..56 bytes");
+
+    // XOR the key cyclically into the P-array.
+    std::size_t pos = 0;
+    for (auto &p : sched.p) {
+        std::uint32_t word = 0;
+        for (unsigned b = 0; b < 4; ++b) {
+            word = (word << 8) | key[pos];
+            pos = (pos + 1) % key.size();
+        }
+        p ^= word;
+    }
+
+    // Churn: repeatedly encrypt the running block into P then S.
+    std::uint32_t left = 0, right = 0;
+    for (unsigned i = 0; i < 18; i += 2) {
+        std::tie(left, right) = encrypt(sched, left, right);
+        sched.p[i] = left;
+        sched.p[i + 1] = right;
+    }
+    for (auto &box : sched.s) {
+        for (unsigned i = 0; i < 256; i += 2) {
+            std::tie(left, right) = encrypt(sched, left, right);
+            box[i] = left;
+            box[i + 1] = right;
+        }
+    }
+    return sched;
+}
+
+BlowfishWorkload
+BlowfishWorkload::build(const std::vector<std::uint8_t> &key, bool decrypt)
+{
+    BlowfishWorkload workload;
+    workload.decryptMode = decrypt;
+
+    const auto sched = BlowfishReference::expandKey(key);
+
+    ProgramBuilder b(0x400000, 0x600000);
+
+    std::array<Addr, 4> sbox_addr{};
+    for (unsigned i = 0; i < 4; ++i) {
+        sbox_addr[i] = b.defineDataWords(
+            "bf_S" + std::to_string(i),
+            std::vector<std::uint32_t>(sched.s[i].begin(),
+                                       sched.s[i].end()),
+            64);
+    }
+    const Addr p_addr = b.defineDataWords(
+        "bf_P",
+        std::vector<std::uint32_t>(sched.p.begin(), sched.p.end()), 64);
+    const Addr in_addr = b.reserveData("bf_in", 8, 64);
+    const Addr out_addr = b.reserveData("bf_out", 8, 64);
+
+    // Registers: L = r8, R = r9, F accumulator = rax, index = rdi,
+    // scratch = rsi.
+    b.beginSymbol("bf_main");
+    b.markEntry();
+    b.load(Gpr::R8, memAbs(in_addr, MemSize::B4));
+    b.load(Gpr::R9, memAbs(in_addr + 4, MemSize::B4));
+
+    // Track the compile-time swap: `left` alternates between r8/r9.
+    Gpr left = Gpr::R8;
+    Gpr right = Gpr::R9;
+
+    auto round = [&](unsigned p_index) {
+        b.aluMem(MacroOpcode::XorM, left,
+                 memAbs(p_addr + 4 * p_index, MemSize::B4), OpWidth::W32);
+        // F(left):
+        b.movrr(Gpr::Rdi, left);
+        b.shri(Gpr::Rdi, 24);
+        b.andi(Gpr::Rdi, 0xff);
+        b.load(Gpr::Rax, memTable(sbox_addr[0], Gpr::Rdi, 4));
+        b.movrr(Gpr::Rdi, left);
+        b.shri(Gpr::Rdi, 16);
+        b.andi(Gpr::Rdi, 0xff);
+        b.load(Gpr::Rsi, memTable(sbox_addr[1], Gpr::Rdi, 4));
+        b.alu(MacroOpcode::Add, Gpr::Rax, Gpr::Rsi, OpWidth::W32);
+        b.movrr(Gpr::Rdi, left);
+        b.shri(Gpr::Rdi, 8);
+        b.andi(Gpr::Rdi, 0xff);
+        b.load(Gpr::Rsi, memTable(sbox_addr[2], Gpr::Rdi, 4));
+        b.alu(MacroOpcode::Xor, Gpr::Rax, Gpr::Rsi, OpWidth::W32);
+        b.movrr(Gpr::Rdi, left);
+        b.andi(Gpr::Rdi, 0xff);
+        b.load(Gpr::Rsi, memTable(sbox_addr[3], Gpr::Rdi, 4));
+        b.alu(MacroOpcode::Add, Gpr::Rax, Gpr::Rsi, OpWidth::W32);
+        b.alu(MacroOpcode::Xor, right, Gpr::Rax, OpWidth::W32);
+        std::swap(left, right);
+    };
+
+    if (!decrypt) {
+        for (unsigned i = 0; i < 16; ++i)
+            round(i);
+        std::swap(left, right);  // undo the final swap
+        b.aluMem(MacroOpcode::XorM, right,
+                 memAbs(p_addr + 4 * 16, MemSize::B4), OpWidth::W32);
+        b.aluMem(MacroOpcode::XorM, left,
+                 memAbs(p_addr + 4 * 17, MemSize::B4), OpWidth::W32);
+    } else {
+        for (unsigned i = 17; i > 1; --i)
+            round(i);
+        std::swap(left, right);
+        b.aluMem(MacroOpcode::XorM, right,
+                 memAbs(p_addr + 4 * 1, MemSize::B4), OpWidth::W32);
+        b.aluMem(MacroOpcode::XorM, left,
+                 memAbs(p_addr + 4 * 0, MemSize::B4), OpWidth::W32);
+    }
+
+    b.store(memAbs(out_addr, MemSize::B4), left);
+    b.store(memAbs(out_addr + 4, MemSize::B4), right);
+    b.halt();
+    b.endSymbol("bf_main");
+
+    workload.program = b.build();
+    workload.inAddr = in_addr;
+    workload.outAddr = out_addr;
+    workload.sboxRange = AddrRange(sbox_addr[0], sbox_addr[3] + 1024);
+    workload.keyRange = AddrRange(p_addr, p_addr + 18 * 4);
+    return workload;
+}
+
+void
+BlowfishWorkload::setInput(SparseMemory &mem, std::uint32_t left,
+                           std::uint32_t right) const
+{
+    mem.write(inAddr, 4, left);
+    mem.write(inAddr + 4, 4, right);
+}
+
+std::pair<std::uint32_t, std::uint32_t>
+BlowfishWorkload::output(const SparseMemory &mem) const
+{
+    return {static_cast<std::uint32_t>(mem.read(outAddr, 4)),
+            static_cast<std::uint32_t>(mem.read(outAddr + 4, 4))};
+}
+
+} // namespace csd

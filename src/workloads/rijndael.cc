@@ -1,0 +1,157 @@
+#include "workloads/rijndael.hh"
+
+namespace csd
+{
+
+namespace
+{
+
+std::vector<std::uint32_t>
+toWords(const std::array<std::uint32_t, 256> &table)
+{
+    return std::vector<std::uint32_t>(table.begin(), table.end());
+}
+
+std::uint32_t
+getu32be(const std::uint8_t *p)
+{
+    return (static_cast<std::uint32_t>(p[0]) << 24) |
+           (static_cast<std::uint32_t>(p[1]) << 16) |
+           (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+}
+
+} // namespace
+
+RijndaelWorkload
+RijndaelWorkload::build(const std::array<std::uint8_t, 16> &key,
+                        bool decrypt)
+{
+    RijndaelWorkload workload;
+    workload.decryptMode = decrypt;
+
+    ProgramBuilder b(0x400000, 0x600000);
+
+    // A single main table plus the byte-substitution table.
+    const Addr t0_addr = b.defineDataWords(
+        decrypt ? "Td0" : "Te0",
+        toWords(decrypt ? AesReference::td(0) : AesReference::te(0)), 64);
+    const Addr t4_addr = b.defineDataWords(
+        decrypt ? "Td4" : "Te4",
+        toWords(decrypt ? AesReference::td4() : AesReference::te4()), 64);
+
+    const auto rk = decrypt ? AesReference::invExpandKey(key)
+                            : AesReference::expandKey(key);
+    const Addr rk_addr = b.defineDataWords(
+        "round_keys", std::vector<std::uint32_t>(rk.begin(), rk.end()),
+        64);
+    const Addr pt_addr = b.reserveData("input_block", 16, 64);
+    const Addr ct_addr = b.reserveData("output_block", 16, 64);
+
+    const auto s = [](unsigned i) { return static_cast<Gpr>(8 + i); };
+    const auto t = [](unsigned i) { return static_cast<Gpr>(12 + i); };
+
+    // rdi = (src >> shift) & 0xff
+    auto extract = [&](Gpr src, unsigned shift) {
+        b.movrr(Gpr::Rdi, src);
+        if (shift)
+            b.shri(Gpr::Rdi, shift);
+        b.andi(Gpr::Rdi, 0xff);
+    };
+
+    // rsi = rotr32(T0[rdi], rot)
+    auto lookup_rot = [&](unsigned rot) {
+        b.load(Gpr::Rsi, memTable(t0_addr, Gpr::Rdi, 4));
+        if (rot) {
+            b.movrr(Gpr::Rdx, Gpr::Rsi);
+            b.aluImm(MacroOpcode::ShrI, Gpr::Rsi, rot, OpWidth::W32);
+            b.aluImm(MacroOpcode::ShlI, Gpr::Rdx, 32 - rot, OpWidth::W32);
+            b.alu(MacroOpcode::Or, Gpr::Rsi, Gpr::Rdx, OpWidth::W32);
+        }
+    };
+
+    const std::array<std::array<unsigned, 4>, 4> enc_srcs = {{
+        {{0, 1, 2, 3}}, {{1, 2, 3, 0}}, {{2, 3, 0, 1}}, {{3, 0, 1, 2}}}};
+    const std::array<std::array<unsigned, 4>, 4> dec_srcs = {{
+        {{0, 3, 2, 1}}, {{1, 0, 3, 2}}, {{2, 1, 0, 3}}, {{3, 2, 1, 0}}}};
+    const auto &srcs = decrypt ? dec_srcs : enc_srcs;
+
+    b.beginSymbol("rijndael_main");
+    b.markEntry();
+    for (unsigned i = 0; i < 4; ++i) {
+        b.load(s(i), memAbs(pt_addr + 4 * i, MemSize::B4));
+        b.aluMem(MacroOpcode::XorM, s(i),
+                 memAbs(rk_addr + 4 * i, MemSize::B4), OpWidth::W32);
+    }
+
+    for (unsigned round = 1; round <= 9; ++round) {
+        for (unsigned i = 0; i < 4; ++i) {
+            for (unsigned k = 0; k < 4; ++k) {
+                extract(s(srcs[i][k]), 24 - 8 * k);
+                lookup_rot(8 * k);
+                if (k == 0)
+                    b.movrr(t(i), Gpr::Rsi);
+                else
+                    b.alu(MacroOpcode::Xor, t(i), Gpr::Rsi, OpWidth::W32);
+            }
+            b.aluMem(MacroOpcode::XorM, t(i),
+                     memAbs(rk_addr + (4 * round + i) * 4, MemSize::B4),
+                     OpWidth::W32);
+        }
+        for (unsigned i = 0; i < 4; ++i)
+            b.movrr(s(i), t(i));
+    }
+
+    // Last round through the substitution table with byte masks.
+    static const std::int64_t masks[4] = {
+        static_cast<std::int64_t>(0xff000000), 0x00ff0000, 0x0000ff00,
+        0x000000ff};
+    for (unsigned i = 0; i < 4; ++i) {
+        for (unsigned k = 0; k < 4; ++k) {
+            extract(s(srcs[i][k]), 24 - 8 * k);
+            b.load(Gpr::Rsi, memTable(t4_addr, Gpr::Rdi, 4));
+            b.aluImm(MacroOpcode::AndI, Gpr::Rsi, masks[k], OpWidth::W32);
+            if (k == 0)
+                b.movrr(t(i), Gpr::Rsi);
+            else
+                b.alu(MacroOpcode::Xor, t(i), Gpr::Rsi, OpWidth::W32);
+        }
+        b.aluMem(MacroOpcode::XorM, t(i),
+                 memAbs(rk_addr + (40 + i) * 4, MemSize::B4),
+                 OpWidth::W32);
+        b.store(memAbs(ct_addr + 4 * i, MemSize::B4), t(i));
+    }
+    b.halt();
+    b.endSymbol("rijndael_main");
+
+    workload.program = b.build();
+    workload.ptAddr = pt_addr;
+    workload.ctAddr = ct_addr;
+    workload.tTableRange = AddrRange(t0_addr, t4_addr + 1024);
+    workload.keyRange = AddrRange(rk_addr, rk_addr + 44 * 4);
+    return workload;
+}
+
+void
+RijndaelWorkload::setInput(SparseMemory &mem,
+                           const AesReference::Block &block) const
+{
+    for (unsigned i = 0; i < 4; ++i)
+        mem.write(ptAddr + 4 * i, 4, getu32be(&block[4 * i]));
+}
+
+AesReference::Block
+RijndaelWorkload::output(const SparseMemory &mem) const
+{
+    AesReference::Block block{};
+    for (unsigned i = 0; i < 4; ++i) {
+        const auto word =
+            static_cast<std::uint32_t>(mem.read(ctAddr + 4 * i, 4));
+        block[4 * i] = static_cast<std::uint8_t>(word >> 24);
+        block[4 * i + 1] = static_cast<std::uint8_t>(word >> 16);
+        block[4 * i + 2] = static_cast<std::uint8_t>(word >> 8);
+        block[4 * i + 3] = static_cast<std::uint8_t>(word);
+    }
+    return block;
+}
+
+} // namespace csd

@@ -1,0 +1,321 @@
+#include "workloads/rsa.hh"
+
+#include "common/logging.hh"
+
+namespace csd
+{
+
+// ---------------------------------------------------------------------
+// Reference implementation
+// ---------------------------------------------------------------------
+
+RsaReference::Num
+RsaReference::multiply(const Num &a, const Num &b)
+{
+    Num out(a.size() + b.size(), 0);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        std::uint64_t carry = 0;
+        for (std::size_t j = 0; j < b.size(); ++j) {
+            const std::uint64_t acc =
+                static_cast<std::uint64_t>(a[i]) * b[j] + out[i + j] +
+                carry;
+            out[i + j] = static_cast<std::uint32_t>(acc);
+            carry = acc >> 32;
+        }
+        out[i + b.size()] = static_cast<std::uint32_t>(carry);
+    }
+    return out;
+}
+
+int
+RsaReference::compare(const Num &a, const Num &b)
+{
+    const std::size_t size = std::max(a.size(), b.size());
+    for (std::size_t k = size; k-- > 0;) {
+        const std::uint32_t av = k < a.size() ? a[k] : 0;
+        const std::uint32_t bv = k < b.size() ? b[k] : 0;
+        if (av != bv)
+            return av < bv ? -1 : 1;
+    }
+    return 0;
+}
+
+RsaReference::Num
+RsaReference::reduce(Num x, const Num &n)
+{
+    const unsigned total_shift = static_cast<unsigned>(n.size()) * 32;
+    // sn = n << total_shift, then repeatedly compare-subtract-shift.
+    Num sn(x.size() + n.size() + 1, 0);
+    for (std::size_t k = 0; k < n.size(); ++k)
+        sn[k + n.size()] = n[k];
+    x.resize(sn.size(), 0);
+
+    for (unsigned s = 0; s <= total_shift; ++s) {
+        if (compare(x, sn) >= 0) {
+            std::int64_t borrow = 0;
+            for (std::size_t k = 0; k < x.size(); ++k) {
+                const std::int64_t diff =
+                    static_cast<std::int64_t>(x[k]) - sn[k] - borrow;
+                x[k] = static_cast<std::uint32_t>(diff);
+                borrow = diff < 0 ? 1 : 0;
+            }
+        }
+        // sn >>= 1
+        for (std::size_t k = 0; k + 1 < sn.size(); ++k)
+            sn[k] = (sn[k] >> 1) | (sn[k + 1] << 31);
+        sn.back() >>= 1;
+    }
+    x.resize(n.size());
+    return x;
+}
+
+RsaReference::Num
+RsaReference::modexp(const Num &base, const Num &modulus,
+                     std::uint64_t exponent, unsigned exp_bits)
+{
+    Num r(modulus.size(), 0);
+    r[0] = 1;
+    for (unsigned bit = exp_bits; bit-- > 0;) {
+        r = reduce(multiply(r, r), modulus);
+        if ((exponent >> bit) & 1)
+            r = reduce(multiply(r, base), modulus);
+    }
+    return r;
+}
+
+// ---------------------------------------------------------------------
+// Mini-ISA victim generator
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+void
+emitReduce(ProgramBuilder &b, unsigned w, Addr prod_addr, Addr sn_addr,
+           Addr n_addr)
+{
+    const unsigned l = 2 * w + 1;
+
+    // sn = n << 32w.
+    for (unsigned k = 0; k < w; ++k)
+        b.storeImm(memAbs(sn_addr + 4 * k, MemSize::B4), 0);
+    for (unsigned k = 0; k < w; ++k) {
+        b.load(Gpr::Rax, memAbs(n_addr + 4 * k, MemSize::B4));
+        b.store(memAbs(sn_addr + 4 * (w + k), MemSize::B4), Gpr::Rax);
+    }
+    b.storeImm(memAbs(sn_addr + 4 * 2 * w, MemSize::B4), 0);
+
+    auto outer = b.newLabel();
+    auto cmp_loop = b.newLabel();
+    auto geq = b.newLabel();
+    auto less = b.newLabel();
+    auto sub_loop = b.newLabel();
+    auto after_sub = b.newLabel();
+    auto shift_loop = b.newLabel();
+    auto shift_done = b.newLabel();
+
+    b.movri(Gpr::Rcx, 32 * w);  // outer counter (32w+1 iterations)
+    b.bind(outer);
+
+    // --- compare prod vs sn from the top limb --------------------------
+    b.movri(Gpr::R8, l - 1);
+    b.bind(cmp_loop);
+    b.load(Gpr::Rax, memTable(prod_addr, Gpr::R8, 4, MemSize::B4));
+    b.load(Gpr::Rdx, memTable(sn_addr, Gpr::R8, 4, MemSize::B4));
+    b.cmp(Gpr::Rax, Gpr::Rdx);
+    b.jcc(Cond::Ult, less);
+    b.jcc(Cond::Ugt, geq);
+    b.subi(Gpr::R8, 1);
+    b.jcc(Cond::Ge, cmp_loop);
+    // All limbs equal: prod == sn, treat as >=.
+
+    // --- subtract: prod -= sn (borrow in r9) ---------------------------
+    b.bind(geq);
+    b.movri(Gpr::R9, 0);
+    b.movri(Gpr::R8, 0);
+    b.bind(sub_loop);
+    b.load(Gpr::Rax, memTable(prod_addr, Gpr::R8, 4, MemSize::B4));
+    b.load(Gpr::Rdx, memTable(sn_addr, Gpr::R8, 4, MemSize::B4));
+    b.add(Gpr::Rdx, Gpr::R9);      // sn limb + borrow-in (64-bit safe)
+    b.sub(Gpr::Rax, Gpr::Rdx);     // 64-bit: negative iff borrow-out
+    b.store(memTable(prod_addr, Gpr::R8, 4, MemSize::B4), Gpr::Rax);
+    b.movrr(Gpr::R9, Gpr::Rax);
+    b.shri(Gpr::R9, 63);           // borrow-out = sign bit
+    b.addi(Gpr::R8, 1);
+    b.cmpi(Gpr::R8, l);
+    b.jcc(Cond::Lt, sub_loop);
+    b.jmp(after_sub);
+
+    b.bind(less);
+    b.bind(after_sub);
+
+    // --- sn >>= 1 -------------------------------------------------------
+    b.movri(Gpr::R8, 0);
+    b.bind(shift_loop);
+    b.load(Gpr::Rax, memTable(sn_addr, Gpr::R8, 4, MemSize::B4));
+    b.aluImm(MacroOpcode::ShrI, Gpr::Rax, 1, OpWidth::W32);
+    b.load(Gpr::Rdx, memTable(sn_addr + 4, Gpr::R8, 4, MemSize::B4));
+    b.aluImm(MacroOpcode::ShlI, Gpr::Rdx, 31, OpWidth::W32);
+    b.or_(Gpr::Rax, Gpr::Rdx);
+    b.store(memTable(sn_addr, Gpr::R8, 4, MemSize::B4), Gpr::Rax);
+    b.addi(Gpr::R8, 1);
+    b.cmpi(Gpr::R8, l - 1);
+    b.jcc(Cond::Lt, shift_loop);
+    // Top limb.
+    b.load(Gpr::Rax, memAbs(sn_addr + 4 * (l - 1), MemSize::B4));
+    b.aluImm(MacroOpcode::ShrI, Gpr::Rax, 1, OpWidth::W32);
+    b.store(memAbs(sn_addr + 4 * (l - 1), MemSize::B4), Gpr::Rax);
+    b.bind(shift_done);
+
+    // --- outer loop -------------------------------------------------------
+    b.subi(Gpr::Rcx, 1);
+    b.jcc(Cond::Ge, outer);
+}
+
+void
+emitBigMul(ProgramBuilder &b, unsigned w, unsigned l, Addr r_addr,
+           Addr src_addr, Addr prod_addr)
+{
+    for (unsigned k = 0; k < l; ++k)
+        b.storeImm(memAbs(prod_addr + 4 * k, MemSize::B4), 0);
+
+    for (unsigned i = 0; i < w; ++i) {
+        b.load(Gpr::R8, memAbs(r_addr + 4 * i, MemSize::B4));
+        b.movri(Gpr::Rdx, 0);  // running carry
+        for (unsigned j = 0; j < w; ++j) {
+            b.load(Gpr::R9, memAbs(src_addr + 4 * j, MemSize::B4));
+            b.movrr(Gpr::Rax, Gpr::R8);
+            b.imul(Gpr::Rax, Gpr::R9);
+            b.aluMem(MacroOpcode::AddM, Gpr::Rax,
+                     memAbs(prod_addr + 4 * (i + j), MemSize::B4));
+            b.add(Gpr::Rax, Gpr::Rdx);
+            b.store(memAbs(prod_addr + 4 * (i + j), MemSize::B4),
+                    Gpr::Rax);
+            b.movrr(Gpr::Rdx, Gpr::Rax);
+            b.shri(Gpr::Rdx, 32);
+        }
+        b.store(memAbs(prod_addr + 4 * (i + w), MemSize::B4), Gpr::Rdx);
+    }
+}
+
+void
+emitCopyResult(ProgramBuilder &b, unsigned w, Addr prod_addr, Addr r_addr)
+{
+    for (unsigned k = 0; k < w; ++k) {
+        b.load(Gpr::Rax, memAbs(prod_addr + 4 * k, MemSize::B4));
+        b.store(memAbs(r_addr + 4 * k, MemSize::B4), Gpr::Rax);
+    }
+}
+
+} // namespace
+
+RsaWorkload
+RsaWorkload::build(const RsaReference::Num &base,
+                   const RsaReference::Num &modulus,
+                   std::uint64_t exponent, unsigned exp_bits)
+{
+    if (base.size() != modulus.size())
+        csd_fatal("RsaWorkload: base and modulus must have equal limbs");
+    if (exp_bits == 0 || exp_bits > 64)
+        csd_fatal("RsaWorkload: exponent width must be 1..64 bits");
+    if (RsaReference::compare(base, modulus) >= 0)
+        csd_fatal("RsaWorkload: base must be < modulus");
+
+    RsaWorkload workload;
+    const unsigned w = static_cast<unsigned>(modulus.size());
+    const unsigned l = 2 * w + 1;
+    workload.limbs = w;
+    workload.expBits = exp_bits;
+    workload.exponent = exponent;
+
+    ProgramBuilder b(0x400000, 0x600000);
+
+    // Data.
+    const Addr n_addr = b.defineDataWords("rsa_n", modulus, 64);
+    const Addr base_addr = b.defineDataWords("rsa_base", base, 64);
+    const Addr r_addr = b.reserveData("rsa_r", 4 * w, 64);
+    const Addr prod_addr = b.reserveData("rsa_prod", 4 * l, 64);
+    const Addr sn_addr = b.reserveData("rsa_sn", 4 * l, 64);
+    std::vector<std::uint8_t> e_bytes(8);
+    for (unsigned i = 0; i < 8; ++i)
+        e_bytes[i] = static_cast<std::uint8_t>(exponent >> (8 * i));
+    const Addr e_addr = b.defineData("rsa_e", e_bytes, 64);
+
+    // --- main: square-and-multiply --------------------------------------
+    auto square_fn = b.newLabel();
+    auto multiply_fn = b.newLabel();
+    auto reduce_fn = b.newLabel();
+    auto bit_loop = b.newLabel();
+    auto skip_mul = b.newLabel();
+
+    b.beginSymbol("rsa_main");
+    b.markEntry();
+    // r = 1.
+    b.storeImm(memAbs(r_addr, MemSize::B4), 1);
+    for (unsigned k = 1; k < w; ++k)
+        b.storeImm(memAbs(r_addr + 4 * k, MemSize::B4), 0);
+    b.movri(Gpr::R13, exp_bits - 1);
+
+    b.bind(bit_loop);
+    b.call(square_fn);
+    // Key-dependent branch: test exponent bit r13.
+    b.load(Gpr::Rax, memAbs(e_addr, MemSize::B8));
+    b.alu(MacroOpcode::Shr, Gpr::Rax, Gpr::R13);
+    b.testi(Gpr::Rax, 1);
+    b.jcc(Cond::Eq, skip_mul);
+    b.call(multiply_fn);
+    b.bind(skip_mul);
+    b.subi(Gpr::R13, 1);
+    b.jcc(Cond::Ge, bit_loop);
+    b.halt();
+    b.endSymbol("rsa_main");
+
+    // --- square ------------------------------------------------------------
+    b.alignCode(cacheBlockSize);
+    b.beginSymbol("rsa_square");
+    b.bind(square_fn);
+    emitBigMul(b, w, l, r_addr, r_addr, prod_addr);
+    b.call(reduce_fn);
+    emitCopyResult(b, w, prod_addr, r_addr);
+    b.ret();
+    b.endSymbol("rsa_square");
+
+    // --- multiply (the FLUSH+RELOAD target) --------------------------------
+    b.alignCode(cacheBlockSize);
+    b.beginSymbol("rsa_multiply");
+    b.bind(multiply_fn);
+    emitBigMul(b, w, l, r_addr, base_addr, prod_addr);
+    b.call(reduce_fn);
+    emitCopyResult(b, w, prod_addr, r_addr);
+    b.ret();
+    b.endSymbol("rsa_multiply");
+
+    // --- reduce -------------------------------------------------------------
+    b.alignCode(cacheBlockSize);
+    b.beginSymbol("rsa_reduce");
+    b.bind(reduce_fn);
+    emitReduce(b, w, prod_addr, sn_addr, n_addr);
+    b.ret();
+    b.endSymbol("rsa_reduce");
+
+    workload.program = b.build();
+    workload.multiplyRange = workload.program.symbol("rsa_multiply");
+    workload.squareRange = workload.program.symbol("rsa_square");
+    workload.reduceRange = workload.program.symbol("rsa_reduce");
+    workload.exponentRange = AddrRange(e_addr, e_addr + 8);
+    workload.resultRange = AddrRange(r_addr, r_addr + 4 * w);
+    workload.resultAddr = r_addr;
+    return workload;
+}
+
+RsaReference::Num
+RsaWorkload::result(const SparseMemory &mem) const
+{
+    RsaReference::Num out(limbs, 0);
+    for (unsigned k = 0; k < limbs; ++k)
+        out[k] =
+            static_cast<std::uint32_t>(mem.read(resultAddr + 4 * k, 4));
+    return out;
+}
+
+} // namespace csd

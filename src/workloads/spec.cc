@@ -1,0 +1,201 @@
+#include "workloads/spec.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace csd
+{
+
+const std::vector<SpecPreset> &
+specPresets()
+{
+    // Tuned to the vector-activity shapes the paper reports per
+    // benchmark (Figs. 15/16): near-zero and isolated (astar, gcc,
+    // gobmk, sjeng), scattered light (omnetpp, bzip2), short frequent
+    // bursts (bwaves, milc), long heavy phases with gaps (namd, lbm),
+    // and balanced mixes (gamess, calculix, zeusmp).
+    static const std::vector<SpecPreset> presets = {
+        {"astar",    0.02, 40,   60000, 0.20, 256, 0.30, 0.10},
+        {"bzip2",    0.05, 60,   30000, 0.20, 512, 0.30, 0.08},
+        {"bwaves",   0.60, 300,  700,   0.45, 512, 0.25, 0.04},
+        {"calculix", 0.40, 1500, 2000,  0.40, 256, 0.25, 0.05},
+        {"gamess",   0.50, 2000, 2500,  0.35, 128, 0.20, 0.06},
+        {"gcc",      0.02, 30,   50000, 0.20, 512, 0.35, 0.12},
+        {"gobmk",    0.03, 40,   45000, 0.20, 256, 0.25, 0.12},
+        {"lbm",      0.70, 5000, 500,   0.50, 1024, 0.30, 0.02},
+        {"milc",     0.60, 250,  800,   0.45, 512, 0.30, 0.04},
+        {"namd",     0.70, 100,  400,   0.40, 256, 0.25, 0.04},
+        {"omnetpp",  0.15, 100,  20000, 0.25, 512, 0.35, 0.10},
+        {"sjeng",    0.02, 30,   55000, 0.20, 128, 0.25, 0.12},
+        {"zeusmp",   0.60, 2500, 1200,  0.40, 512, 0.30, 0.04},
+    };
+    return presets;
+}
+
+const SpecPreset &
+specPreset(const std::string &name)
+{
+    for (const SpecPreset &preset : specPresets())
+        if (preset.name == name)
+            return preset;
+    csd_fatal("specPreset: unknown benchmark ", name);
+}
+
+namespace
+{
+
+/** Emits one block of scalar work. */
+void
+emitScalarBlock(ProgramBuilder &b, Random &rng, const SpecPreset &preset,
+                unsigned count, std::int64_t mem_mask)
+{
+    // r8..r11: dependence chains; rbx: buffer base; r12: offset.
+    for (unsigned i = 0; i < count; ++i) {
+        const double roll = rng.real();
+        const Gpr dst = static_cast<Gpr>(8 + rng.below(4));
+        const Gpr src = static_cast<Gpr>(8 + rng.below(4));
+        if (roll < preset.memFrac * 0.75) {
+            // Load from the working set.
+            b.load(dst, memIdx(Gpr::Rbx, Gpr::R12, 1,
+                               static_cast<std::int64_t>(rng.below(8)) * 8,
+                               MemSize::B8));
+            b.addi(Gpr::R12, 68);
+            b.andi(Gpr::R12, mem_mask);
+        } else if (roll < preset.memFrac) {
+            b.store(memIdx(Gpr::Rbx, Gpr::R12, 1, 0, MemSize::B8), src);
+            b.addi(Gpr::R12, 132);
+            b.andi(Gpr::R12, mem_mask);
+        } else if (roll < preset.memFrac + preset.branchFrac) {
+            // Data-dependent forward branch (~50% taken).
+            auto skip = b.newLabel();
+            b.testi(dst, 1);
+            b.jcc(Cond::Eq, skip);
+            b.xor_(dst, src);
+            b.bind(skip);
+        } else {
+            switch (rng.below(5)) {
+              case 0: b.add(dst, src); break;
+              case 1: b.xor_(dst, src); break;
+              case 2: b.imul(dst, src); break;
+              case 3: b.aluImm(MacroOpcode::RolI, dst, 7); break;
+              default: b.sub(dst, src); break;
+            }
+        }
+    }
+}
+
+/** Emits one block of a vector phase (mixed vector + scalar). */
+void
+emitVectorBlock(ProgramBuilder &b, Random &rng, const SpecPreset &preset,
+                unsigned count, std::int64_t mem_mask)
+{
+    for (unsigned i = 0; i < count; ++i) {
+        if (rng.real() < preset.vectorDensity) {
+            const Xmm dst = static_cast<Xmm>(rng.below(4));
+            const Xmm src = static_cast<Xmm>(rng.below(4));
+            const double kind = rng.real();
+            if (kind < 0.10) {
+                b.movdqaLoad(dst,
+                             memIdx(Gpr::Rbx, Gpr::R12, 1, 0,
+                                    MemSize::B16));
+                b.addi(Gpr::R12, 260);
+                b.andi(Gpr::R12, mem_mask);
+            } else if (kind < 0.14) {
+                b.movdqaStore(memIdx(Gpr::Rbx, Gpr::R12, 1, 16,
+                                     MemSize::B16),
+                              src);
+            } else if (kind < 0.14 + preset.vectorMulFrac) {
+                b.vecOp(rng.chance(0.5) ? MacroOpcode::Mulps
+                                        : MacroOpcode::Pmullw,
+                        dst, src);
+            } else {
+                switch (rng.below(4)) {
+                  case 0: b.vecOp(MacroOpcode::Paddd, dst, src); break;
+                  case 1: b.vecOp(MacroOpcode::Pxor, dst, src); break;
+                  case 2: b.vecOp(MacroOpcode::Paddw, dst, src); break;
+                  default: b.vecOp(MacroOpcode::Addps, dst, src); break;
+                }
+            }
+        } else {
+            emitScalarBlock(b, rng, preset, 1, mem_mask);
+        }
+    }
+}
+
+} // namespace
+
+SpecWorkload
+SpecWorkload::build(const SpecPreset &preset, unsigned phase_pairs,
+                    std::uint64_t seed)
+{
+    SpecWorkload workload;
+    workload.preset = preset;
+
+    Random rng(seed ^ std::hash<std::string>{}(preset.name));
+    ProgramBuilder b(0x400000, 0x600000);
+
+    const std::size_t footprint =
+        std::size_t{preset.memFootprintKb} * 1024;
+    if (!isPowerOf2(footprint))
+        csd_fatal("SpecWorkload: memFootprintKb must be a power of two");
+    const Addr buffer = b.reserveData("workset", footprint, 64);
+    const auto mem_mask =
+        static_cast<std::int64_t>((footprint - 1) & ~std::uint64_t{63});
+
+    // Block sizes: static code stays compact; dynamic length comes
+    // from loop trip counts.
+    const unsigned scalar_block =
+        std::min(preset.scalarPhaseLen, 160u);
+    const unsigned scalar_trips =
+        std::max(1u, preset.scalarPhaseLen / std::max(scalar_block, 1u));
+    const unsigned vector_block = std::min(preset.vectorPhaseLen, 160u);
+    const unsigned vector_trips =
+        preset.vectorPhaseLen == 0
+            ? 0
+            : std::max(1u,
+                       preset.vectorPhaseLen / std::max(vector_block, 1u));
+
+    b.beginSymbol("spec_main");
+    b.markEntry();
+    b.movri(Gpr::Rbx, static_cast<std::int64_t>(buffer));
+    b.movri(Gpr::R12, 0);
+    b.movri(Gpr::R8, 0x1234);
+    b.movri(Gpr::R9, 0x5678);
+    b.movri(Gpr::R10, 0x9abc);
+    b.movri(Gpr::R11, 0xdef1);
+    b.movri(Gpr::Rbp, phase_pairs);
+
+    auto outer = b.newLabel();
+    b.bind(outer);
+
+    // --- scalar phase ---------------------------------------------------
+    if (scalar_trips > 0 && scalar_block > 0) {
+        auto loop = b.newLabel();
+        b.movri(Gpr::R14, scalar_trips);
+        b.bind(loop);
+        emitScalarBlock(b, rng, preset, scalar_block, mem_mask);
+        b.subi(Gpr::R14, 1);
+        b.jcc(Cond::Ne, loop);
+    }
+
+    // --- vector phase ----------------------------------------------------
+    if (vector_trips > 0 && vector_block > 0) {
+        auto loop = b.newLabel();
+        b.movri(Gpr::R14, vector_trips);
+        b.bind(loop);
+        emitVectorBlock(b, rng, preset, vector_block, mem_mask);
+        b.subi(Gpr::R14, 1);
+        b.jcc(Cond::Ne, loop);
+    }
+
+    b.subi(Gpr::Rbp, 1);
+    b.jcc(Cond::Ne, outer);
+    b.halt();
+    b.endSymbol("spec_main");
+
+    workload.program = b.build();
+    return workload;
+}
+
+} // namespace csd

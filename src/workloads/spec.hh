@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Synthetic SPEC CPU2006-like workloads (paper §VI-A, Figs. 12-16).
+ *
+ * The devectorization results depend on the temporal distribution of
+ * vector activity: how dense it is, how bursty, and how long the
+ * scalar gaps are. Each preset reproduces one paper benchmark's
+ * characteristics (e.g. astar's near-zero vector use, bwaves/milc's
+ * intermittent bursts shorter than the wake latency amortization,
+ * namd's heavy but gappy vector phases). The generator emits a real
+ * mini-ISA program — loops over scalar and vector blocks with loads,
+ * stores, and dependence chains — not a statistical trace.
+ */
+
+#ifndef CSD_WORKLOADS_SPEC_HH
+#define CSD_WORKLOADS_SPEC_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace csd
+{
+
+/** Characteristics of one synthetic benchmark. */
+struct SpecPreset
+{
+    std::string name;
+
+    /** Fraction of instructions that are vector ops inside a vector
+     *  phase (0 = pure scalar program). */
+    double vectorDensity = 0.0;
+
+    /** Instructions per vector phase (burst length). */
+    unsigned vectorPhaseLen = 0;
+
+    /** Instructions per scalar phase (gap length). */
+    unsigned scalarPhaseLen = 4000;
+
+    /** Of the vector ops, the share that are multiplies / FP. */
+    double vectorMulFrac = 0.3;
+
+    /** Working-set size touched by loads/stores. */
+    unsigned memFootprintKb = 64;
+
+    /** Fraction of scalar instructions that access memory. */
+    double memFrac = 0.25;
+
+    /** Fraction of scalar instructions that are compare+branch pairs. */
+    double branchFrac = 0.08;
+};
+
+/** The benchmarks of the paper's Figs. 12-16. */
+const std::vector<SpecPreset> &specPresets();
+
+/** Look up a preset by name; fatal if unknown. */
+const SpecPreset &specPreset(const std::string &name);
+
+/** A generated synthetic benchmark program. */
+struct SpecWorkload
+{
+    Program program;
+    SpecPreset preset;
+
+    /**
+     * Build the program: @p phase_pairs iterations of
+     * {scalar phase, vector phase}.
+     */
+    static SpecWorkload build(const SpecPreset &preset,
+                              unsigned phase_pairs,
+                              std::uint64_t seed = 1);
+};
+
+} // namespace csd
+
+#endif // CSD_WORKLOADS_SPEC_HH

@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "common/addr_range.hh"
+
+namespace csd
+{
+namespace
+{
+
+TEST(AddrRange, ContainsHalfOpen)
+{
+    AddrRange range(0x1000, 0x2000);
+    EXPECT_TRUE(range.contains(0x1000));
+    EXPECT_TRUE(range.contains(0x1fff));
+    EXPECT_FALSE(range.contains(0x2000));
+    EXPECT_FALSE(range.contains(0xfff));
+    EXPECT_EQ(range.size(), 0x1000u);
+}
+
+TEST(AddrRange, DefaultInvalid)
+{
+    AddrRange range;
+    EXPECT_FALSE(range.valid());
+    EXPECT_EQ(range.blockCount(), 0u);
+}
+
+TEST(AddrRange, Overlaps)
+{
+    AddrRange a(0x100, 0x200);
+    EXPECT_TRUE(a.overlaps(AddrRange(0x180, 0x280)));
+    EXPECT_TRUE(a.overlaps(AddrRange(0x0, 0x101)));
+    EXPECT_FALSE(a.overlaps(AddrRange(0x200, 0x300)));
+    EXPECT_FALSE(a.overlaps(AddrRange(0x0, 0x100)));
+}
+
+TEST(AddrRange, BlockCountCoversPartialBlocks)
+{
+    // One byte touches one block.
+    EXPECT_EQ(AddrRange(0x1000, 0x1001).blockCount(), 1u);
+    // Exactly one block.
+    EXPECT_EQ(AddrRange(0x1000, 0x1040).blockCount(), 1u);
+    // One byte into the next block.
+    EXPECT_EQ(AddrRange(0x1000, 0x1041).blockCount(), 2u);
+    // Unaligned start straddling a boundary.
+    EXPECT_EQ(AddrRange(0x103f, 0x1041).blockCount(), 2u);
+    // AES T-tables: 4 KiB spans 64 blocks.
+    EXPECT_EQ(AddrRange(0x2000, 0x3000).blockCount(), 64u);
+}
+
+} // namespace
+} // namespace csd

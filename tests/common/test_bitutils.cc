@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "common/bitutils.hh"
+#include "common/types.hh"
+
+namespace csd
+{
+namespace
+{
+
+TEST(BitUtils, BitsExtractsInclusiveRange)
+{
+    EXPECT_EQ(bits<std::uint32_t>(0xdeadbeef, 7, 0), 0xefu);
+    EXPECT_EQ(bits<std::uint32_t>(0xdeadbeef, 15, 8), 0xbeu);
+    EXPECT_EQ(bits<std::uint32_t>(0xdeadbeef, 31, 0), 0xdeadbeefu);
+    EXPECT_EQ(bits<std::uint64_t>(0xff00000000000000ull, 63, 56), 0xffull);
+}
+
+TEST(BitUtils, SingleBit)
+{
+    EXPECT_TRUE(bit(0b100u, 2));
+    EXPECT_FALSE(bit(0b100u, 1));
+    EXPECT_TRUE(bit(0x8000000000000000ull, 63));
+}
+
+TEST(BitUtils, InsertBits)
+{
+    EXPECT_EQ(insertBits<std::uint32_t>(0, 7, 4, 0xf), 0xf0u);
+    EXPECT_EQ(insertBits<std::uint32_t>(0xffffffff, 7, 4, 0), 0xffffff0fu);
+    // Field wider than slot is masked.
+    EXPECT_EQ(insertBits<std::uint32_t>(0, 3, 0, 0x1ff), 0xfu);
+}
+
+TEST(BitUtils, PowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0u));
+    EXPECT_TRUE(isPowerOf2(1u));
+    EXPECT_TRUE(isPowerOf2(64u));
+    EXPECT_FALSE(isPowerOf2(65u));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+}
+
+TEST(BitUtils, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1u), 0u);
+    EXPECT_EQ(floorLog2(2u), 1u);
+    EXPECT_EQ(floorLog2(63u), 5u);
+    EXPECT_EQ(floorLog2(64u), 6u);
+}
+
+TEST(BitUtils, Rounding)
+{
+    EXPECT_EQ(roundUp<std::uint64_t>(65, 64), 128u);
+    EXPECT_EQ(roundUp<std::uint64_t>(64, 64), 64u);
+    EXPECT_EQ(roundDown<std::uint64_t>(65, 64), 64u);
+    EXPECT_EQ(roundDown<std::uint64_t>(63, 64), 0u);
+}
+
+TEST(BitUtils, Rotates)
+{
+    EXPECT_EQ(rotl32(0x80000001u, 1), 0x00000003u);
+    EXPECT_EQ(rotr32(0x00000003u, 1), 0x80000001u);
+    EXPECT_EQ(rotl32(0xdeadbeefu, 0), 0xdeadbeefu);
+    EXPECT_EQ(rotl32(0xdeadbeefu, 32), 0xdeadbeefu);
+    for (unsigned i = 0; i <= 64; ++i)
+        EXPECT_EQ(rotr32(rotl32(0x12345678u, i), i), 0x12345678u);
+}
+
+TEST(BitUtils, PopCount)
+{
+    EXPECT_EQ(popCount(0u), 0u);
+    EXPECT_EQ(popCount(0xffu), 8u);
+    EXPECT_EQ(popCount(0x8000000000000001ull), 2u);
+}
+
+TEST(BitUtils, BlockAlignHelpers)
+{
+    EXPECT_EQ(blockAlign(0x1000), 0x1000u);
+    EXPECT_EQ(blockAlign(0x103f), 0x1000u);
+    EXPECT_EQ(blockAlign(0x1040), 0x1040u);
+    EXPECT_EQ(blockNumber(0x1040), 0x41u);
+}
+
+} // namespace
+} // namespace csd

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+
+namespace csd
+{
+namespace
+{
+
+TEST(Random, DeterministicForSameSeed)
+{
+    Random a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Random a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next64() == b.next64())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Random, BelowStaysInRange)
+{
+    Random rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Random, InRangeInclusive)
+{
+    Random rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.inRange(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, RealInUnitInterval)
+{
+    Random rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Random, ChanceRoughlyCalibrated)
+{
+    Random rng(13);
+    int hits = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i)
+        if (rng.chance(0.25))
+            ++hits;
+    const double rate = static_cast<double>(hits) / trials;
+    EXPECT_NEAR(rate, 0.25, 0.02);
+}
+
+TEST(Random, ZeroSeedRemapped)
+{
+    Random a(0), b(0);
+    EXPECT_EQ(a.next64(), b.next64());
+    EXPECT_NE(a.next64(), 0u);
+}
+
+TEST(Random, ReseedRestartsSequence)
+{
+    Random rng(5);
+    const auto first = rng.next64();
+    rng.next64();
+    rng.reseed(5);
+    EXPECT_EQ(rng.next64(), first);
+}
+
+} // namespace
+} // namespace csd

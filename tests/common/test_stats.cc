@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/stats.hh"
+
+namespace csd
+{
+namespace
+{
+
+TEST(Stats, CounterBasics)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, GroupLookup)
+{
+    StatGroup group("grp");
+    Counter a, b;
+    group.addCounter("a", &a, "counter a");
+    group.addCounter("b", &b, "counter b");
+    a += 3;
+    EXPECT_EQ(group.counterValue("a"), 3u);
+    EXPECT_EQ(group.counterValue("b"), 0u);
+    EXPECT_TRUE(group.hasCounter("a"));
+    EXPECT_FALSE(group.hasCounter("c"));
+    EXPECT_THROW(group.counterValue("missing"), std::runtime_error);
+}
+
+TEST(Stats, ResetCascadesToChildren)
+{
+    StatGroup parent("p");
+    StatGroup child("c");
+    Counter pc, cc;
+    parent.addCounter("x", &pc, "");
+    child.addCounter("y", &cc, "");
+    parent.addChild(&child);
+    pc += 2;
+    cc += 7;
+    parent.resetAll();
+    EXPECT_EQ(pc.value(), 0u);
+    EXPECT_EQ(cc.value(), 0u);
+}
+
+TEST(Stats, DumpIncludesChildren)
+{
+    StatGroup parent("p");
+    StatGroup child("c");
+    Counter pc, cc;
+    parent.addCounter("x", &pc, "the x");
+    child.addCounter("y", &cc, "the y");
+    parent.addChild(&child);
+    pc += 42;
+    std::ostringstream os;
+    parent.dump(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("p.x"), std::string::npos);
+    EXPECT_NE(text.find("42"), std::string::npos);
+    EXPECT_NE(text.find("c.y"), std::string::npos);
+    EXPECT_NE(text.find("the y"), std::string::npos);
+}
+
+TEST(Stats, CounterNamesSorted)
+{
+    StatGroup group("g");
+    Counter a, b;
+    group.addCounter("zeta", &a, "");
+    group.addCounter("alpha", &b, "");
+    const auto names = group.counterNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "alpha");
+    EXPECT_EQ(names[1], "zeta");
+}
+
+} // namespace
+} // namespace csd

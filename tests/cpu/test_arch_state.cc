@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "cpu/arch_state.hh"
+
+namespace csd
+{
+namespace
+{
+
+TEST(Vec128, LaneRoundTrip)
+{
+    Vec128 vec;
+    vec.setLane(4, 2, 0xdeadbeef);
+    EXPECT_EQ(vec.lane(4, 2), 0xdeadbeefu);
+    EXPECT_EQ(vec.lane(4, 0), 0u);
+    // Byte view is little-endian.
+    EXPECT_EQ(vec.bytes[8], 0xef);
+    EXPECT_EQ(vec.bytes[11], 0xde);
+}
+
+TEST(Vec128, LaneWidths)
+{
+    Vec128 vec;
+    for (unsigned i = 0; i < 16; ++i)
+        vec.bytes[i] = static_cast<std::uint8_t>(i);
+    EXPECT_EQ(vec.lane(1, 5), 5u);
+    EXPECT_EQ(vec.lane(2, 1), 0x0302u);
+    EXPECT_EQ(vec.lane(8, 1), 0x0f0e0d0c0b0a0908ull);
+    EXPECT_EQ(vec.numLanes(1), 16u);
+    EXPECT_EQ(vec.numLanes(8), 2u);
+}
+
+TEST(SparseMemory, ReadOfUnmappedIsZero)
+{
+    SparseMemory mem;
+    EXPECT_EQ(mem.read(0x123456, 8), 0u);
+    EXPECT_EQ(mem.readByte(0xffffffff), 0u);
+}
+
+TEST(SparseMemory, ReadWriteRoundTrip)
+{
+    SparseMemory mem;
+    mem.write(0x1000, 8, 0x1122334455667788ull);
+    EXPECT_EQ(mem.read(0x1000, 8), 0x1122334455667788ull);
+    EXPECT_EQ(mem.read(0x1000, 4), 0x55667788u);
+    EXPECT_EQ(mem.read(0x1000, 1), 0x88u);
+    EXPECT_EQ(mem.readByte(0x1007), 0x11u);
+}
+
+TEST(SparseMemory, CrossPageAccess)
+{
+    SparseMemory mem;
+    const Addr addr = SparseMemory::pageSize - 4;
+    mem.write(addr, 8, 0xaabbccdd11223344ull);
+    EXPECT_EQ(mem.read(addr, 8), 0xaabbccdd11223344ull);
+    EXPECT_EQ(mem.readByte(SparseMemory::pageSize), 0xddu);
+}
+
+TEST(SparseMemory, VecRoundTrip)
+{
+    SparseMemory mem;
+    Vec128 vec;
+    for (unsigned i = 0; i < 16; ++i)
+        vec.bytes[i] = static_cast<std::uint8_t>(0xf0 + i);
+    mem.writeVec(0x2000, vec);
+    EXPECT_EQ(mem.readVec(0x2000), vec);
+}
+
+TEST(SparseMemory, WriteBlob)
+{
+    SparseMemory mem;
+    const std::uint8_t data[] = {1, 2, 3, 4, 5};
+    mem.writeBlob(0x3000, data, sizeof(data));
+    EXPECT_EQ(mem.read(0x3000, 4), 0x04030201u);
+    EXPECT_EQ(mem.readByte(0x3004), 5u);
+}
+
+TEST(ArchState, ResetInitializesStack)
+{
+    ArchState state;
+    EXPECT_NE(state.gpr(Gpr::Rsp), 0u);
+    EXPECT_FALSE(state.halted);
+}
+
+TEST(ArchState, RegisterAccess)
+{
+    ArchState state;
+    state.setGpr(Gpr::R9, 0x1234);
+    EXPECT_EQ(state.gpr(Gpr::R9), 0x1234u);
+    state.writeInt(intTemp(3), 99);
+    EXPECT_EQ(state.readInt(intTemp(3)), 99u);
+    // Temps and arch regs do not alias.
+    EXPECT_EQ(state.gpr(Gpr::Rbx), 0u);
+}
+
+TEST(ArchState, VecRegisterAccess)
+{
+    ArchState state;
+    Vec128 vec;
+    vec.setLane(8, 0, 42);
+    state.setXmm(Xmm::Xmm7, vec);
+    EXPECT_EQ(state.xmm(Xmm::Xmm7).lane(8, 0), 42u);
+    state.writeVecReg(vecTemp(1), vec);
+    EXPECT_EQ(state.readVecReg(vecTemp(1)), vec);
+}
+
+TEST(ArchState, LoadProgramInstallsDataAndEntry)
+{
+    ProgramBuilder builder(0x400000);
+    builder.movri(Gpr::Rax, 1);
+    builder.halt();
+    builder.defineData("table", {0xaa, 0xbb});
+    Program prog = builder.build();
+
+    ArchState state;
+    state.loadProgram(prog);
+    EXPECT_EQ(state.pc, 0x400000u);
+    const Addr table = prog.symbol("table").start;
+    EXPECT_EQ(state.mem.readByte(table), 0xaau);
+    EXPECT_EQ(state.mem.readByte(table + 1), 0xbbu);
+}
+
+} // namespace
+} // namespace csd

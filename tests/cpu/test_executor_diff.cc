@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "cpu/executor.hh"
+#include "isa/program.hh"
+#include "uop/translate.hh"
+
+namespace csd
+{
+namespace
+{
+
+/**
+ * Differential property suite: the micro-op executor's scalar ALU
+ * semantics are checked against the host CPU's arithmetic (the host
+ * computes the reference result and flags directly).
+ */
+
+struct HostResult
+{
+    std::uint64_t value;
+    bool zf, sf, cf, of;
+};
+
+HostResult
+hostAdd(std::uint64_t a, std::uint64_t b)
+{
+    const std::uint64_t r = a + b;
+    HostResult h{r, r == 0, static_cast<std::int64_t>(r) < 0, r < a,
+                 false};
+    h.of = (~(a ^ b) & (a ^ r)) >> 63;
+    return h;
+}
+
+HostResult
+hostSub(std::uint64_t a, std::uint64_t b)
+{
+    const std::uint64_t r = a - b;
+    HostResult h{r, r == 0, static_cast<std::int64_t>(r) < 0, a < b,
+                 false};
+    h.of = ((a ^ b) & (a ^ r)) >> 63;
+    return h;
+}
+
+/** Execute `op rax, rbx` and return the architectural outcome. */
+std::pair<std::uint64_t, RFlags>
+runBinary(MacroOpcode opcode, std::uint64_t a, std::uint64_t b,
+          OpWidth width = OpWidth::W64)
+{
+    ProgramBuilder builder;
+    builder.alu(opcode, Gpr::Rax, Gpr::Rbx, width);
+    const MacroOp op = builder.build().code()[0];
+
+    ArchState state;
+    state.setGpr(Gpr::Rax, a);
+    state.setGpr(Gpr::Rbx, b);
+    FunctionalExecutor exec(state);
+    exec.execute(op, translateNative(op));
+    return {state.gpr(Gpr::Rax), state.flags};
+}
+
+TEST(ExecutorDiff, AddMatchesHost)
+{
+    Random rng(101);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const std::uint64_t a = rng.next64();
+        const std::uint64_t b = rng.next64();
+        const auto [value, flags] = runBinary(MacroOpcode::Add, a, b);
+        const HostResult host = hostAdd(a, b);
+        ASSERT_EQ(value, host.value);
+        ASSERT_EQ(flags.zf, host.zf);
+        ASSERT_EQ(flags.sf, host.sf);
+        ASSERT_EQ(flags.cf, host.cf) << std::hex << a << "+" << b;
+        ASSERT_EQ(flags.of, host.of) << std::hex << a << "+" << b;
+    }
+}
+
+TEST(ExecutorDiff, SubMatchesHost)
+{
+    Random rng(202);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const std::uint64_t a = rng.next64();
+        const std::uint64_t b = rng.next64();
+        const auto [value, flags] = runBinary(MacroOpcode::Sub, a, b);
+        const HostResult host = hostSub(a, b);
+        ASSERT_EQ(value, host.value);
+        ASSERT_EQ(flags.zf, host.zf);
+        ASSERT_EQ(flags.sf, host.sf);
+        ASSERT_EQ(flags.cf, host.cf) << std::hex << a << "-" << b;
+        ASSERT_EQ(flags.of, host.of) << std::hex << a << "-" << b;
+    }
+}
+
+TEST(ExecutorDiff, LogicalOpsMatchHost)
+{
+    Random rng(303);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const std::uint64_t a = rng.next64();
+        const std::uint64_t b = rng.next64();
+        {
+            const auto [v, f] = runBinary(MacroOpcode::And, a, b);
+            ASSERT_EQ(v, a & b);
+            ASSERT_EQ(f.zf, (a & b) == 0);
+            ASSERT_FALSE(f.cf);
+            ASSERT_FALSE(f.of);
+        }
+        {
+            const auto [v, f] = runBinary(MacroOpcode::Or, a, b);
+            ASSERT_EQ(v, a | b);
+            ASSERT_EQ(f.sf, static_cast<std::int64_t>(a | b) < 0);
+        }
+        {
+            const auto [v, f] = runBinary(MacroOpcode::Xor, a, b);
+            ASSERT_EQ(v, a ^ b);
+            (void)f;
+        }
+    }
+}
+
+TEST(ExecutorDiff, MulMatchesHost)
+{
+    Random rng(404);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const std::uint64_t a = rng.next64();
+        const std::uint64_t b = rng.next64();
+        const auto [v, f] = runBinary(MacroOpcode::Imul, a, b);
+        ASSERT_EQ(v, a * b);
+        const unsigned __int128 full =
+            static_cast<unsigned __int128>(a) * b;
+        ASSERT_EQ(f.cf, (full >> 64) != 0);
+    }
+}
+
+TEST(ExecutorDiff, Width32MatchesHost)
+{
+    Random rng(505);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const std::uint64_t a = rng.next64();
+        const std::uint64_t b = rng.next64();
+        const auto [v, f] =
+            runBinary(MacroOpcode::Add, a, b, OpWidth::W32);
+        const std::uint32_t r32 = static_cast<std::uint32_t>(a) +
+                                  static_cast<std::uint32_t>(b);
+        ASSERT_EQ(v, r32);  // zero-extended
+        ASSERT_EQ(f.zf, r32 == 0);
+        ASSERT_EQ(f.cf, r32 < static_cast<std::uint32_t>(a));
+    }
+}
+
+TEST(ExecutorDiff, ShiftsMatchHost)
+{
+    Random rng(606);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const std::uint64_t a = rng.next64();
+        const std::uint64_t count = rng.below(64);
+        {
+            const auto [v, f] = runBinary(MacroOpcode::Shl, a, count);
+            ASSERT_EQ(v, count ? (a << count) : a);
+            (void)f;
+        }
+        {
+            const auto [v, f] = runBinary(MacroOpcode::Shr, a, count);
+            ASSERT_EQ(v, count ? (a >> count) : a);
+            if (count) {
+                ASSERT_EQ(f.cf, (a >> (count - 1)) & 1);
+            }
+        }
+        {
+            const auto [v, f] = runBinary(MacroOpcode::Sar, a, count);
+            ASSERT_EQ(v, count
+                             ? static_cast<std::uint64_t>(
+                                   static_cast<std::int64_t>(a) >> count)
+                             : a);
+            (void)f;
+        }
+    }
+}
+
+TEST(ExecutorDiff, RotatesMatchHost)
+{
+    Random rng(707);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const std::uint64_t a = rng.next64();
+        const unsigned count = static_cast<unsigned>(rng.below(64));
+        const auto [rol, f1] = runBinary(MacroOpcode::Rol, a, count);
+        const auto [ror, f2] = runBinary(MacroOpcode::Ror, a, count);
+        const std::uint64_t exp_rol =
+            count ? ((a << count) | (a >> (64 - count))) : a;
+        const std::uint64_t exp_ror =
+            count ? ((a >> count) | (a << (64 - count))) : a;
+        ASSERT_EQ(rol, exp_rol);
+        ASSERT_EQ(ror, exp_ror);
+        (void)f1;
+        (void)f2;
+    }
+}
+
+TEST(ExecutorDiff, AdcSbbChainMatches128BitHost)
+{
+    // 128-bit adds/subtracts through the carry chain vs __int128.
+    Random rng(808);
+    for (int trial = 0; trial < 1000; ++trial) {
+        const std::uint64_t a_lo = rng.next64(), a_hi = rng.next64();
+        const std::uint64_t b_lo = rng.next64(), b_hi = rng.next64();
+
+        ProgramBuilder builder;
+        builder.movri(Gpr::Rax, static_cast<std::int64_t>(a_lo));
+        builder.movri(Gpr::Rbx, static_cast<std::int64_t>(a_hi));
+        builder.movri(Gpr::Rcx, static_cast<std::int64_t>(b_lo));
+        builder.movri(Gpr::Rdx, static_cast<std::int64_t>(b_hi));
+        builder.add(Gpr::Rax, Gpr::Rcx);
+        builder.alu(MacroOpcode::Adc, Gpr::Rbx, Gpr::Rdx);
+        builder.halt();
+        const Program prog = builder.build();
+
+        ArchState state;
+        state.loadProgram(prog);
+        FunctionalExecutor exec(state);
+        while (!state.halted) {
+            const MacroOp *op = prog.at(state.pc);
+            exec.execute(*op, translateNative(*op));
+        }
+
+        const unsigned __int128 a128 =
+            (static_cast<unsigned __int128>(a_hi) << 64) | a_lo;
+        const unsigned __int128 b128 =
+            (static_cast<unsigned __int128>(b_hi) << 64) | b_lo;
+        const unsigned __int128 sum = a128 + b128;
+        ASSERT_EQ(state.gpr(Gpr::Rax),
+                  static_cast<std::uint64_t>(sum));
+        ASSERT_EQ(state.gpr(Gpr::Rbx),
+                  static_cast<std::uint64_t>(sum >> 64));
+    }
+}
+
+} // namespace
+} // namespace csd

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "csd/csd.hh"
+#include "isa/program.hh"
+
+namespace csd
+{
+namespace
+{
+
+MacroOp
+taggedLoad(Addr pc)
+{
+    MacroOp op;
+    op.opcode = MacroOpcode::Load;
+    op.hasMem = true;
+    op.mem = memAt(Gpr::Rbx);
+    op.dst = Gpr::Rax;
+    op.pc = pc;
+    op.length = 3;
+    return op;
+}
+
+struct CsdRig
+{
+    MsrFile msrs;
+    ContextSensitiveDecoder csd{msrs};
+};
+
+TEST(Csd, NativeByDefault)
+{
+    CsdRig rig;
+    const UopFlow flow = rig.csd.translate(taggedLoad(0x1000));
+    EXPECT_EQ(rig.csd.contextId(), ctxNative);
+    EXPECT_EQ(flow.uops.size(), 1u);
+    EXPECT_EQ(countDecoyUops(flow), 0u);
+}
+
+TEST(Csd, PcTriggeredStealthInjectsOnce)
+{
+    CsdRig rig;
+    rig.msrs.setDecoyDRange(0, AddrRange(0x10000, 0x10000 + 2 * 64));
+    rig.msrs.setTaintedPc(0, 0x1000);
+    rig.msrs.setControl(ctrlStealthEnable | ctrlPcRangeTrigger);
+    ASSERT_EQ(rig.csd.pendingRanges(), 1u);
+
+    // Untainted PC: native translation.
+    UopFlow other = rig.csd.translate(taggedLoad(0x2000));
+    EXPECT_EQ(countDecoyUops(other), 0u);
+    EXPECT_EQ(rig.csd.pendingRanges(), 1u);
+
+    // Tainted PC: decoys injected, range consumed.
+    UopFlow stealth = rig.csd.translate(taggedLoad(0x1000));
+    EXPECT_GT(countDecoyUops(stealth), 0u);
+    EXPECT_EQ(rig.csd.contextId(), ctxStealth);
+    EXPECT_EQ(rig.csd.pendingRanges(), 0u);
+
+    // Stealth auto-disabled until the watchdog fires.
+    UopFlow again = rig.csd.translate(taggedLoad(0x1000));
+    EXPECT_EQ(countDecoyUops(again), 0u);
+    EXPECT_EQ(rig.csd.contextId(), ctxNative);
+}
+
+TEST(Csd, WatchdogRetriggersStealth)
+{
+    CsdRig rig;
+    rig.msrs.setWatchdogPeriod(1000);
+    rig.msrs.setDecoyIRange(0, AddrRange(0x40000, 0x40000 + 64));
+    rig.msrs.setTaintedPc(0, 0x1000);
+    rig.msrs.setControl(ctrlStealthEnable | ctrlPcRangeTrigger);
+
+    rig.csd.tick(0);
+    UopFlow first = rig.csd.translate(taggedLoad(0x1000));
+    EXPECT_GT(countDecoyUops(first), 0u);
+    EXPECT_EQ(rig.csd.pendingRanges(), 0u);
+
+    // Before the period elapses: still off.
+    rig.csd.tick(500);
+    EXPECT_EQ(rig.csd.pendingRanges(), 0u);
+
+    // After the period: the watchdog re-copies the MSR ranges.
+    rig.csd.tick(1001);
+    EXPECT_EQ(rig.csd.pendingRanges(), 1u);
+    UopFlow second = rig.csd.translate(taggedLoad(0x1000));
+    EXPECT_GT(countDecoyUops(second), 0u);
+}
+
+TEST(Csd, MultipleRangesDrainAcrossInstructions)
+{
+    CsdRig rig;
+    rig.msrs.setDecoyDRange(0, AddrRange(0x10000, 0x10040));
+    rig.msrs.setDecoyDRange(1, AddrRange(0x20000, 0x20040));
+    rig.msrs.setDecoyIRange(0, AddrRange(0x30000, 0x30040));
+    rig.msrs.setTaintedPc(0, 0x1000);
+    rig.msrs.setTaintedPc(1, 0x1003);
+    rig.msrs.setTaintedPc(2, 0x1006);
+    rig.msrs.setControl(ctrlStealthEnable | ctrlPcRangeTrigger);
+    ASSERT_EQ(rig.csd.pendingRanges(), 3u);
+
+    rig.csd.translate(taggedLoad(0x1000));
+    EXPECT_EQ(rig.csd.pendingRanges(), 2u);
+    rig.csd.translate(taggedLoad(0x1003));
+    EXPECT_EQ(rig.csd.pendingRanges(), 1u);
+    rig.csd.translate(taggedLoad(0x1006));
+    EXPECT_EQ(rig.csd.pendingRanges(), 0u);
+}
+
+TEST(Csd, DisablingControlClearsPending)
+{
+    CsdRig rig;
+    rig.msrs.setDecoyDRange(0, AddrRange(0x10000, 0x10040));
+    rig.msrs.setControl(ctrlStealthEnable | ctrlPcRangeTrigger);
+    EXPECT_EQ(rig.csd.pendingRanges(), 1u);
+    rig.msrs.setControl(0);
+    EXPECT_EQ(rig.csd.pendingRanges(), 0u);
+    EXPECT_FALSE(rig.csd.stealthArmed());
+}
+
+TEST(Csd, DevectorizeSwitchesVectorTranslations)
+{
+    CsdRig rig;
+    MacroOp vec;
+    vec.opcode = MacroOpcode::Paddd;
+    vec.xdst = Xmm::Xmm0;
+    vec.xsrc = Xmm::Xmm1;
+    vec.pc = 0x5000;
+    vec.length = 4;
+
+    UopFlow native = rig.csd.translate(vec);
+    EXPECT_TRUE(native.usesVpu());
+    EXPECT_EQ(rig.csd.contextId(), ctxNative);
+
+    rig.csd.setDevectorize(true);
+    UopFlow scalar = rig.csd.translate(vec);
+    EXPECT_FALSE(scalar.usesVpu());
+    EXPECT_EQ(rig.csd.contextId(), ctxDevect);
+
+    // Scalar instructions are unaffected.
+    UopFlow load = rig.csd.translate(taggedLoad(0x6000));
+    EXPECT_EQ(rig.csd.contextId(), ctxNative);
+    EXPECT_EQ(load.uops.size(), 1u);
+
+    rig.csd.setDevectorize(false);
+    UopFlow back = rig.csd.translate(vec);
+    EXPECT_TRUE(back.usesVpu());
+}
+
+TEST(Csd, McuModeAppliesCustomTranslations)
+{
+    CsdRig rig;
+    McuBlob blob;
+    McuEntry entry;
+    entry.targetOpcode = MacroOpcode::Load;
+    entry.placement = McuPlacement::Append;
+    ProgramBuilder b;
+    b.addi(Gpr::Rax, 1);
+    entry.nativeCode = b.build().code();
+    blob.entries.push_back(entry);
+    sealMcu(blob);
+    ASSERT_TRUE(rig.csd.mcu().applyUpdate(blob));
+
+    // MCU installed but mode off: native.
+    UopFlow off = rig.csd.translate(taggedLoad(0x1000));
+    EXPECT_EQ(off.uops.size(), 1u);
+
+    rig.csd.setMcuMode(true);
+    UopFlow on = rig.csd.translate(taggedLoad(0x1000));
+    EXPECT_EQ(on.uops.size(), 2u);
+    EXPECT_EQ(rig.csd.contextId(), ctxMcu);
+}
+
+TEST(Csd, UnrolledDecoyStyleAblation)
+{
+    CsdRig rig;
+    rig.csd.decoyStyle = DecoyStyle::Unrolled;
+    rig.msrs.setDecoyDRange(0, AddrRange(0x10000, 0x10000 + 8 * 64));
+    rig.msrs.setTaintedPc(0, 0x1000);
+    rig.msrs.setControl(ctrlStealthEnable | ctrlPcRangeTrigger);
+    UopFlow flow = rig.csd.translate(taggedLoad(0x1000));
+    EXPECT_FALSE(flow.loop.has_value());
+    EXPECT_EQ(countDecoyUops(flow), 8u);
+}
+
+TEST(Csd, StatsAccumulate)
+{
+    CsdRig rig;
+    rig.msrs.setDecoyDRange(0, AddrRange(0x10000, 0x10040));
+    rig.msrs.setTaintedPc(0, 0x1000);
+    rig.msrs.setControl(ctrlStealthEnable | ctrlPcRangeTrigger);
+    rig.csd.translate(taggedLoad(0x1000));
+    EXPECT_EQ(rig.csd.stats().counterValue("stealth_flows"), 1u);
+    EXPECT_GT(rig.csd.stats().counterValue("decoy_uops"), 0u);
+    EXPECT_EQ(rig.csd.stats().counterValue("translations"), 1u);
+}
+
+} // namespace
+} // namespace csd

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "cpu/executor.hh"
+#include "csd/decoy.hh"
+#include "decode/fusion.hh"
+#include "isa/program.hh"
+#include "uop/translate.hh"
+
+namespace csd
+{
+namespace
+{
+
+MacroOp
+makeLoad()
+{
+    ProgramBuilder b;
+    b.load(Gpr::Rax, memAt(Gpr::Rbx, 0, MemSize::B4));
+    return b.build().code()[0];
+}
+
+MacroOp
+makeJcc()
+{
+    ProgramBuilder b;
+    auto label = b.newLabel();
+    b.bind(label);
+    b.jcc(Cond::Eq, label);
+    return b.build().code()[0];
+}
+
+TEST(Decoy, MicroLoopCoversEveryBlock)
+{
+    UopFlow flow = translateNative(makeLoad());
+    const AddrRange range(0x10000, 0x10000 + 4 * 64);
+    ASSERT_TRUE(injectDecoys(flow, range, false, DecoyStyle::MicroLoop));
+    ASSERT_TRUE(flow.loop.has_value());
+    EXPECT_EQ(flow.loop->tripCount, 4u);
+
+    // Execute and collect decoy load addresses.
+    ArchState state;
+    FunctionalExecutor exec(state);
+    MacroOp op = makeLoad();
+    auto result = exec.execute(op, flow);
+    std::vector<Addr> decoy_addrs;
+    for (const DynUop &dyn : result.dynUops)
+        if (dyn.uop->decoy && dyn.uop->isLoad())
+            decoy_addrs.push_back(dyn.effAddr);
+    ASSERT_EQ(decoy_addrs.size(), 4u);
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ(decoy_addrs[i], 0x10000u + i * 64);
+}
+
+TEST(Decoy, UnrolledCoversEveryBlock)
+{
+    UopFlow flow = translateNative(makeLoad());
+    const AddrRange range(0x20000, 0x20000 + 3 * 64);
+    ASSERT_TRUE(injectDecoys(flow, range, false, DecoyStyle::Unrolled));
+    EXPECT_FALSE(flow.loop.has_value());
+    EXPECT_EQ(countDecoyUops(flow), 3u);
+}
+
+TEST(Decoy, PlacedBeforeTrailingBranch)
+{
+    UopFlow flow = translateNative(makeJcc());
+    const AddrRange range(0x30000, 0x30040);
+    ASSERT_TRUE(injectDecoys(flow, range, true, DecoyStyle::MicroLoop));
+    // The branch must remain the final uop.
+    EXPECT_TRUE(flow.uops.back().isBranch());
+    EXPECT_FALSE(flow.uops.back().decoy);
+    // Decoys execute whether or not the branch is taken.
+    ArchState state;
+    state.flags.zf = false;  // not taken
+    FunctionalExecutor exec(state);
+    MacroOp op = makeJcc();
+    auto result = exec.execute(op, flow);
+    EXPECT_GT(countDecoyUops(flow), 0u);
+    unsigned decoy_loads = 0;
+    for (const DynUop &dyn : result.dynUops)
+        if (dyn.uop->decoy && dyn.uop->isLoad())
+            ++decoy_loads;
+    EXPECT_EQ(decoy_loads, 1u);
+}
+
+TEST(Decoy, InstrRangeMarksInstrFetch)
+{
+    UopFlow flow = translateNative(makeLoad());
+    ASSERT_TRUE(injectDecoys(flow, AddrRange(0x40000, 0x40080), true,
+                             DecoyStyle::MicroLoop));
+    bool saw_decoy_load = false;
+    for (const Uop &uop : flow.uops) {
+        if (uop.decoy && uop.isLoad()) {
+            saw_decoy_load = true;
+            EXPECT_TRUE(uop.instrFetch);
+        }
+    }
+    EXPECT_TRUE(saw_decoy_load);
+}
+
+TEST(Decoy, DecoysNeverTouchArchRegisters)
+{
+    UopFlow flow = translateNative(makeLoad());
+    ASSERT_TRUE(injectDecoys(flow, AddrRange(0x50000, 0x50200), false,
+                             DecoyStyle::MicroLoop));
+    for (const Uop &uop : flow.uops) {
+        if (!uop.decoy)
+            continue;
+        if (uop.dst.valid()) {
+            EXPECT_TRUE(uop.dst.isIntTemp()) << toString(uop);
+        }
+        EXPECT_FALSE(uop.writesFlags);
+    }
+    // Architectural result of the real load is unchanged by decoys.
+    ProgramBuilder b;
+    const Addr data = b.defineDataWords("v", {77});
+    ArchState with_decoys, without;
+    with_decoys.setGpr(Gpr::Rbx, data);
+    without.setGpr(Gpr::Rbx, data);
+    with_decoys.mem.write(data, 4, 77);
+    without.mem.write(data, 4, 77);
+    MacroOp op = makeLoad();
+    FunctionalExecutor(with_decoys).execute(op, flow);
+    FunctionalExecutor(without).execute(op, translateNative(op));
+    EXPECT_EQ(with_decoys.gpr(Gpr::Rax), without.gpr(Gpr::Rax));
+    EXPECT_EQ(with_decoys.flags == without.flags, true);
+}
+
+TEST(Decoy, InvalidRangeRejected)
+{
+    UopFlow flow = translateNative(makeLoad());
+    EXPECT_FALSE(injectDecoys(flow, AddrRange(), false,
+                              DecoyStyle::MicroLoop));
+    EXPECT_EQ(countDecoyUops(flow), 0u);
+}
+
+TEST(Decoy, OneMicroLoopPerFlow)
+{
+    UopFlow flow = translateNative(makeLoad());
+    ASSERT_TRUE(injectDecoys(flow, AddrRange(0x60000, 0x60080), false,
+                             DecoyStyle::MicroLoop));
+    // A second micro-loop cannot be attached.
+    EXPECT_FALSE(injectDecoys(flow, AddrRange(0x70000, 0x70080), false,
+                              DecoyStyle::MicroLoop));
+}
+
+TEST(Decoy, FusedPairCountsOneSlot)
+{
+    // The ld/add body is fused (paper Fig. 4c's ld/subi pair), so the
+    // decoy loop adds ~1 slot per block in the fused domain.
+    UopFlow flow = translateNative(makeLoad());
+    const AddrRange range(0x80000, 0x80000 + 8 * 64);
+    ASSERT_TRUE(injectDecoys(flow, range, false, DecoyStyle::MicroLoop));
+    // 1 (real load) + 1 (limm) + 8 trips * 1 fused body slot.
+    EXPECT_EQ(deliveredSlots(flow), 1u + 1u + 8u);
+}
+
+} // namespace
+} // namespace csd

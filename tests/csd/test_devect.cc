@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "cpu/executor.hh"
+#include "csd/devect.hh"
+#include "isa/program.hh"
+#include "uop/translate.hh"
+
+namespace csd
+{
+namespace
+{
+
+/** All devectorizable opcodes with a register-register form. */
+const MacroOpcode vectorOps[] = {
+    MacroOpcode::MovdqaRR,
+    MacroOpcode::Paddb, MacroOpcode::Paddw, MacroOpcode::Paddd,
+    MacroOpcode::Paddq,
+    MacroOpcode::Psubb, MacroOpcode::Psubw, MacroOpcode::Psubd,
+    MacroOpcode::Psubq,
+    MacroOpcode::Pand, MacroOpcode::Por, MacroOpcode::Pxor,
+    MacroOpcode::Pmullw,
+    MacroOpcode::Addps, MacroOpcode::Mulps, MacroOpcode::Subps,
+    MacroOpcode::Addpd, MacroOpcode::Mulpd, MacroOpcode::Subpd,
+    MacroOpcode::Divps, MacroOpcode::Sqrtps,
+};
+
+Vec128
+randomVec(Random &rng, bool float_safe)
+{
+    Vec128 vec;
+    if (float_safe) {
+        // Generate finite, comparison-stable floats.
+        for (unsigned i = 0; i < 4; ++i) {
+            const float f =
+                static_cast<float>(static_cast<std::int64_t>(
+                    rng.inRange(1, 1u << 20))) /
+                64.0f;
+            vec.setLane(4, i, std::bit_cast<std::uint32_t>(f));
+        }
+    } else {
+        for (unsigned i = 0; i < 2; ++i)
+            vec.setLane(8, i, rng.next64());
+    }
+    return vec;
+}
+
+bool
+isFloatOp(MacroOpcode op)
+{
+    switch (op) {
+      case MacroOpcode::Addps: case MacroOpcode::Mulps:
+      case MacroOpcode::Subps: case MacroOpcode::Divps:
+      case MacroOpcode::Sqrtps:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isDoubleOp(MacroOpcode op)
+{
+    switch (op) {
+      case MacroOpcode::Addpd: case MacroOpcode::Mulpd:
+      case MacroOpcode::Subpd:
+        return true;
+      default:
+        return false;
+    }
+}
+
+Vec128
+randomDoubleVec(Random &rng)
+{
+    Vec128 vec;
+    for (unsigned i = 0; i < 2; ++i) {
+        const double d =
+            static_cast<double>(static_cast<std::int64_t>(
+                rng.inRange(1, 1u << 24))) /
+            256.0;
+        vec.setLane(8, i, std::bit_cast<std::uint64_t>(d));
+    }
+    return vec;
+}
+
+class DevectEquivalence : public ::testing::TestWithParam<MacroOpcode>
+{
+};
+
+/**
+ * The core devectorization property (paper §V): the scalar translation
+ * must produce exactly the architectural state the vector translation
+ * produces, for random inputs.
+ */
+TEST_P(DevectEquivalence, MatchesVectorSemantics)
+{
+    const MacroOpcode opcode = GetParam();
+    Random rng(0xc5d + static_cast<unsigned>(opcode));
+
+    for (int trial = 0; trial < 200; ++trial) {
+        MacroOp op;
+        op.opcode = opcode;
+        op.xdst = Xmm::Xmm1;
+        op.xsrc = Xmm::Xmm2;
+        op.pc = 0x1000;
+        if (opcode == MacroOpcode::PslldI || opcode == MacroOpcode::PsrldI)
+            op.imm = static_cast<std::int64_t>(rng.below(33));
+        op.length = encodedLength(op);
+
+        Vec128 a, b;
+        if (isFloatOp(opcode)) {
+            a = randomVec(rng, true);
+            b = randomVec(rng, true);
+        } else if (isDoubleOp(opcode)) {
+            a = randomDoubleVec(rng);
+            b = randomDoubleVec(rng);
+        } else {
+            a = randomVec(rng, false);
+            b = randomVec(rng, false);
+        }
+
+        ArchState vec_state, scalar_state;
+        vec_state.setXmm(Xmm::Xmm1, a);
+        vec_state.setXmm(Xmm::Xmm2, b);
+        scalar_state.setXmm(Xmm::Xmm1, a);
+        scalar_state.setXmm(Xmm::Xmm2, b);
+
+        FunctionalExecutor vec_exec(vec_state);
+        FunctionalExecutor scalar_exec(scalar_state);
+
+        vec_exec.execute(op, translateNative(op));
+        auto scalar_flow = devectorize(op);
+        ASSERT_TRUE(scalar_flow.has_value());
+        scalar_exec.execute(op, *scalar_flow);
+
+        ASSERT_EQ(vec_state.xmm(Xmm::Xmm1), scalar_state.xmm(Xmm::Xmm1))
+            << mnemonic(opcode) << " trial " << trial;
+        // Source operand must be untouched.
+        ASSERT_EQ(vec_state.xmm(Xmm::Xmm2), scalar_state.xmm(Xmm::Xmm2));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVectorOps, DevectEquivalence,
+                         ::testing::ValuesIn(vectorOps),
+                         [](const auto &info) {
+                             return mnemonic(info.param) +
+                                    std::to_string(static_cast<int>(
+                                        info.param));
+                         });
+
+class DevectShifts : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(DevectShifts, ShiftCountsMatch)
+{
+    const unsigned count = GetParam();
+    Random rng(99 + count);
+    for (MacroOpcode opcode :
+         {MacroOpcode::PslldI, MacroOpcode::PsrldI}) {
+        MacroOp op;
+        op.opcode = opcode;
+        op.xdst = Xmm::Xmm3;
+        op.imm = count;
+        op.pc = 0x2000;
+        op.length = encodedLength(op);
+
+        const Vec128 a = randomVec(rng, false);
+        ArchState vec_state, scalar_state;
+        vec_state.setXmm(Xmm::Xmm3, a);
+        scalar_state.setXmm(Xmm::Xmm3, a);
+        FunctionalExecutor(vec_state).execute(op, translateNative(op));
+        auto flow = devectorize(op);
+        ASSERT_TRUE(flow.has_value());
+        FunctionalExecutor(scalar_state).execute(op, *flow);
+        EXPECT_EQ(vec_state.xmm(Xmm::Xmm3), scalar_state.xmm(Xmm::Xmm3))
+            << mnemonic(opcode) << " count " << count;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, DevectShifts,
+                         ::testing::Values(0u, 1u, 7u, 16u, 31u, 32u));
+
+TEST(Devect, NoVpuUopsInScalarFlows)
+{
+    for (MacroOpcode opcode : vectorOps) {
+        MacroOp op;
+        op.opcode = opcode;
+        op.xdst = Xmm::Xmm0;
+        op.xsrc = Xmm::Xmm1;
+        op.pc = 0x3000;
+        auto flow = devectorize(op);
+        ASSERT_TRUE(flow.has_value()) << mnemonic(opcode);
+        for (const Uop &uop : flow->uops)
+            EXPECT_FALSE(onVpu(uop))
+                << mnemonic(opcode) << ": " << toString(uop);
+    }
+}
+
+TEST(Devect, MemoryVectorOpsNotDevectorized)
+{
+    MacroOp load;
+    load.opcode = MacroOpcode::MovdqaLoad;
+    EXPECT_FALSE(devectorize(load).has_value());
+    MacroOp store;
+    store.opcode = MacroOpcode::MovdqaStore;
+    EXPECT_FALSE(devectorize(store).has_value());
+    MacroOp scalar;
+    scalar.opcode = MacroOpcode::Add;
+    EXPECT_FALSE(devectorize(scalar).has_value());
+}
+
+TEST(Devect, ScalarFlowsCostMoreUops)
+{
+    MacroOp op;
+    op.opcode = MacroOpcode::Paddb;
+    op.xdst = Xmm::Xmm0;
+    op.xsrc = Xmm::Xmm1;
+    const UopFlow native = translateNative(op);
+    const auto scalar = devectorize(op);
+    ASSERT_TRUE(scalar.has_value());
+    EXPECT_GT(scalar->uops.size(), native.uops.size());
+    // Long flows are microsequenced like other complex translations.
+    EXPECT_TRUE(scalar->fromMsrom);
+}
+
+} // namespace
+} // namespace csd

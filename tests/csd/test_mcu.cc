@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "csd/mcu.hh"
+#include "isa/program.hh"
+
+namespace csd
+{
+namespace
+{
+
+/** An update that counts loads into a scratch register (remapped). */
+McuBlob
+instrumentationBlob()
+{
+    McuBlob blob;
+    McuEntry entry;
+    entry.targetOpcode = MacroOpcode::Load;
+    entry.placement = McuPlacement::Append;
+    ProgramBuilder b;
+    b.addi(Gpr::Rax, 1);  // rax gets remapped to a decoder temp
+    entry.nativeCode = b.build().code();
+    blob.entries.push_back(entry);
+    sealMcu(blob);
+    return blob;
+}
+
+TEST(Mcu, ChecksumDetectsTampering)
+{
+    McuBlob blob = instrumentationBlob();
+    McuEngine engine;
+    std::string error;
+    // Tamper with the data part after sealing.
+    blob.entries[0].nativeCode[0].imm = 999;
+    EXPECT_FALSE(engine.applyUpdate(blob, &error));
+    EXPECT_NE(error.find("integrity"), std::string::npos);
+    EXPECT_EQ(engine.size(), 0u);
+}
+
+TEST(Mcu, BadSignatureRejected)
+{
+    McuBlob blob = instrumentationBlob();
+    blob.header.signature = 0xbadc0de;
+    sealMcu(blob);
+    McuEngine engine;
+    std::string error;
+    EXPECT_FALSE(engine.applyUpdate(blob, &error));
+    EXPECT_NE(error.find("signature"), std::string::npos);
+}
+
+TEST(Mcu, NotMarkedForAutoTranslationRejected)
+{
+    McuBlob blob = instrumentationBlob();
+    blob.header.autoTranslate = false;
+    sealMcu(blob);
+    McuEngine engine;
+    EXPECT_FALSE(engine.applyUpdate(blob));
+}
+
+TEST(Mcu, ValidUpdateInstallsAndTranslates)
+{
+    McuBlob blob = instrumentationBlob();
+    McuEngine engine;
+    std::string error;
+    ASSERT_TRUE(engine.applyUpdate(blob, &error)) << error;
+    const CustomTranslation *xlat = engine.lookup(MacroOpcode::Load);
+    ASSERT_NE(xlat, nullptr);
+    EXPECT_EQ(xlat->placement, McuPlacement::Append);
+    ASSERT_FALSE(xlat->uops.empty());
+    // The add-immediate was auto-translated and remapped to a temp.
+    EXPECT_EQ(xlat->uops[0].op, MicroOpcode::Add);
+    EXPECT_TRUE(xlat->uops[0].dst.isIntTemp());
+}
+
+TEST(Mcu, ArchWritesRequireHeaderFlag)
+{
+    McuBlob blob;
+    McuEntry entry;
+    entry.targetOpcode = MacroOpcode::Store;
+    ProgramBuilder b;
+    b.storeImm(memAbs(0x9000, MemSize::B8), 1);  // memory write
+    entry.nativeCode = b.build().code();
+    blob.entries.push_back(entry);
+    sealMcu(blob);
+
+    McuEngine engine;
+    std::string error;
+    EXPECT_FALSE(engine.applyUpdate(blob, &error));
+    EXPECT_NE(error.find("allowArchWrites"), std::string::npos);
+
+    blob.header.allowArchWrites = true;
+    sealMcu(blob);
+    EXPECT_TRUE(engine.applyUpdate(blob, &error)) << error;
+    const CustomTranslation *xlat = engine.lookup(MacroOpcode::Store);
+    ASSERT_NE(xlat, nullptr);
+    EXPECT_TRUE(xlat->uops[0].isStore());
+}
+
+TEST(Mcu, BranchesInUpdatesRejected)
+{
+    McuBlob blob;
+    McuEntry entry;
+    entry.targetOpcode = MacroOpcode::Nop;
+    ProgramBuilder b;
+    auto label = b.newLabel();
+    b.bind(label);
+    b.jmp(label);
+    entry.nativeCode = b.build().code();
+    blob.entries.push_back(entry);
+    sealMcu(blob);
+    McuEngine engine;
+    std::string error;
+    EXPECT_FALSE(engine.applyUpdate(blob, &error));
+    EXPECT_NE(error.find("control transfer"), std::string::npos);
+}
+
+TEST(Mcu, OptimizerRemovesDeadTemps)
+{
+    McuBlob blob;
+    McuEntry entry;
+    entry.targetOpcode = MacroOpcode::Nop;
+    ProgramBuilder b;
+    b.movri(Gpr::Rax, 5);   // dead: overwritten below, never read
+    b.movri(Gpr::Rax, 7);
+    b.addi(Gpr::Rbx, 1);
+    entry.nativeCode = b.build().code();
+    blob.entries.push_back(entry);
+    sealMcu(blob);
+
+    McuEngine engine;
+    std::string error;
+    ASSERT_TRUE(engine.applyUpdate(blob, &error)) << error;
+    const CustomTranslation *xlat = engine.lookup(MacroOpcode::Nop);
+    ASSERT_NE(xlat, nullptr);
+    // The first mov is overwritten before being read and is removed;
+    // the second mov and the add survive (temps stay live to flow end).
+    EXPECT_EQ(xlat->uops.size(), 2u);
+    EXPECT_EQ(xlat->uops[0].op, MicroOpcode::LoadImm);
+    EXPECT_EQ(static_cast<int>(xlat->uops[0].imm), 7);
+    EXPECT_EQ(xlat->uops[1].op, MicroOpcode::Add);
+}
+
+TEST(Mcu, TooManyRegistersRejected)
+{
+    McuBlob blob;
+    McuEntry entry;
+    entry.targetOpcode = MacroOpcode::Nop;
+    ProgramBuilder b;
+    // 8 distinct registers > 6 available decoder temps.
+    for (unsigned i = 0; i < 8; ++i)
+        b.aluImm(MacroOpcode::AddI, static_cast<Gpr>(i), 1);
+    entry.nativeCode = b.build().code();
+    blob.entries.push_back(entry);
+    sealMcu(blob);
+    McuEngine engine;
+    std::string error;
+    EXPECT_FALSE(engine.applyUpdate(blob, &error));
+    EXPECT_NE(error.find("temporaries"), std::string::npos);
+}
+
+TEST(Mcu, EmptyUpdateRejected)
+{
+    McuBlob blob;
+    sealMcu(blob);
+    McuEngine engine;
+    EXPECT_FALSE(engine.applyUpdate(blob));
+}
+
+TEST(Mcu, AtomicRejectionAcrossEntries)
+{
+    // One good entry plus one bad entry: nothing installs.
+    McuBlob blob = instrumentationBlob();
+    McuEntry bad;
+    bad.targetOpcode = MacroOpcode::Add;
+    ProgramBuilder b;
+    b.cpuid();  // microsequenced -> rejected
+    bad.nativeCode = b.build().code();
+    blob.entries.push_back(bad);
+    sealMcu(blob);
+    McuEngine engine;
+    EXPECT_FALSE(engine.applyUpdate(blob));
+    EXPECT_EQ(engine.size(), 0u);
+    EXPECT_EQ(engine.lookup(MacroOpcode::Load), nullptr);
+}
+
+} // namespace
+} // namespace csd

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "csd/msr.hh"
+
+namespace csd
+{
+namespace
+{
+
+TEST(Msr, ControlRoundTrip)
+{
+    MsrFile msrs;
+    msrs.setControl(ctrlStealthEnable | ctrlDiftTrigger);
+    EXPECT_EQ(msrs.read(MsrAddr::CsdControl),
+              ctrlStealthEnable | ctrlDiftTrigger);
+    EXPECT_EQ(msrs.control(), msrs.read(MsrAddr::CsdControl));
+}
+
+TEST(Msr, DecoyRangeSlots)
+{
+    MsrFile msrs;
+    msrs.setDecoyIRange(0, AddrRange(0x1000, 0x2000));
+    msrs.setDecoyDRange(2, AddrRange(0x3000, 0x4000));
+    EXPECT_EQ(msrs.decoyIRanges()[0], AddrRange(0x1000, 0x2000));
+    EXPECT_FALSE(msrs.decoyIRanges()[1].valid());
+    EXPECT_EQ(msrs.decoyDRanges()[2], AddrRange(0x3000, 0x4000));
+    // Raw MSR view matches typed accessors.
+    const auto base = static_cast<std::uint32_t>(MsrAddr::DecoyIRangeBase);
+    EXPECT_EQ(msrs.read(static_cast<MsrAddr>(base)), 0x1000u);
+    EXPECT_EQ(msrs.read(static_cast<MsrAddr>(base + 1)), 0x2000u);
+}
+
+TEST(Msr, TaintedPcScratchpads)
+{
+    MsrFile msrs;
+    msrs.setTaintedPc(0, 0x400123);
+    msrs.setTaintedPc(4, 0x400456);
+    EXPECT_EQ(msrs.taintedPcs()[0], 0x400123u);
+    EXPECT_EQ(msrs.taintedPcs()[4], 0x400456u);
+    EXPECT_EQ(msrs.taintedPcs()[1], invalidAddr);
+}
+
+TEST(Msr, WatchdogPeriod)
+{
+    MsrFile msrs;
+    msrs.setWatchdogPeriod(5000);
+    EXPECT_EQ(msrs.watchdogPeriod(), 5000u);
+    EXPECT_THROW(msrs.setWatchdogPeriod(0), std::runtime_error);
+}
+
+TEST(Msr, RegisterTrackingHookFires)
+{
+    MsrFile msrs;
+    int fires = 0;
+    MsrAddr last_addr{};
+    msrs.setWriteHook([&](MsrAddr addr, std::uint64_t) {
+        ++fires;
+        last_addr = addr;
+    });
+    msrs.setControl(ctrlStealthEnable);
+    EXPECT_EQ(fires, 1);
+    EXPECT_EQ(last_addr, MsrAddr::CsdControl);
+    msrs.setDecoyDRange(0, AddrRange(0x100, 0x200));
+    EXPECT_EQ(fires, 3);  // start + end writes
+}
+
+TEST(Msr, UnknownMsrRejected)
+{
+    MsrFile msrs;
+    EXPECT_THROW(msrs.write(static_cast<MsrAddr>(0xdead), 1),
+                 std::runtime_error);
+    EXPECT_THROW(msrs.read(static_cast<MsrAddr>(0xdead)),
+                 std::runtime_error);
+    EXPECT_THROW(msrs.setDecoyIRange(99, AddrRange(0, 1)),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace csd

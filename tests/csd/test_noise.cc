@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "csd/csd.hh"
+#include "sim/simulation.hh"
+
+namespace csd
+{
+namespace
+{
+
+Program
+workProgram(unsigned iterations)
+{
+    ProgramBuilder b;
+    auto loop = b.newLabel();
+    b.movri(Gpr::Rcx, iterations);
+    b.bind(loop);
+    b.add(Gpr::Rax, Gpr::Rcx);
+    b.aluImm(MacroOpcode::RolI, Gpr::Rax, 3);
+    b.subi(Gpr::Rcx, 1);
+    b.jcc(Cond::Ne, loop);
+    b.halt();
+    return b.build();
+}
+
+TEST(TimingNoise, InjectsNopsWhenEnabled)
+{
+    MsrFile msrs;
+    ContextSensitiveDecoder csd(msrs);
+    msrs.setControl(ctrlTimingNoise);
+
+    MacroOp add;
+    add.opcode = MacroOpcode::Add;
+    add.dst = Gpr::Rax;
+    add.src1 = Gpr::Rbx;
+    add.pc = 0x1000;
+    add.length = 3;
+
+    std::uint64_t nops = 0;
+    for (int i = 0; i < 100; ++i) {
+        const UopFlow flow = csd.translate(add);
+        for (const Uop &uop : flow.uops)
+            if (uop.op == MicroOpcode::Nop && uop.decoy)
+                ++nops;
+    }
+    EXPECT_GT(nops, 50u);
+    EXPECT_EQ(csd.stats().counterValue("noise_uops"), nops);
+}
+
+TEST(TimingNoise, VariesAcrossInstances)
+{
+    MsrFile msrs;
+    ContextSensitiveDecoder csd(msrs);
+    msrs.setControl(ctrlTimingNoise);
+
+    MacroOp add;
+    add.opcode = MacroOpcode::Add;
+    add.dst = Gpr::Rax;
+    add.src1 = Gpr::Rbx;
+    add.pc = 0x1000;
+    add.length = 3;
+
+    std::set<std::size_t> sizes;
+    for (int i = 0; i < 64; ++i)
+        sizes.insert(csd.translate(add).uops.size());
+    // 0..3 NOPs -> up to 4 distinct flow lengths.
+    EXPECT_GE(sizes.size(), 3u);
+}
+
+TEST(TimingNoise, NoisyFlowsAreUncacheable)
+{
+    MsrFile msrs;
+    ContextSensitiveDecoder csd(msrs);
+    csd.seedNoise(7);
+    msrs.setControl(ctrlTimingNoise);
+
+    MacroOp add;
+    add.opcode = MacroOpcode::Add;
+    add.dst = Gpr::Rax;
+    add.src1 = Gpr::Rbx;
+    add.pc = 0x1000;
+    add.length = 3;
+
+    bool saw_noisy = false;
+    for (int i = 0; i < 32; ++i) {
+        const UopFlow flow = csd.translate(add);
+        if (flow.uops.size() > 1) {
+            saw_noisy = true;
+            EXPECT_FALSE(flow.cacheable);
+            EXPECT_EQ(csd.contextId(), ctxNoise);
+        }
+    }
+    EXPECT_TRUE(saw_noisy);
+}
+
+TEST(TimingNoise, ArchitecturallyInvisible)
+{
+    Program prog = workProgram(200);
+
+    Simulation plain(prog);
+    plain.runToHalt();
+
+    MsrFile msrs;
+    ContextSensitiveDecoder csd(msrs);
+    msrs.setControl(ctrlTimingNoise);
+    Simulation noisy(prog);
+    noisy.setCsd(&csd);
+    noisy.runToHalt();
+
+    EXPECT_EQ(noisy.state().gpr(Gpr::Rax), plain.state().gpr(Gpr::Rax));
+    EXPECT_GT(noisy.uopsExecuted(), plain.uopsExecuted());
+    EXPECT_GT(noisy.cycles(), plain.cycles());
+}
+
+TEST(TimingNoise, DifferentSeedsSkewTimingDifferently)
+{
+    Program prog = workProgram(500);
+    std::set<Tick> cycle_counts;
+    for (std::uint64_t seed : {1ull, 99ull, 4242ull}) {
+        MsrFile msrs;
+        ContextSensitiveDecoder csd(msrs);
+        csd.seedNoise(seed);
+        msrs.setControl(ctrlTimingNoise);
+        Simulation sim(prog);
+        sim.setCsd(&csd);
+        sim.runToHalt();
+        cycle_counts.insert(sim.cycles());
+    }
+    // Timing-analysis attackers see a different schedule every run.
+    EXPECT_GE(cycle_counts.size(), 2u);
+}
+
+TEST(TimingNoise, ComposesWithStealthMode)
+{
+    ProgramBuilder b;
+    const Addr buf = b.reserveData("buf", 8);
+    const Addr decoys = b.reserveData("decoys", 2 * 64, 64);
+    b.movri(Gpr::Rbx, static_cast<std::int64_t>(buf));
+    const Addr load_pc = b.here();
+    b.load(Gpr::Rax, memAt(Gpr::Rbx));
+    b.halt();
+    Program prog = b.build();
+
+    MsrFile msrs;
+    ContextSensitiveDecoder csd(msrs);
+    msrs.setDecoyDRange(0, AddrRange(decoys, decoys + 2 * 64));
+    msrs.setTaintedPc(0, load_pc);
+    msrs.setControl(ctrlStealthEnable | ctrlPcRangeTrigger |
+                    ctrlTimingNoise);
+
+    Simulation sim(prog);
+    sim.setCsd(&csd);
+    sim.runToHalt();
+
+    EXPECT_TRUE(sim.mem().l1d().contains(decoys));
+    EXPECT_GT(sim.stats().counterValue("decoy_uops_executed"), 0u);
+    EXPECT_EQ(sim.state().gpr(Gpr::Rax), 0u);
+}
+
+} // namespace
+} // namespace csd

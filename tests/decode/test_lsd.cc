@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "decode/lsd.hh"
+#include "isa/program.hh"
+
+namespace csd
+{
+namespace
+{
+
+/** A tiny loop: head at 0x1000, backward branch at 0x1010. */
+struct LoopOps
+{
+    MacroOp body;
+    MacroOp branch;
+
+    LoopOps()
+    {
+        body.opcode = MacroOpcode::AddI;
+        body.pc = 0x1000;
+        body.length = 4;
+        branch.opcode = MacroOpcode::Jcc;
+        branch.cond = Cond::Ne;
+        branch.pc = 0x1010;
+        branch.length = 6;
+        branch.target = 0x1000;
+    }
+};
+
+void
+runIteration(LoopStreamDetector &lsd, const LoopOps &ops, bool taken)
+{
+    lsd.observe(ops.body, 1, true, false, ops.body.nextPc());
+    lsd.observe(ops.branch, 1, true, taken,
+                taken ? ops.branch.target : ops.branch.nextPc());
+}
+
+TEST(Lsd, LocksAfterRepeatedIterations)
+{
+    LoopStreamDetector lsd{FrontEndParams{}};
+    LoopOps ops;
+    EXPECT_FALSE(lsd.active());
+    for (int i = 0; i < 4; ++i)
+        runIteration(lsd, ops, true);
+    EXPECT_TRUE(lsd.active());
+}
+
+TEST(Lsd, UnlocksWhenLoopExits)
+{
+    LoopStreamDetector lsd{FrontEndParams{}};
+    LoopOps ops;
+    for (int i = 0; i < 5; ++i)
+        runIteration(lsd, ops, true);
+    ASSERT_TRUE(lsd.active());
+    // Final iteration: branch falls through, leaving the loop.
+    runIteration(lsd, ops, false);
+    MacroOp after;
+    after.opcode = MacroOpcode::Nop;
+    after.pc = ops.branch.nextPc();
+    after.length = 1;
+    lsd.observe(after, 1, true, false, after.nextPc());
+    EXPECT_FALSE(lsd.active());
+}
+
+TEST(Lsd, RejectsOversizedLoops)
+{
+    FrontEndParams params;
+    params.lsdMaxSlots = 4;
+    LoopStreamDetector lsd(params);
+    LoopOps ops;
+    for (int i = 0; i < 6; ++i) {
+        lsd.observe(ops.body, 10, true, false, ops.body.nextPc());
+        lsd.observe(ops.branch, 1, true, true, ops.branch.target);
+    }
+    EXPECT_FALSE(lsd.active());
+}
+
+TEST(Lsd, RejectsMicrosequencedBodies)
+{
+    LoopStreamDetector lsd{FrontEndParams{}};
+    LoopOps ops;
+    for (int i = 0; i < 6; ++i) {
+        lsd.observe(ops.body, 1, /*eligible=*/false, false,
+                    ops.body.nextPc());
+        lsd.observe(ops.branch, 1, true, true, ops.branch.target);
+    }
+    EXPECT_FALSE(lsd.active());
+}
+
+TEST(Lsd, DisabledByParams)
+{
+    FrontEndParams params;
+    params.lsdEnabled = false;
+    LoopStreamDetector lsd(params);
+    LoopOps ops;
+    for (int i = 0; i < 10; ++i)
+        runIteration(lsd, ops, true);
+    EXPECT_FALSE(lsd.active());
+}
+
+TEST(Lsd, ResetDropsLock)
+{
+    LoopStreamDetector lsd{FrontEndParams{}};
+    LoopOps ops;
+    for (int i = 0; i < 5; ++i)
+        runIteration(lsd, ops, true);
+    ASSERT_TRUE(lsd.active());
+    lsd.reset();
+    EXPECT_FALSE(lsd.active());
+}
+
+TEST(Lsd, DifferentBackwardBranchRestartsCandidate)
+{
+    LoopStreamDetector lsd{FrontEndParams{}};
+    LoopOps a;
+    LoopOps b;
+    b.branch.pc = 0x2010;
+    b.branch.target = 0x2000;
+    b.body.pc = 0x2000;
+    for (int i = 0; i < 2; ++i)
+        runIteration(lsd, a, true);
+    // Switch loops before a lock: no lock yet.
+    for (int i = 0; i < 2; ++i)
+        runIteration(lsd, b, true);
+    EXPECT_FALSE(lsd.active());
+    for (int i = 0; i < 2; ++i)
+        runIteration(lsd, b, true);
+    EXPECT_TRUE(lsd.active());
+}
+
+} // namespace
+} // namespace csd

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "memory/hierarchy.hh"
+
+namespace csd
+{
+namespace
+{
+
+TEST(Hierarchy, ColdMissGoesToDram)
+{
+    MemHierarchy mem;
+    const auto result = mem.readData(0x1000);
+    EXPECT_EQ(result.levelHit, 4u);
+    EXPECT_EQ(result.latency, mem.params().l1d.hitLatency +
+                                  mem.params().l2.hitLatency +
+                                  mem.params().llc.hitLatency +
+                                  mem.params().dramLatency);
+}
+
+TEST(Hierarchy, SecondAccessHitsL1)
+{
+    MemHierarchy mem;
+    mem.readData(0x1000);
+    const auto result = mem.readData(0x1000);
+    EXPECT_EQ(result.levelHit, 1u);
+    EXPECT_TRUE(result.l1Hit());
+    EXPECT_EQ(result.latency, mem.params().l1d.hitLatency);
+}
+
+TEST(Hierarchy, FillsAreInclusive)
+{
+    MemHierarchy mem;
+    mem.readData(0x2000);
+    EXPECT_TRUE(mem.l1d().contains(0x2000));
+    EXPECT_TRUE(mem.l2().contains(0x2000));
+    EXPECT_TRUE(mem.llc().contains(0x2000));
+}
+
+TEST(Hierarchy, InstrAndDataCachesAreSplit)
+{
+    MemHierarchy mem;
+    mem.fetchInstr(0x3000);
+    EXPECT_TRUE(mem.l1i().contains(0x3000));
+    EXPECT_FALSE(mem.l1d().contains(0x3000));
+    // But L2 is unified, so an instruction block can hit in L2 for data.
+    const auto result = mem.readData(0x3000);
+    EXPECT_EQ(result.levelHit, 2u);
+}
+
+TEST(Hierarchy, FlushRemovesFromEveryLevel)
+{
+    MemHierarchy mem;
+    mem.readData(0x4000);
+    mem.fetchInstr(0x4000);
+    mem.flush(0x4000);
+    EXPECT_FALSE(mem.l1d().contains(0x4000));
+    EXPECT_FALSE(mem.l1i().contains(0x4000));
+    EXPECT_FALSE(mem.l2().contains(0x4000));
+    EXPECT_FALSE(mem.llc().contains(0x4000));
+    // FLUSH+RELOAD: the reload after flush must be slow again.
+    const auto reload = mem.readData(0x4000);
+    EXPECT_EQ(reload.levelHit, 4u);
+}
+
+TEST(Hierarchy, L1EvictionStillHitsL2)
+{
+    MemHierarchyParams params;
+    params.l1d = CacheParams{"l1d", 1024, 2, 4};  // tiny: 8 sets
+    MemHierarchy mem(params);
+    const Addr victim = 0x10000;
+    mem.readData(victim);
+    // Evict from the tiny L1 by filling its set.
+    const Addr stride = 8 * cacheBlockSize;
+    for (unsigned i = 1; i <= 2; ++i)
+        mem.readData(victim + i * stride);
+    EXPECT_FALSE(mem.l1d().contains(victim));
+    const auto result = mem.readData(victim);
+    EXPECT_EQ(result.levelHit, 2u);
+}
+
+TEST(Hierarchy, DiftPenaltyAppliesToL2Accesses)
+{
+    MemHierarchy plain;
+    MemHierarchyParams params;
+    params.extraL2Latency = 4;
+    MemHierarchy dift(params);
+
+    // L1 hits are unaffected.
+    plain.readData(0x5000);
+    dift.readData(0x5000);
+    EXPECT_EQ(plain.readData(0x5000).latency, dift.readData(0x5000).latency);
+
+    // L2-and-beyond accesses pay the penalty.
+    const auto p = plain.readData(0x6000);
+    const auto d = dift.readData(0x6000);
+    EXPECT_EQ(d.latency, p.latency + 4);
+}
+
+TEST(Hierarchy, WriteAllocates)
+{
+    MemHierarchy mem;
+    mem.writeData(0x7000);
+    EXPECT_TRUE(mem.l1d().contains(0x7000));
+    EXPECT_EQ(mem.readData(0x7000).levelHit, 1u);
+}
+
+TEST(Hierarchy, InvalidateAllResetsResidency)
+{
+    MemHierarchy mem;
+    mem.readData(0x8000);
+    mem.invalidateAll();
+    EXPECT_EQ(mem.readData(0x8000).levelHit, 4u);
+}
+
+TEST(Hierarchy, LatencyMonotonicInLevel)
+{
+    MemHierarchy mem;
+    const auto dram = mem.readData(0x9000);
+    mem.l1d().invalidate(0x9000);
+    mem.l2().invalidate(0x9000);
+    const auto llc = mem.readData(0x9000);
+    mem.l1d().invalidate(0x9000);
+    const auto l2 = mem.readData(0x9000);
+    const auto l1 = mem.readData(0x9000);
+    EXPECT_LT(l1.latency, l2.latency);
+    EXPECT_LT(l2.latency, llc.latency);
+    EXPECT_LT(llc.latency, dram.latency);
+}
+
+} // namespace
+} // namespace csd

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "power/energy.hh"
+
+namespace csd
+{
+namespace
+{
+
+Uop
+uopOf(MicroOpcode op)
+{
+    Uop uop;
+    uop.op = op;
+    return uop;
+}
+
+TEST(Energy, VectorOpsCostMoreThanScalar)
+{
+    EnergyModel model;
+    EXPECT_GT(model.uopEnergy(uopOf(MicroOpcode::VAdd)),
+              model.uopEnergy(uopOf(MicroOpcode::Add)));
+    EXPECT_GT(model.uopEnergy(uopOf(MicroOpcode::FMulPs)),
+              model.uopEnergy(uopOf(MicroOpcode::VAdd)));
+    EXPECT_EQ(model.uopEnergy(uopOf(MicroOpcode::Nop)), 0.0);
+}
+
+TEST(Energy, HuEquationGatingOverhead)
+{
+    // E_overhead ~= 2 * W_H * E_cycle/alpha (paper Eq. 1).
+    EnergyParams params;
+    params.headerAreaRatio = 0.20;
+    params.vpuSwitchingEnergyPerCycle = 3.0;
+    EnergyModel model(params);
+    EXPECT_NEAR(model.gatingOverhead(), 2 * 0.20 * 3.0, 1e-12);
+}
+
+TEST(Energy, BreakEvenRepaysOverhead)
+{
+    EnergyModel model;
+    const Cycles be = model.breakEvenCycles();
+    const double saved_per_cycle = model.params().vpuLeakage -
+                                   model.params().headerLeakage;
+    EXPECT_GE(static_cast<double>(be) * saved_per_cycle,
+              model.gatingOverhead());
+    // One cycle earlier must NOT repay it.
+    EXPECT_LT(static_cast<double>(be - 2) * saved_per_cycle,
+              model.gatingOverhead());
+}
+
+TEST(Energy, BreakEvenScalesWithHeaderRatio)
+{
+    EnergyParams cheap;
+    cheap.headerAreaRatio = 0.05;
+    EnergyParams expensive;
+    expensive.headerAreaRatio = 0.20;
+    EXPECT_LT(EnergyModel(cheap).breakEvenCycles(),
+              EnergyModel(expensive).breakEvenCycles());
+}
+
+TEST(Energy, BreakdownTotalSumsComponents)
+{
+    EnergyBreakdown breakdown;
+    breakdown.coreDynamic = 1;
+    breakdown.coreStatic = 2;
+    breakdown.vpuDynamic = 3;
+    breakdown.vpuStatic = 4;
+    breakdown.headerStatic = 5;
+    breakdown.gatingOverhead = 6;
+    breakdown.frontendDynamic = 7;
+    EXPECT_DOUBLE_EQ(breakdown.total(), 28.0);
+}
+
+TEST(Energy, NonGateableLeakageGuard)
+{
+    // If the header leaks as much as the unit, gating never breaks even.
+    EnergyParams params;
+    params.headerLeakage = params.vpuLeakage;
+    EnergyModel model(params);
+    EXPECT_EQ(model.breakEvenCycles(), ~static_cast<Cycles>(0));
+}
+
+} // namespace
+} // namespace csd

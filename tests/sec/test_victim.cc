@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "sec/victim.hh"
+#include "workloads/aes.hh"
+
+namespace csd
+{
+namespace
+{
+
+const std::array<std::uint8_t, 16> key = {1, 2,  3,  4,  5,  6,  7, 8,
+                                          9, 10, 11, 12, 13, 14, 15, 16};
+
+TEST(Victim, UndefendedHasNoCsdAndNoDiftPenalty)
+{
+    const AesWorkload workload = AesWorkload::build(key);
+    DefenseConfig defense;  // disabled
+    Victim victim(workload.program, defense);
+    EXPECT_EQ(victim.csd(), nullptr);
+    EXPECT_EQ(victim.mem().params().extraL2Latency, 0u);
+    EXPECT_FALSE(victim.defended());
+}
+
+TEST(Victim, DefendedWiresDiftPenaltyAndDecoder)
+{
+    const AesWorkload workload = AesWorkload::build(key);
+    DefenseConfig defense;
+    defense.enabled = true;
+    defense.decoyDRange = workload.tTableRange;
+    defense.taintSources = {workload.keyRange};
+    Victim victim(workload.program, defense);
+    EXPECT_NE(victim.csd(), nullptr);
+    EXPECT_EQ(victim.mem().params().extraL2Latency, 4u);
+    EXPECT_TRUE(victim.csd()->stealthArmed());
+}
+
+TEST(Victim, InvokeRunsOneFullOperation)
+{
+    const AesWorkload workload = AesWorkload::build(key);
+    DefenseConfig defense;
+    Victim victim(workload.program, defense);
+    const auto rk = AesReference::expandKey(key);
+    AesReference::Block pt{};
+    for (unsigned i = 0; i < 16; ++i)
+        pt[i] = static_cast<std::uint8_t>(3 * i + 1);
+    workload.setInput(victim.sim().state().mem, pt);
+    victim.invoke();
+    EXPECT_EQ(workload.output(victim.sim().state().mem),
+              AesReference::encrypt(rk, pt));
+
+    // Invoking again (new input) reuses all machine state.
+    const auto instrs_after_first = victim.sim().instructions();
+    workload.setInput(victim.sim().state().mem, pt);
+    victim.invoke();
+    EXPECT_GT(victim.sim().instructions(), instrs_after_first);
+}
+
+TEST(Victim, InvokeSliceResumesAndRestarts)
+{
+    const AesWorkload workload = AesWorkload::build(key);
+    DefenseConfig defense;
+    Victim victim(workload.program, defense);
+    AesReference::Block pt{};
+    workload.setInput(victim.sim().state().mem, pt);
+
+    // Slice through one encryption.
+    unsigned slices = 0;
+    while (victim.invokeSlice(100)) {
+        ++slices;
+        ASSERT_LT(slices, 100u);
+    }
+    EXPECT_GT(slices, 2u);
+    // Next slice starts a fresh invocation automatically.
+    EXPECT_TRUE(victim.invokeSlice(10));
+}
+
+TEST(Victim, DefendedRunInjectsDecoys)
+{
+    const AesWorkload workload = AesWorkload::build(key);
+    DefenseConfig defense;
+    defense.enabled = true;
+    defense.decoyDRange = workload.tTableRange;
+    defense.taintSources = {workload.keyRange};
+    Victim victim(workload.program, defense);
+    AesReference::Block pt{};
+    workload.setInput(victim.sim().state().mem, pt);
+    victim.invoke();
+    EXPECT_GT(victim.sim().stats().counterValue("decoy_uops_executed"),
+              0u);
+    // The whole T-table region is resident afterwards.
+    for (Addr addr = workload.tTableRange.start;
+         addr < workload.tTableRange.end; addr += cacheBlockSize) {
+        EXPECT_TRUE(victim.mem().l1d().contains(addr) ||
+                    victim.mem().l2().contains(addr));
+    }
+}
+
+} // namespace
+} // namespace csd

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "sec/spy.hh"
+#include "sim/duo.hh"
+
+namespace csd
+{
+namespace
+{
+
+/** A victim that touches a shared line every iteration of a loop. */
+Program
+periodicToucher(Addr line, unsigned iterations, unsigned gap_instrs)
+{
+    ProgramBuilder b;
+    auto outer = b.newLabel();
+    b.movri(Gpr::Rcx, iterations);
+    b.bind(outer);
+    b.load(Gpr::Rax, memAbs(line, MemSize::B8));
+    for (unsigned i = 0; i < gap_instrs; ++i)
+        b.add(Gpr::Rbx, Gpr::Rax);
+    b.subi(Gpr::Rcx, 1);
+    b.jcc(Cond::Ne, outer);
+    b.halt();
+    return b.build();
+}
+
+/** A victim that never touches the line. */
+Program
+quietVictim(unsigned iterations)
+{
+    ProgramBuilder b;
+    auto loop = b.newLabel();
+    b.movri(Gpr::Rcx, iterations);
+    b.bind(loop);
+    b.add(Gpr::Rax, Gpr::Rcx);
+    b.subi(Gpr::Rcx, 1);
+    b.jcc(Cond::Ne, loop);
+    b.halt();
+    return b.build();
+}
+
+TEST(Rdtsc, ReadsMonotonicallyIncreasingCycles)
+{
+    ProgramBuilder b;
+    const Addr out = b.reserveData("out", 16);
+    b.rdtsc();
+    b.store(memAbs(out, MemSize::B8), Gpr::Rax);
+    for (int i = 0; i < 20; ++i)
+        b.imul(Gpr::Rbx, Gpr::Rbx);
+    b.rdtsc();
+    b.store(memAbs(out + 8, MemSize::B8), Gpr::Rax);
+    b.halt();
+    Program prog = b.build();
+
+    Simulation sim(prog);
+    sim.runToHalt();
+    const auto t0 = sim.state().mem.read(out, 8);
+    const auto t1 = sim.state().mem.read(out + 8, 8);
+    EXPECT_GT(t1, t0);
+}
+
+TEST(Clflush, EvictsFromSharedHierarchy)
+{
+    ProgramBuilder b;
+    const Addr buf = b.reserveData("buf", 64, 64);
+    b.load(Gpr::Rax, memAbs(buf, MemSize::B8));   // bring it in
+    b.clflush(memAbs(buf, MemSize::B8));
+    b.halt();
+    Program prog = b.build();
+    Simulation sim(prog);
+    sim.runToHalt();
+    EXPECT_FALSE(sim.mem().l1d().contains(buf));
+    EXPECT_FALSE(sim.mem().llc().contains(buf));
+}
+
+TEST(Duo, SharedCacheIsVisibleAcrossContexts)
+{
+    const Addr line = 0x20000000;
+    Program toucher = periodicToucher(line, 5, 2);
+    Program quiet = quietVictim(50);
+    DuoSimulation duo(toucher, quiet);
+    duo.run(50, 100000);
+    EXPECT_TRUE(duo.bothHalted());
+    // The second context's hierarchy view includes the first's fill.
+    EXPECT_TRUE(duo.mem().llc().contains(line));
+    EXPECT_EQ(&duo.first().mem(), &duo.second().mem());
+}
+
+TEST(Duo, SimulatedSpyDetectsVictimActivity)
+{
+    const Addr line = 0x20000040;
+    // Active victim: touches the line constantly.
+    Program active = periodicToucher(line, 4000, 6);
+    // Probe interval ~one victim quantum: each probe window contains
+    // victim activity.
+    SpyWorkload spy = SpyWorkload::buildFlushReload(line, 40, 120);
+
+    DuoSimulation duo(active, spy.program);
+    duo.run(150, 4000000);
+    ASSERT_TRUE(duo.second().halted());
+
+    const auto latencies = spy.latencies(duo.second().state().mem);
+    // While the victim is alive, reloads are fast (victim re-fetches
+    // the line between flushes).
+    unsigned fast = 0;
+    const auto threshold = spy.calibrateThreshold(duo.second().state().mem);
+    for (bool hit : spy.hits(duo.second().state().mem, threshold))
+        fast += hit;
+    EXPECT_GT(fast, latencies.size() / 4);
+}
+
+TEST(Duo, SimulatedSpySeesSilenceFromQuietVictim)
+{
+    const Addr line = 0x20000080;
+    Program quiet = quietVictim(30000);
+    SpyWorkload spy = SpyWorkload::buildFlushReload(line, 30, 32);
+
+    DuoSimulation duo(quiet, spy.program);
+    duo.run(200, 4000000);
+    ASSERT_TRUE(duo.second().halted());
+
+    // Nobody reloads the line: every probe is a slow (DRAM) reload.
+    const auto latencies = spy.latencies(duo.second().state().mem);
+    std::uint32_t min_latency = ~0u;
+    for (auto v : latencies)
+        min_latency = std::min(min_latency, v);
+    EXPECT_GT(min_latency, 20u);
+}
+
+TEST(Duo, SpyLatenciesAreBimodalAgainstBurstyVictim)
+{
+    const Addr line = 0x200000c0;
+    // Victim alternates long quiet phases and touch phases.
+    ProgramBuilder b;
+    auto outer = b.newLabel();
+    auto quiet_loop = b.newLabel();
+    auto touch_loop = b.newLabel();
+    b.movri(Gpr::Rbp, 40);
+    b.bind(outer);
+    b.movri(Gpr::Rcx, 400);
+    b.bind(quiet_loop);
+    b.add(Gpr::Rax, Gpr::Rcx);
+    b.subi(Gpr::Rcx, 1);
+    b.jcc(Cond::Ne, quiet_loop);
+    b.movri(Gpr::Rcx, 100);
+    b.bind(touch_loop);
+    b.load(Gpr::Rdx, memAbs(line, MemSize::B8));
+    b.subi(Gpr::Rcx, 1);
+    b.jcc(Cond::Ne, touch_loop);
+    b.subi(Gpr::Rbp, 1);
+    b.jcc(Cond::Ne, outer);
+    b.halt();
+    Program bursty = b.build();
+
+    SpyWorkload spy = SpyWorkload::buildFlushReload(line, 60, 120);
+    DuoSimulation duo(bursty, spy.program);
+    duo.run(150, 6000000);
+    ASSERT_TRUE(duo.second().halted());
+
+    const auto threshold = spy.calibrateThreshold(duo.second().state().mem);
+    unsigned fast = 0, slow = 0;
+    for (bool hit : spy.hits(duo.second().state().mem, threshold))
+        hit ? ++fast : ++slow;
+    // Both clusters present: the victim's phases are visible.
+    EXPECT_GT(fast, 3u);
+    EXPECT_GT(slow, 3u);
+}
+
+} // namespace
+} // namespace csd

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "csd/csd.hh"
+#include "sim/simulation.hh"
+
+namespace csd
+{
+namespace
+{
+
+/**
+ * Robustness fuzzing: random programs through the full detailed
+ * pipeline must never wedge or violate basic accounting invariants,
+ * with and without the context-sensitive decoder active.
+ */
+
+Program
+randomProgram(Random &rng, unsigned body_instrs)
+{
+    ProgramBuilder b;
+    const Addr buf = b.reserveData("buf", 64 * 1024, 64);
+    const auto mask =
+        static_cast<std::int64_t>((64 * 1024 - 1) & ~63ull);
+
+    auto outer = b.newLabel();
+    b.movri(Gpr::Rbx, static_cast<std::int64_t>(buf));
+    b.movri(Gpr::R12, 0);
+    b.movri(Gpr::Rbp, 8);  // outer trip count
+    b.bind(outer);
+
+    for (unsigned i = 0; i < body_instrs; ++i) {
+        const Gpr dst = static_cast<Gpr>(8 + rng.below(4));
+        const Gpr src = static_cast<Gpr>(8 + rng.below(4));
+        switch (rng.below(12)) {
+          case 0:
+            b.load(dst, memIdx(Gpr::Rbx, Gpr::R12, 1, 0, MemSize::B8));
+            break;
+          case 1:
+            b.store(memIdx(Gpr::Rbx, Gpr::R12, 1, 8, MemSize::B8), src);
+            break;
+          case 2:
+            b.addi(Gpr::R12, 64);
+            b.andi(Gpr::R12, mask);
+            break;
+          case 3:
+            b.imul(dst, src);
+            break;
+          case 4: {
+            auto skip = b.newLabel();
+            b.testi(dst, 3);
+            b.jcc(Cond::Ne, skip);
+            b.xori(dst, 0x55);
+            b.bind(skip);
+            break;
+          }
+          case 5:
+            b.push(src);
+            b.pop(dst);
+            break;
+          case 6:
+            b.vecOp(MacroOpcode::Paddd, static_cast<Xmm>(rng.below(4)),
+                    static_cast<Xmm>(rng.below(4)));
+            break;
+          case 7:
+            b.vecOp(MacroOpcode::Pmullw, static_cast<Xmm>(rng.below(4)),
+                    static_cast<Xmm>(rng.below(4)));
+            break;
+          case 8:
+            b.aluMem(MacroOpcode::XorM, dst,
+                     memIdx(Gpr::Rbx, Gpr::R12, 1, 16, MemSize::B4),
+                     OpWidth::W32);
+            break;
+          case 9:
+            b.aluImm(MacroOpcode::RolI, dst, 1 + rng.below(31));
+            break;
+          case 10:
+            b.cpuid();
+            break;
+          default:
+            b.add(dst, src);
+            break;
+        }
+    }
+    b.subi(Gpr::Rbp, 1);
+    b.jcc(Cond::Ne, outer);
+    b.halt();
+    return b.build();
+}
+
+class SimFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SimFuzz, DetailedPipelineInvariants)
+{
+    Random rng(GetParam());
+    Program prog = randomProgram(rng, 120);
+
+    SimParams params;
+    params.maxInstructions = 200000;
+    Simulation sim(prog, params);
+    sim.runToHalt();
+
+    ASSERT_TRUE(sim.halted()) << "program wedged";
+    // Accounting invariants.
+    EXPECT_GT(sim.cycles(), 0u);
+    EXPECT_GE(sim.uopsExecuted(), sim.instructions());
+    EXPECT_GE(sim.slotsDelivered(), sim.instructions() / 2);
+    // IPC physically bounded by the 4-wide commit (fused domain).
+    EXPECT_LE(static_cast<double>(sim.slotsDelivered()) / sim.cycles(),
+              4.05);
+    // Energy is finite and positive.
+    EXPECT_GT(sim.energy().total(), 0.0);
+}
+
+TEST_P(SimFuzz, CsdModesPreserveArchitecture)
+{
+    Random rng(GetParam() ^ 0xf00d);
+    Program prog = randomProgram(rng, 100);
+
+    SimParams params;
+    params.maxInstructions = 200000;
+
+    // Plain run.
+    Simulation plain(prog, params);
+    plain.runToHalt();
+    ASSERT_TRUE(plain.halted());
+
+    // Devectorize everything + timing noise, same program.
+    MsrFile msrs;
+    ContextSensitiveDecoder csd(msrs);
+    msrs.setControl(ctrlTimingNoise);
+    csd.setDevectorize(true);
+    Simulation modded(prog, params);
+    modded.setCsd(&csd);
+    modded.runToHalt();
+    ASSERT_TRUE(modded.halted());
+
+    // Architectural state identical in every register.
+    for (unsigned r = 0; r < numGprs; ++r) {
+        EXPECT_EQ(modded.state().gpr(static_cast<Gpr>(r)),
+                  plain.state().gpr(static_cast<Gpr>(r)))
+            << gprName(static_cast<Gpr>(r));
+    }
+    for (unsigned x = 0; x < 4; ++x) {
+        EXPECT_EQ(modded.state().xmm(static_cast<Xmm>(x)),
+                  plain.state().xmm(static_cast<Xmm>(x)))
+            << xmmName(static_cast<Xmm>(x));
+    }
+}
+
+TEST_P(SimFuzz, DeterministicAcrossRuns)
+{
+    Random rng(GetParam() ^ 0xd5);
+    Program prog = randomProgram(rng, 80);
+    SimParams params;
+    params.maxInstructions = 100000;
+
+    Simulation a(prog, params), b(prog, params);
+    a.runToHalt();
+    b.runToHalt();
+    EXPECT_EQ(a.cycles(), b.cycles());
+    EXPECT_EQ(a.uopsExecuted(), b.uopsExecuted());
+    EXPECT_EQ(a.state().gpr(Gpr::R8), b.state().gpr(Gpr::R8));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimFuzz,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u));
+
+} // namespace
+} // namespace csd

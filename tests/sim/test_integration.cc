@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "csd/csd.hh"
+#include "sim/simulation.hh"
+#include "workloads/aes.hh"
+#include "workloads/rsa.hh"
+
+namespace csd
+{
+namespace
+{
+
+/**
+ * Full-stack integration: the detailed pipeline, DIFT, stealth mode,
+ * MCU instrumentation, and timing noise running together must still
+ * compute correct ciphertext — the paper's "insecure executable
+ * instantly becomes a secure executable" with zero semantic change.
+ */
+
+const std::array<std::uint8_t, 16> key = {
+    0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+    0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f};
+
+AesReference::Block
+fipsPlain()
+{
+    return {0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+            0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff};
+}
+
+AesReference::Block
+fipsCipher()
+{
+    return {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+            0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a};
+}
+
+TEST(Integration, EverythingOnAtOnceStillEncryptsCorrectly)
+{
+    const AesWorkload workload = AesWorkload::build(key);
+
+    SimParams params;
+    params.mem.extraL2Latency = 4;
+    Simulation sim(workload.program, params);
+
+    MsrFile msrs;
+    TaintTracker taint;
+    ContextSensitiveDecoder csd(msrs, &taint);
+
+    // Stealth + DIFT.
+    taint.addTaintSource(workload.keyRange);
+    msrs.setWatchdogPeriod(500);
+    msrs.setDecoyDRange(0, workload.tTableRange);
+    // Timing noise on top.
+    msrs.setControl(ctrlStealthEnable | ctrlDiftTrigger |
+                    ctrlTimingNoise);
+
+    // And an MCU instrumentation rule for every Load.
+    McuBlob blob;
+    McuEntry entry;
+    entry.targetOpcode = MacroOpcode::Load;
+    ProgramBuilder ib;
+    ib.addi(Gpr::Rax, 1);
+    entry.nativeCode = ib.build().code();
+    blob.entries.push_back(entry);
+    sealMcu(blob);
+    ASSERT_TRUE(csd.mcu().applyUpdate(blob));
+    csd.setMcuMode(true);
+
+    sim.setTaintTracker(&taint);
+    sim.setCsd(&csd);
+
+    workload.setInput(sim.state().mem, fipsPlain());
+    sim.runToHalt();
+
+    EXPECT_EQ(workload.output(sim.state().mem), fipsCipher());
+    EXPECT_GT(sim.stats().counterValue("decoy_uops_executed"), 0u);
+    EXPECT_GT(csd.stats().counterValue("noise_uops"), 0u);
+    EXPECT_GT(csd.stats().counterValue("mcu_flows"), 0u);
+}
+
+TEST(Integration, StealthCorrectInDetailedMode)
+{
+    // Stealth mode through the full OoO pipeline (not just cache-only)
+    // preserves the FIPS ciphertext and costs bounded overhead.
+    const AesWorkload workload = AesWorkload::build(key);
+
+    Simulation plain(workload.program);
+    workload.setInput(plain.state().mem, fipsPlain());
+    plain.runToHalt();
+    ASSERT_EQ(workload.output(plain.state().mem), fipsCipher());
+
+    SimParams params;
+    params.mem.extraL2Latency = 4;
+    Simulation defended(workload.program, params);
+    MsrFile msrs;
+    TaintTracker taint;
+    ContextSensitiveDecoder csd(msrs, &taint);
+    taint.addTaintSource(workload.keyRange);
+    msrs.setWatchdogPeriod(1000);
+    msrs.setDecoyDRange(0, workload.tTableRange);
+    msrs.setControl(ctrlStealthEnable | ctrlDiftTrigger);
+    defended.setTaintTracker(&taint);
+    defended.setCsd(&csd);
+
+    workload.setInput(defended.state().mem, fipsPlain());
+    defended.runToHalt();
+    EXPECT_EQ(workload.output(defended.state().mem), fipsCipher());
+
+    // Bounded overhead (paper: <10% steady state; one cold block is
+    // noisier, so allow 2x here).
+    EXPECT_LT(defended.cycles(), 2 * plain.cycles());
+}
+
+TEST(Integration, RsaDefendedStillComputesModexp)
+{
+    const RsaWorkload workload = RsaWorkload::build(
+        {0x12345678u, 0x0abcdef0u}, {0xc0000001u, 0xd0000001u}, 0x2f1,
+        10);
+    const auto expected = RsaReference::modexp(
+        {0x12345678u, 0x0abcdef0u}, {0xc0000001u, 0xd0000001u}, 0x2f1,
+        10);
+
+    SimParams params;
+    params.mem.extraL2Latency = 4;
+    Simulation sim(workload.program, params);
+    MsrFile msrs;
+    TaintTracker taint;
+    ContextSensitiveDecoder csd(msrs, &taint);
+    taint.addTaintSource(workload.exponentRange);
+    taint.addTaintSource(workload.resultRange);
+    msrs.setWatchdogPeriod(400);
+    msrs.setDecoyIRange(0, workload.multiplyRange);
+    msrs.setControl(ctrlStealthEnable | ctrlDiftTrigger);
+    sim.setTaintTracker(&taint);
+    sim.setCsd(&csd);
+
+    sim.runToHalt();
+    EXPECT_EQ(workload.result(sim.state().mem), expected);
+    EXPECT_GT(sim.stats().counterValue("decoy_uops_executed"), 0u);
+}
+
+} // namespace
+} // namespace csd

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "uop/uop.hh"
+
+namespace csd
+{
+namespace
+{
+
+TEST(RegId, FlatIndicesAreUnique)
+{
+    std::vector<bool> seen(numFlatRegs, false);
+    for (unsigned i = 0; i < numIntUopRegs; ++i) {
+        const RegId reg(RegClass::Int, static_cast<std::uint8_t>(i));
+        ASSERT_LT(reg.flatIndex(), numFlatRegs);
+        EXPECT_FALSE(seen[reg.flatIndex()]);
+        seen[reg.flatIndex()] = true;
+    }
+    for (unsigned i = 0; i < numVecUopRegs; ++i) {
+        const RegId reg(RegClass::Vec, static_cast<std::uint8_t>(i));
+        ASSERT_LT(reg.flatIndex(), numFlatRegs);
+        EXPECT_FALSE(seen[reg.flatIndex()]);
+        seen[reg.flatIndex()] = true;
+    }
+    const RegId flags = flagsReg();
+    ASSERT_LT(flags.flatIndex(), numFlatRegs);
+    EXPECT_FALSE(seen[flags.flatIndex()]);
+}
+
+TEST(RegId, TempPredicates)
+{
+    EXPECT_TRUE(intTemp(0).isIntTemp());
+    EXPECT_FALSE(intReg(Gpr::Rax).isIntTemp());
+    EXPECT_TRUE(vecTemp(0).isVecTemp());
+    EXPECT_FALSE(vecReg(Xmm::Xmm3).isVecTemp());
+    EXPECT_FALSE(RegId().valid());
+    EXPECT_TRUE(intReg(Gpr::Rax).valid());
+}
+
+TEST(Uop, FuClassMapping)
+{
+    Uop uop;
+    uop.op = MicroOpcode::Add;
+    EXPECT_EQ(fuClass(uop), FuClass::IntAlu);
+    uop.op = MicroOpcode::Mul;
+    EXPECT_EQ(fuClass(uop), FuClass::IntMul);
+    uop.op = MicroOpcode::Load;
+    EXPECT_EQ(fuClass(uop), FuClass::MemLoad);
+    uop.op = MicroOpcode::StoreVec;
+    EXPECT_EQ(fuClass(uop), FuClass::MemStore);
+    uop.op = MicroOpcode::Br;
+    EXPECT_EQ(fuClass(uop), FuClass::Branch);
+    uop.op = MicroOpcode::VAdd;
+    EXPECT_EQ(fuClass(uop), FuClass::VecAlu);
+    uop.op = MicroOpcode::FMulPs;
+    EXPECT_EQ(fuClass(uop), FuClass::VecMul);
+    uop.op = MicroOpcode::FDivPs;
+    EXPECT_EQ(fuClass(uop), FuClass::VecFpDiv);
+}
+
+TEST(Uop, VpuBinding)
+{
+    Uop uop;
+    uop.op = MicroOpcode::VAdd;
+    EXPECT_TRUE(onVpu(uop));
+    uop.op = MicroOpcode::FDivPs;
+    EXPECT_TRUE(onVpu(uop));
+    uop.op = MicroOpcode::Add;
+    EXPECT_FALSE(onVpu(uop));
+    // Vector loads/stores go through the memory ports, not the VPU.
+    uop.op = MicroOpcode::LoadVec;
+    EXPECT_FALSE(onVpu(uop));
+}
+
+TEST(Uop, LatenciesOrdered)
+{
+    Uop alu, mul, div;
+    alu.op = MicroOpcode::Add;
+    mul.op = MicroOpcode::Mul;
+    div.op = MicroOpcode::FDivPs;
+    EXPECT_LT(fuLatency(alu), fuLatency(mul));
+    EXPECT_LT(fuLatency(mul), fuLatency(div));
+}
+
+TEST(Uop, Predicates)
+{
+    Uop uop;
+    uop.op = MicroOpcode::Load;
+    EXPECT_TRUE(uop.isLoad());
+    EXPECT_TRUE(uop.isMem());
+    EXPECT_FALSE(uop.isStore());
+    uop.op = MicroOpcode::StoreImm;
+    EXPECT_TRUE(uop.isStore());
+    uop.op = MicroOpcode::BrInd;
+    EXPECT_TRUE(uop.isBranch());
+    EXPECT_FALSE(uop.isMem());
+}
+
+TEST(Uop, ToStringShowsDecoyMarker)
+{
+    Uop uop;
+    uop.op = MicroOpcode::Load;
+    uop.dst = intTemp(1);
+    uop.src1 = intTemp(0);
+    uop.decoy = true;
+    const std::string text = toString(uop);
+    EXPECT_EQ(text[0], '*');
+    EXPECT_NE(text.find("ld"), std::string::npos);
+    EXPECT_NE(text.find("t1"), std::string::npos);
+}
+
+TEST(Uop, RegNames)
+{
+    EXPECT_EQ(regName(intReg(Gpr::Rax)), "rax");
+    EXPECT_EQ(regName(intTemp(0)), "t0");
+    EXPECT_EQ(regName(vecReg(Xmm::Xmm2)), "xmm2");
+    EXPECT_EQ(regName(vecTemp(3)), "vt3");
+    EXPECT_EQ(regName(flagsReg()), "flags");
+}
+
+} // namespace
+} // namespace csd

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Test helper: run a program to completion with the functional
+ * executor and native translation.
+ */
+
+#ifndef CSD_TESTS_WORKLOADS_RUN_HELPER_HH
+#define CSD_TESTS_WORKLOADS_RUN_HELPER_HH
+
+#include <gtest/gtest.h>
+
+#include "cpu/executor.hh"
+#include "isa/program.hh"
+#include "uop/translate.hh"
+
+namespace csd
+{
+
+inline void
+runFunctional(ArchState &state, const Program &prog,
+              std::uint64_t max_steps = 200000000ull)
+{
+    FunctionalExecutor exec(state);
+    std::uint64_t steps = 0;
+    while (!state.halted) {
+        const MacroOp *op = prog.at(state.pc);
+        ASSERT_NE(op, nullptr) << "no instruction at pc 0x" << std::hex
+                               << state.pc;
+        exec.execute(*op, translateNative(*op));
+        if (++steps > max_steps) {
+            FAIL() << "program did not halt within " << max_steps
+                   << " steps";
+        }
+    }
+}
+
+} // namespace csd
+
+#endif // CSD_TESTS_WORKLOADS_RUN_HELPER_HH

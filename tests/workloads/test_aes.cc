@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "tests/workloads/run_helper.hh"
+#include "workloads/aes.hh"
+
+namespace csd
+{
+namespace
+{
+
+using Block = AesReference::Block;
+
+Block
+blockFromBytes(std::initializer_list<unsigned> bytes)
+{
+    Block block{};
+    unsigned i = 0;
+    for (unsigned b : bytes)
+        block[i++] = static_cast<std::uint8_t>(b);
+    return block;
+}
+
+const std::array<std::uint8_t, 16> fipsKey = {
+    0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+    0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f};
+
+const Block fipsPlain = blockFromBytes(
+    {0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa,
+     0xbb, 0xcc, 0xdd, 0xee, 0xff});
+
+const Block fipsCipher = blockFromBytes(
+    {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7,
+     0x80, 0x70, 0xb4, 0xc5, 0x5a});
+
+TEST(AesReference, Fips197Vector)
+{
+    const auto rk = AesReference::expandKey(fipsKey);
+    EXPECT_EQ(AesReference::encrypt(rk, fipsPlain), fipsCipher);
+}
+
+TEST(AesReference, Fips197Decrypt)
+{
+    const auto dk = AesReference::invExpandKey(fipsKey);
+    EXPECT_EQ(AesReference::decrypt(dk, fipsCipher), fipsPlain);
+}
+
+TEST(AesReference, EncryptDecryptRoundTripRandomKeys)
+{
+    Random rng(42);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::array<std::uint8_t, 16> key{};
+        Block pt{};
+        for (auto &b : key)
+            b = static_cast<std::uint8_t>(rng.next32());
+        for (auto &b : pt)
+            b = static_cast<std::uint8_t>(rng.next32());
+        const auto rk = AesReference::expandKey(key);
+        const auto dk = AesReference::invExpandKey(key);
+        EXPECT_EQ(AesReference::decrypt(dk, AesReference::encrypt(rk, pt)),
+                  pt);
+    }
+}
+
+TEST(AesWorkload, ProgramMatchesReferenceEncrypt)
+{
+    const AesWorkload workload = AesWorkload::build(fipsKey, false);
+    ArchState state;
+    state.loadProgram(workload.program);
+    workload.setInput(state.mem, fipsPlain);
+    runFunctional(state, workload.program);
+    EXPECT_EQ(workload.output(state.mem), fipsCipher);
+}
+
+TEST(AesWorkload, ProgramMatchesReferenceDecrypt)
+{
+    const AesWorkload workload = AesWorkload::build(fipsKey, true);
+    ArchState state;
+    state.loadProgram(workload.program);
+    workload.setInput(state.mem, fipsCipher);
+    runFunctional(state, workload.program);
+    EXPECT_EQ(workload.output(state.mem), fipsPlain);
+}
+
+TEST(AesWorkload, RandomBlocksMatchReference)
+{
+    Random rng(7);
+    std::array<std::uint8_t, 16> key{};
+    for (auto &b : key)
+        b = static_cast<std::uint8_t>(rng.next32());
+    const AesWorkload workload = AesWorkload::build(key, false);
+    const auto rk = AesReference::expandKey(key);
+
+    for (int trial = 0; trial < 10; ++trial) {
+        Block pt{};
+        for (auto &b : pt)
+            b = static_cast<std::uint8_t>(rng.next32());
+        ArchState state;
+        state.loadProgram(workload.program);
+        workload.setInput(state.mem, pt);
+        runFunctional(state, workload.program);
+        EXPECT_EQ(workload.output(state.mem),
+                  AesReference::encrypt(rk, pt))
+            << "trial " << trial;
+    }
+}
+
+TEST(AesWorkload, TTablesSpan64CacheBlocks)
+{
+    const AesWorkload workload = AesWorkload::build(fipsKey, false);
+    EXPECT_EQ(workload.tTableRange.size(), 4096u);
+    EXPECT_EQ(workload.tTableRange.blockCount(), 64u);
+    EXPECT_TRUE(workload.program.hasSymbol("Te0"));
+    EXPECT_TRUE(workload.program.hasSymbol("Te3"));
+}
+
+TEST(AesWorkload, KeyRangeCoversRoundKeys)
+{
+    const AesWorkload workload = AesWorkload::build(fipsKey, false);
+    EXPECT_EQ(workload.keyRange.size(), 44u * 4u);
+    // The key range and T-tables must not overlap (distinct taint
+    // source vs decoy target).
+    EXPECT_FALSE(workload.keyRange.overlaps(workload.tTableRange));
+}
+
+TEST(AesWorkload, ReusableAcrossRestarts)
+{
+    // The same loaded program must be re-runnable by resetting the PC
+    // (the attack harness does this thousands of times).
+    const AesWorkload workload = AesWorkload::build(fipsKey, false);
+    ArchState state;
+    state.loadProgram(workload.program);
+
+    for (int run = 0; run < 3; ++run) {
+        workload.setInput(state.mem, fipsPlain);
+        state.pc = workload.program.entry();
+        state.halted = false;
+        runFunctional(state, workload.program);
+        EXPECT_EQ(workload.output(state.mem), fipsCipher);
+    }
+}
+
+} // namespace
+} // namespace csd

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "tests/workloads/run_helper.hh"
+#include "workloads/blowfish.hh"
+
+namespace csd
+{
+namespace
+{
+
+std::vector<std::uint8_t>
+testKey()
+{
+    return {0xde, 0xad, 0xbe, 0xef, 0x01, 0x23, 0x45, 0x67};
+}
+
+TEST(BlowfishReference, EncryptDecryptRoundTrip)
+{
+    const auto sched = BlowfishReference::expandKey(testKey());
+    Random rng(21);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::uint32_t l = rng.next32();
+        const std::uint32_t r = rng.next32();
+        const auto ct = BlowfishReference::encrypt(sched, l, r);
+        const auto pt =
+            BlowfishReference::decrypt(sched, ct.first, ct.second);
+        EXPECT_EQ(pt.first, l);
+        EXPECT_EQ(pt.second, r);
+    }
+}
+
+TEST(BlowfishReference, DifferentKeysDiffer)
+{
+    const auto a = BlowfishReference::expandKey(testKey());
+    const auto b = BlowfishReference::expandKey({0x42});
+    const auto ca = BlowfishReference::encrypt(a, 1, 2);
+    const auto cb = BlowfishReference::encrypt(b, 1, 2);
+    EXPECT_NE(ca, cb);
+}
+
+TEST(BlowfishReference, KeySizeValidation)
+{
+    EXPECT_THROW(BlowfishReference::expandKey({}), std::runtime_error);
+    EXPECT_THROW(
+        BlowfishReference::expandKey(std::vector<std::uint8_t>(57, 1)),
+        std::runtime_error);
+}
+
+TEST(BlowfishWorkload, EncryptMatchesReference)
+{
+    const auto sched = BlowfishReference::expandKey(testKey());
+    const BlowfishWorkload workload =
+        BlowfishWorkload::build(testKey(), false);
+    Random rng(33);
+    for (int trial = 0; trial < 5; ++trial) {
+        const std::uint32_t l = rng.next32();
+        const std::uint32_t r = rng.next32();
+        ArchState state;
+        state.loadProgram(workload.program);
+        workload.setInput(state.mem, l, r);
+        runFunctional(state, workload.program);
+        EXPECT_EQ(workload.output(state.mem),
+                  BlowfishReference::encrypt(sched, l, r));
+    }
+}
+
+TEST(BlowfishWorkload, DecryptMatchesReference)
+{
+    const auto sched = BlowfishReference::expandKey(testKey());
+    const BlowfishWorkload workload =
+        BlowfishWorkload::build(testKey(), true);
+    const auto ct = BlowfishReference::encrypt(sched, 0xaabbccdd,
+                                               0x11223344);
+    ArchState state;
+    state.loadProgram(workload.program);
+    workload.setInput(state.mem, ct.first, ct.second);
+    runFunctional(state, workload.program);
+    const auto pt = workload.output(state.mem);
+    EXPECT_EQ(pt.first, 0xaabbccddu);
+    EXPECT_EQ(pt.second, 0x11223344u);
+}
+
+TEST(BlowfishWorkload, SboxRangeCovers64Blocks)
+{
+    const BlowfishWorkload workload =
+        BlowfishWorkload::build(testKey(), false);
+    EXPECT_EQ(workload.sboxRange.size(), 4096u);
+    EXPECT_EQ(workload.sboxRange.blockCount(), 64u);
+    EXPECT_FALSE(workload.sboxRange.overlaps(workload.keyRange));
+}
+
+} // namespace
+} // namespace csd

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "tests/workloads/run_helper.hh"
+#include "workloads/rsa.hh"
+
+namespace csd
+{
+namespace
+{
+
+using Num = RsaReference::Num;
+
+/** 64-bit oracle via __uint128_t. */
+std::uint64_t
+oracleModexp(std::uint64_t base, std::uint64_t mod, std::uint64_t exp,
+             unsigned bits)
+{
+    unsigned __int128 r = 1;
+    for (unsigned bit = bits; bit-- > 0;) {
+        r = (r * r) % mod;
+        if ((exp >> bit) & 1)
+            r = (r * static_cast<unsigned __int128>(base)) % mod;
+    }
+    return static_cast<std::uint64_t>(r);
+}
+
+Num
+toNum(std::uint64_t v)
+{
+    return {static_cast<std::uint32_t>(v),
+            static_cast<std::uint32_t>(v >> 32)};
+}
+
+std::uint64_t
+fromNum(const Num &n)
+{
+    std::uint64_t v = 0;
+    for (std::size_t i = n.size(); i-- > 0;)
+        v = (v << 32) | n[i];
+    return v;
+}
+
+TEST(RsaReference, MultiplyMatchesOracle)
+{
+    Random rng(3);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::uint64_t a = rng.next32();
+        const std::uint64_t b = rng.next32();
+        const Num product = RsaReference::multiply(
+            {static_cast<std::uint32_t>(a)},
+            {static_cast<std::uint32_t>(b)});
+        EXPECT_EQ(fromNum(product), a * b);
+    }
+}
+
+TEST(RsaReference, ReduceMatchesOracle)
+{
+    Random rng(5);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::uint64_t x = rng.next64();
+        const std::uint64_t n = (rng.next64() | (1ull << 63));
+        Num xn = toNum(x);
+        const Num reduced = RsaReference::reduce(xn, toNum(n));
+        EXPECT_EQ(fromNum(reduced), x % n) << std::hex << x << " % " << n;
+    }
+}
+
+TEST(RsaReference, ModexpMatchesOracle)
+{
+    Random rng(9);
+    for (int trial = 0; trial < 20; ++trial) {
+        const std::uint64_t mod = rng.next64() | (1ull << 63) | 1;
+        const std::uint64_t base = rng.next64() % mod;
+        const std::uint64_t exp = rng.next64() & 0xffff;
+        const Num result =
+            RsaReference::modexp(toNum(base), toNum(mod), exp, 16);
+        EXPECT_EQ(fromNum(result), oracleModexp(base, mod, exp, 16));
+    }
+}
+
+TEST(RsaReference, CompareOrdering)
+{
+    EXPECT_EQ(RsaReference::compare({1, 0}, {1}), 0);
+    EXPECT_LT(RsaReference::compare({5}, {0, 1}), 0);
+    EXPECT_GT(RsaReference::compare({0, 2}, {0xffffffff, 1}), 0);
+}
+
+TEST(RsaWorkload, ProgramMatchesReference)
+{
+    const std::uint64_t mod = 0xd0000001c0000001ull;
+    const std::uint64_t base = 0x1234567890abcdefull % mod;
+    const std::uint64_t exp = 0xb72d;
+    const unsigned bits = 16;
+    const RsaWorkload workload =
+        RsaWorkload::build(toNum(base), toNum(mod), exp, bits);
+
+    ArchState state;
+    state.loadProgram(workload.program);
+    runFunctional(state, workload.program);
+    EXPECT_EQ(fromNum(workload.result(state.mem)),
+              oracleModexp(base, mod, exp, bits));
+}
+
+TEST(RsaWorkload, RandomInstancesMatchOracle)
+{
+    Random rng(17);
+    for (int trial = 0; trial < 3; ++trial) {
+        const std::uint64_t mod = rng.next64() | (1ull << 63) | 1;
+        const std::uint64_t base = rng.next64() % mod;
+        const std::uint64_t exp = rng.next64() & 0xff;
+        const RsaWorkload workload =
+            RsaWorkload::build(toNum(base), toNum(mod), exp, 8);
+        ArchState state;
+        state.loadProgram(workload.program);
+        runFunctional(state, workload.program);
+        EXPECT_EQ(fromNum(workload.result(state.mem)),
+                  oracleModexp(base, mod, exp, 8))
+            << "trial " << trial;
+    }
+}
+
+TEST(RsaWorkload, FunctionSymbolsAreDistinctAndSpanBlocks)
+{
+    const RsaWorkload workload = RsaWorkload::build(
+        toNum(5), toNum(0xd0000001c0000001ull), 0xabcd, 16);
+    EXPECT_TRUE(workload.multiplyRange.valid());
+    EXPECT_TRUE(workload.squareRange.valid());
+    EXPECT_TRUE(workload.reduceRange.valid());
+    EXPECT_FALSE(workload.multiplyRange.overlaps(workload.squareRange));
+    EXPECT_FALSE(workload.multiplyRange.overlaps(workload.reduceRange));
+    // The multiply function must span at least one I-cache block for
+    // FLUSH+RELOAD to target it.
+    EXPECT_GE(workload.multiplyRange.blockCount(), 1u);
+}
+
+TEST(RsaWorkload, RejectsBadParameters)
+{
+    EXPECT_THROW(RsaWorkload::build({1, 0}, {5}, 3, 4),
+                 std::runtime_error);
+    EXPECT_THROW(RsaWorkload::build({9}, {5}, 3, 4), std::runtime_error);
+    EXPECT_THROW(RsaWorkload::build({1}, {5}, 3, 0), std::runtime_error);
+}
+
+} // namespace
+} // namespace csd

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "tests/workloads/run_helper.hh"
+#include "workloads/spec.hh"
+
+namespace csd
+{
+namespace
+{
+
+TEST(SpecPresets, AllThirteenPresent)
+{
+    const auto &presets = specPresets();
+    EXPECT_EQ(presets.size(), 13u);
+    // The named benchmarks of Figs. 12-16 must all exist.
+    for (const char *name :
+         {"astar", "bwaves", "gamess", "gcc", "gobmk", "milc", "namd",
+          "omnetpp", "sjeng"}) {
+        EXPECT_NO_THROW(specPreset(name)) << name;
+    }
+    EXPECT_THROW(specPreset("nosuchbench"), std::runtime_error);
+}
+
+TEST(SpecPresets, VectorHeavyVsScalarHeavy)
+{
+    EXPECT_LT(specPreset("astar").vectorDensity, 0.05);
+    EXPECT_LT(specPreset("gcc").vectorDensity, 0.05);
+    EXPECT_GT(specPreset("namd").vectorDensity, 0.5);
+    EXPECT_GT(specPreset("lbm").vectorDensity, 0.5);
+    // bwaves/milc: short bursts (shorter than gamess/lbm phases).
+    EXPECT_LT(specPreset("bwaves").vectorPhaseLen,
+              specPreset("lbm").vectorPhaseLen);
+    // namd: heavy activity in micro-bursts with gaps (over-gated by
+    // the static threshold, paper Fig. 16).
+    EXPECT_LT(specPreset("namd").vectorPhaseLen,
+              specPreset("gamess").vectorPhaseLen);
+}
+
+TEST(SpecWorkload, BuildsAndRuns)
+{
+    const SpecWorkload workload =
+        SpecWorkload::build(specPreset("milc"), 2);
+    ArchState state;
+    state.loadProgram(workload.program);
+    runFunctional(state, workload.program, 10000000);
+    EXPECT_TRUE(state.halted);
+    EXPECT_GT(workload.program.size(), 100u);
+}
+
+TEST(SpecWorkload, VectorMixReflectsPreset)
+{
+    const SpecWorkload heavy =
+        SpecWorkload::build(specPreset("namd"), 1);
+    const SpecWorkload light =
+        SpecWorkload::build(specPreset("astar"), 1);
+
+    auto vector_fraction = [](const Program &prog) {
+        unsigned vec = 0;
+        for (const MacroOp &op : prog.code())
+            if (isVector(op.opcode))
+                ++vec;
+        return static_cast<double>(vec) / prog.size();
+    };
+    EXPECT_GT(vector_fraction(heavy.program),
+              5 * vector_fraction(light.program));
+}
+
+TEST(SpecWorkload, DeterministicForSameSeed)
+{
+    const SpecWorkload a = SpecWorkload::build(specPreset("gcc"), 1, 7);
+    const SpecWorkload b = SpecWorkload::build(specPreset("gcc"), 1, 7);
+    ASSERT_EQ(a.program.size(), b.program.size());
+    for (std::size_t i = 0; i < a.program.size(); ++i)
+        EXPECT_EQ(a.program.code()[i].opcode, b.program.code()[i].opcode);
+}
+
+TEST(SpecWorkload, MemoryAccessesStayInWorkset)
+{
+    const SpecWorkload workload =
+        SpecWorkload::build(specPreset("gobmk"), 1);
+    const AddrRange workset = workload.program.symbol("workset");
+
+    ArchState state;
+    state.loadProgram(workload.program);
+    FunctionalExecutor exec(state);
+    std::uint64_t steps = 0;
+    while (!state.halted && steps < 2000000) {
+        const MacroOp *op = workload.program.at(state.pc);
+        ASSERT_NE(op, nullptr);
+        const UopFlow flow = translateNative(*op);
+        const FlowResult result = exec.execute(*op, flow);
+        for (const DynUop &dyn : result.dynUops) {
+            if (dyn.uop->isMem()) {
+                EXPECT_TRUE(workset.contains(dyn.effAddr))
+                    << std::hex << dyn.effAddr;
+            }
+        }
+        ++steps;
+    }
+    EXPECT_TRUE(state.halted);
+}
+
+} // namespace
+} // namespace csd
