@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_decoy_style.dir/bench_ablation_decoy_style.cc.o"
+  "CMakeFiles/bench_ablation_decoy_style.dir/bench_ablation_decoy_style.cc.o.d"
+  "bench_ablation_decoy_style"
+  "bench_ablation_decoy_style.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_decoy_style.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

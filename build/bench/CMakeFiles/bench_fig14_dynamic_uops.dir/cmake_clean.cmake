@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_dynamic_uops.dir/bench_fig14_dynamic_uops.cc.o"
+  "CMakeFiles/bench_fig14_dynamic_uops.dir/bench_fig14_dynamic_uops.cc.o.d"
+  "bench_fig14_dynamic_uops"
+  "bench_fig14_dynamic_uops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_dynamic_uops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig16_sse_breakdown.cc" "bench/CMakeFiles/bench_fig16_sse_breakdown.dir/bench_fig16_sse_breakdown.cc.o" "gcc" "bench/CMakeFiles/bench_fig16_sse_breakdown.dir/bench_fig16_sse_breakdown.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/csd_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sec/CMakeFiles/csd_sec.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/csd_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/csd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/csd/CMakeFiles/csd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/decode/CMakeFiles/csd_decode.dir/DependInfo.cmake"
+  "/root/repo/build/src/dift/CMakeFiles/csd_dift.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/csd_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/csd_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/csd_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/uop/CMakeFiles/csd_uop.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/csd_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/csd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7a_primeprobe_aes.dir/bench_fig7a_primeprobe_aes.cc.o"
+  "CMakeFiles/bench_fig7a_primeprobe_aes.dir/bench_fig7a_primeprobe_aes.cc.o.d"
+  "bench_fig7a_primeprobe_aes"
+  "bench_fig7a_primeprobe_aes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7a_primeprobe_aes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_frontend_micro.dir/bench_frontend_micro.cc.o"
+  "CMakeFiles/bench_frontend_micro.dir/bench_frontend_micro.cc.o.d"
+  "bench_frontend_micro"
+  "bench_frontend_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_frontend_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

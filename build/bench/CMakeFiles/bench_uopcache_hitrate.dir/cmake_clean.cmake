@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_uopcache_hitrate.dir/bench_uopcache_hitrate.cc.o"
+  "CMakeFiles/bench_uopcache_hitrate.dir/bench_uopcache_hitrate.cc.o.d"
+  "bench_uopcache_hitrate"
+  "bench_uopcache_hitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_uopcache_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

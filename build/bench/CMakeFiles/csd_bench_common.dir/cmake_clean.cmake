@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_bench_common.dir/common/bench_util.cc.o"
+  "CMakeFiles/csd_bench_common.dir/common/bench_util.cc.o.d"
+  "CMakeFiles/csd_bench_common.dir/common/crypto_cases.cc.o"
+  "CMakeFiles/csd_bench_common.dir/common/crypto_cases.cc.o.d"
+  "CMakeFiles/csd_bench_common.dir/common/spec_runner.cc.o"
+  "CMakeFiles/csd_bench_common.dir/common/spec_runner.cc.o.d"
+  "libcsd_bench_common.a"
+  "libcsd_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

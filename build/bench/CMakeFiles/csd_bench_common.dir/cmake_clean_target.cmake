@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcsd_bench_common.a"
+)

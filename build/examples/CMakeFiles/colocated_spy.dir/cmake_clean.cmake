@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colocated_spy.dir/colocated_spy.cpp.o"
+  "CMakeFiles/colocated_spy.dir/colocated_spy.cpp.o.d"
+  "colocated_spy"
+  "colocated_spy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colocated_spy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

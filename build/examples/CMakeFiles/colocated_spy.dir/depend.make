@@ -1,0 +1,2 @@
+# Empty dependencies file for colocated_spy.
+# This may be replaced when dependencies are built.

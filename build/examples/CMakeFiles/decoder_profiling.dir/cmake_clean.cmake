@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decoder_profiling.dir/decoder_profiling.cpp.o"
+  "CMakeFiles/decoder_profiling.dir/decoder_profiling.cpp.o.d"
+  "decoder_profiling"
+  "decoder_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decoder_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/devectorization_demo.dir/devectorization_demo.cpp.o"
+  "CMakeFiles/devectorization_demo.dir/devectorization_demo.cpp.o.d"
+  "devectorization_demo"
+  "devectorization_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/devectorization_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microcode_update.dir/microcode_update.cpp.o"
+  "CMakeFiles/microcode_update.dir/microcode_update.cpp.o.d"
+  "microcode_update"
+  "microcode_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microcode_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

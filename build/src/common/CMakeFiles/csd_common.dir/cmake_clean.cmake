@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_common.dir/logging.cc.o"
+  "CMakeFiles/csd_common.dir/logging.cc.o.d"
+  "CMakeFiles/csd_common.dir/stats.cc.o"
+  "CMakeFiles/csd_common.dir/stats.cc.o.d"
+  "libcsd_common.a"
+  "libcsd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/backend.cc" "src/cpu/CMakeFiles/csd_cpu.dir/backend.cc.o" "gcc" "src/cpu/CMakeFiles/csd_cpu.dir/backend.cc.o.d"
+  "/root/repo/src/cpu/branch_pred.cc" "src/cpu/CMakeFiles/csd_cpu.dir/branch_pred.cc.o" "gcc" "src/cpu/CMakeFiles/csd_cpu.dir/branch_pred.cc.o.d"
+  "/root/repo/src/cpu/executor.cc" "src/cpu/CMakeFiles/csd_cpu.dir/executor.cc.o" "gcc" "src/cpu/CMakeFiles/csd_cpu.dir/executor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uop/CMakeFiles/csd_uop.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/csd_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/csd_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/csd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_cpu.dir/backend.cc.o"
+  "CMakeFiles/csd_cpu.dir/backend.cc.o.d"
+  "CMakeFiles/csd_cpu.dir/branch_pred.cc.o"
+  "CMakeFiles/csd_cpu.dir/branch_pred.cc.o.d"
+  "CMakeFiles/csd_cpu.dir/executor.cc.o"
+  "CMakeFiles/csd_cpu.dir/executor.cc.o.d"
+  "libcsd_cpu.a"
+  "libcsd_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/csd/csd.cc" "src/csd/CMakeFiles/csd_core.dir/csd.cc.o" "gcc" "src/csd/CMakeFiles/csd_core.dir/csd.cc.o.d"
+  "/root/repo/src/csd/decoy.cc" "src/csd/CMakeFiles/csd_core.dir/decoy.cc.o" "gcc" "src/csd/CMakeFiles/csd_core.dir/decoy.cc.o.d"
+  "/root/repo/src/csd/devect.cc" "src/csd/CMakeFiles/csd_core.dir/devect.cc.o" "gcc" "src/csd/CMakeFiles/csd_core.dir/devect.cc.o.d"
+  "/root/repo/src/csd/mcu.cc" "src/csd/CMakeFiles/csd_core.dir/mcu.cc.o" "gcc" "src/csd/CMakeFiles/csd_core.dir/mcu.cc.o.d"
+  "/root/repo/src/csd/msr.cc" "src/csd/CMakeFiles/csd_core.dir/msr.cc.o" "gcc" "src/csd/CMakeFiles/csd_core.dir/msr.cc.o.d"
+  "/root/repo/src/csd/profiler.cc" "src/csd/CMakeFiles/csd_core.dir/profiler.cc.o" "gcc" "src/csd/CMakeFiles/csd_core.dir/profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/decode/CMakeFiles/csd_decode.dir/DependInfo.cmake"
+  "/root/repo/build/src/dift/CMakeFiles/csd_dift.dir/DependInfo.cmake"
+  "/root/repo/build/src/uop/CMakeFiles/csd_uop.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/csd_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/csd_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/csd_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/csd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

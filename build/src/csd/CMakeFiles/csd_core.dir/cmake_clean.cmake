@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_core.dir/csd.cc.o"
+  "CMakeFiles/csd_core.dir/csd.cc.o.d"
+  "CMakeFiles/csd_core.dir/decoy.cc.o"
+  "CMakeFiles/csd_core.dir/decoy.cc.o.d"
+  "CMakeFiles/csd_core.dir/devect.cc.o"
+  "CMakeFiles/csd_core.dir/devect.cc.o.d"
+  "CMakeFiles/csd_core.dir/mcu.cc.o"
+  "CMakeFiles/csd_core.dir/mcu.cc.o.d"
+  "CMakeFiles/csd_core.dir/msr.cc.o"
+  "CMakeFiles/csd_core.dir/msr.cc.o.d"
+  "CMakeFiles/csd_core.dir/profiler.cc.o"
+  "CMakeFiles/csd_core.dir/profiler.cc.o.d"
+  "libcsd_core.a"
+  "libcsd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

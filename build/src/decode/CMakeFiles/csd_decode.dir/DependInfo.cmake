@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/decode/frontend.cc" "src/decode/CMakeFiles/csd_decode.dir/frontend.cc.o" "gcc" "src/decode/CMakeFiles/csd_decode.dir/frontend.cc.o.d"
+  "/root/repo/src/decode/fusion.cc" "src/decode/CMakeFiles/csd_decode.dir/fusion.cc.o" "gcc" "src/decode/CMakeFiles/csd_decode.dir/fusion.cc.o.d"
+  "/root/repo/src/decode/lsd.cc" "src/decode/CMakeFiles/csd_decode.dir/lsd.cc.o" "gcc" "src/decode/CMakeFiles/csd_decode.dir/lsd.cc.o.d"
+  "/root/repo/src/decode/uop_cache.cc" "src/decode/CMakeFiles/csd_decode.dir/uop_cache.cc.o" "gcc" "src/decode/CMakeFiles/csd_decode.dir/uop_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uop/CMakeFiles/csd_uop.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/csd_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/csd_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/csd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

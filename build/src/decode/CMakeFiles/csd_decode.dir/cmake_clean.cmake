@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_decode.dir/frontend.cc.o"
+  "CMakeFiles/csd_decode.dir/frontend.cc.o.d"
+  "CMakeFiles/csd_decode.dir/fusion.cc.o"
+  "CMakeFiles/csd_decode.dir/fusion.cc.o.d"
+  "CMakeFiles/csd_decode.dir/lsd.cc.o"
+  "CMakeFiles/csd_decode.dir/lsd.cc.o.d"
+  "CMakeFiles/csd_decode.dir/uop_cache.cc.o"
+  "CMakeFiles/csd_decode.dir/uop_cache.cc.o.d"
+  "libcsd_decode.a"
+  "libcsd_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

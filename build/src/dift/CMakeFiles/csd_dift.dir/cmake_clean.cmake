@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_dift.dir/taint.cc.o"
+  "CMakeFiles/csd_dift.dir/taint.cc.o.d"
+  "libcsd_dift.a"
+  "libcsd_dift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_dift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

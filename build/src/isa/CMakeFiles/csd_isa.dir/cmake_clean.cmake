@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_isa.dir/macroop.cc.o"
+  "CMakeFiles/csd_isa.dir/macroop.cc.o.d"
+  "CMakeFiles/csd_isa.dir/program.cc.o"
+  "CMakeFiles/csd_isa.dir/program.cc.o.d"
+  "CMakeFiles/csd_isa.dir/registers.cc.o"
+  "CMakeFiles/csd_isa.dir/registers.cc.o.d"
+  "libcsd_isa.a"
+  "libcsd_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_memory.dir/cache.cc.o"
+  "CMakeFiles/csd_memory.dir/cache.cc.o.d"
+  "CMakeFiles/csd_memory.dir/hierarchy.cc.o"
+  "CMakeFiles/csd_memory.dir/hierarchy.cc.o.d"
+  "libcsd_memory.a"
+  "libcsd_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

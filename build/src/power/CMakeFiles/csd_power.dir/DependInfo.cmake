@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/energy.cc" "src/power/CMakeFiles/csd_power.dir/energy.cc.o" "gcc" "src/power/CMakeFiles/csd_power.dir/energy.cc.o.d"
+  "/root/repo/src/power/gating.cc" "src/power/CMakeFiles/csd_power.dir/gating.cc.o" "gcc" "src/power/CMakeFiles/csd_power.dir/gating.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uop/CMakeFiles/csd_uop.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/csd_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/csd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_power.dir/energy.cc.o"
+  "CMakeFiles/csd_power.dir/energy.cc.o.d"
+  "CMakeFiles/csd_power.dir/gating.cc.o"
+  "CMakeFiles/csd_power.dir/gating.cc.o.d"
+  "libcsd_power.a"
+  "libcsd_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_sec.dir/aes_attack.cc.o"
+  "CMakeFiles/csd_sec.dir/aes_attack.cc.o.d"
+  "CMakeFiles/csd_sec.dir/attacker.cc.o"
+  "CMakeFiles/csd_sec.dir/attacker.cc.o.d"
+  "CMakeFiles/csd_sec.dir/rsa_attack.cc.o"
+  "CMakeFiles/csd_sec.dir/rsa_attack.cc.o.d"
+  "CMakeFiles/csd_sec.dir/spy.cc.o"
+  "CMakeFiles/csd_sec.dir/spy.cc.o.d"
+  "CMakeFiles/csd_sec.dir/victim.cc.o"
+  "CMakeFiles/csd_sec.dir/victim.cc.o.d"
+  "libcsd_sec.a"
+  "libcsd_sec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_sec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_sim.dir/duo.cc.o"
+  "CMakeFiles/csd_sim.dir/duo.cc.o.d"
+  "CMakeFiles/csd_sim.dir/simulation.cc.o"
+  "CMakeFiles/csd_sim.dir/simulation.cc.o.d"
+  "libcsd_sim.a"
+  "libcsd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

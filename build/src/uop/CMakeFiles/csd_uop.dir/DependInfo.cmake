@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uop/translate.cc" "src/uop/CMakeFiles/csd_uop.dir/translate.cc.o" "gcc" "src/uop/CMakeFiles/csd_uop.dir/translate.cc.o.d"
+  "/root/repo/src/uop/uop.cc" "src/uop/CMakeFiles/csd_uop.dir/uop.cc.o" "gcc" "src/uop/CMakeFiles/csd_uop.dir/uop.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/csd_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/csd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_uop.dir/translate.cc.o"
+  "CMakeFiles/csd_uop.dir/translate.cc.o.d"
+  "CMakeFiles/csd_uop.dir/uop.cc.o"
+  "CMakeFiles/csd_uop.dir/uop.cc.o.d"
+  "libcsd_uop.a"
+  "libcsd_uop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_uop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

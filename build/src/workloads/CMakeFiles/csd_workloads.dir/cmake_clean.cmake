@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_workloads.dir/aes.cc.o"
+  "CMakeFiles/csd_workloads.dir/aes.cc.o.d"
+  "CMakeFiles/csd_workloads.dir/blowfish.cc.o"
+  "CMakeFiles/csd_workloads.dir/blowfish.cc.o.d"
+  "CMakeFiles/csd_workloads.dir/rijndael.cc.o"
+  "CMakeFiles/csd_workloads.dir/rijndael.cc.o.d"
+  "CMakeFiles/csd_workloads.dir/rsa.cc.o"
+  "CMakeFiles/csd_workloads.dir/rsa.cc.o.d"
+  "CMakeFiles/csd_workloads.dir/spec.cc.o"
+  "CMakeFiles/csd_workloads.dir/spec.cc.o.d"
+  "libcsd_workloads.a"
+  "libcsd_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

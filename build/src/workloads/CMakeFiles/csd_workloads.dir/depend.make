@@ -1,0 +1,2 @@
+# Empty dependencies file for csd_workloads.
+# This may be replaced when dependencies are built.

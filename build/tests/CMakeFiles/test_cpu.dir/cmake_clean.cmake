@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu.dir/cpu/test_arch_state.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/test_arch_state.cc.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/test_backend.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/test_backend.cc.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/test_branch_pred.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/test_branch_pred.cc.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/test_executor.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/test_executor.cc.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/test_executor_diff.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/test_executor_diff.cc.o.d"
+  "test_cpu"
+  "test_cpu.pdb"
+  "test_cpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csd.dir/csd/test_csd.cc.o"
+  "CMakeFiles/test_csd.dir/csd/test_csd.cc.o.d"
+  "CMakeFiles/test_csd.dir/csd/test_decoy.cc.o"
+  "CMakeFiles/test_csd.dir/csd/test_decoy.cc.o.d"
+  "CMakeFiles/test_csd.dir/csd/test_devect.cc.o"
+  "CMakeFiles/test_csd.dir/csd/test_devect.cc.o.d"
+  "CMakeFiles/test_csd.dir/csd/test_mcu.cc.o"
+  "CMakeFiles/test_csd.dir/csd/test_mcu.cc.o.d"
+  "CMakeFiles/test_csd.dir/csd/test_msr.cc.o"
+  "CMakeFiles/test_csd.dir/csd/test_msr.cc.o.d"
+  "CMakeFiles/test_csd.dir/csd/test_noise.cc.o"
+  "CMakeFiles/test_csd.dir/csd/test_noise.cc.o.d"
+  "CMakeFiles/test_csd.dir/csd/test_profiler.cc.o"
+  "CMakeFiles/test_csd.dir/csd/test_profiler.cc.o.d"
+  "test_csd"
+  "test_csd.pdb"
+  "test_csd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

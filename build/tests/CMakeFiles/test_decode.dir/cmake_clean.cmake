@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decode.dir/decode/test_frontend.cc.o"
+  "CMakeFiles/test_decode.dir/decode/test_frontend.cc.o.d"
+  "CMakeFiles/test_decode.dir/decode/test_fusion.cc.o"
+  "CMakeFiles/test_decode.dir/decode/test_fusion.cc.o.d"
+  "CMakeFiles/test_decode.dir/decode/test_lsd.cc.o"
+  "CMakeFiles/test_decode.dir/decode/test_lsd.cc.o.d"
+  "CMakeFiles/test_decode.dir/decode/test_uop_cache.cc.o"
+  "CMakeFiles/test_decode.dir/decode/test_uop_cache.cc.o.d"
+  "test_decode"
+  "test_decode.pdb"
+  "test_decode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dift.dir/dift/test_taint.cc.o"
+  "CMakeFiles/test_dift.dir/dift/test_taint.cc.o.d"
+  "test_dift"
+  "test_dift.pdb"
+  "test_dift[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

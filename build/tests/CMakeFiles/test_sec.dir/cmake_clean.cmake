@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sec.dir/sec/test_attacker.cc.o"
+  "CMakeFiles/test_sec.dir/sec/test_attacker.cc.o.d"
+  "CMakeFiles/test_sec.dir/sec/test_attacks.cc.o"
+  "CMakeFiles/test_sec.dir/sec/test_attacks.cc.o.d"
+  "CMakeFiles/test_sec.dir/sec/test_blowfish_attack.cc.o"
+  "CMakeFiles/test_sec.dir/sec/test_blowfish_attack.cc.o.d"
+  "CMakeFiles/test_sec.dir/sec/test_spy.cc.o"
+  "CMakeFiles/test_sec.dir/sec/test_spy.cc.o.d"
+  "CMakeFiles/test_sec.dir/sec/test_victim.cc.o"
+  "CMakeFiles/test_sec.dir/sec/test_victim.cc.o.d"
+  "test_sec"
+  "test_sec.pdb"
+  "test_sec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

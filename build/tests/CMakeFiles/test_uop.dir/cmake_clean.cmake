@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uop.dir/uop/test_translate.cc.o"
+  "CMakeFiles/test_uop.dir/uop/test_translate.cc.o.d"
+  "CMakeFiles/test_uop.dir/uop/test_uop.cc.o"
+  "CMakeFiles/test_uop.dir/uop/test_uop.cc.o.d"
+  "test_uop"
+  "test_uop.pdb"
+  "test_uop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads.dir/workloads/test_aes.cc.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_aes.cc.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_blowfish.cc.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_blowfish.cc.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_rijndael.cc.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_rijndael.cc.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_rsa.cc.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_rsa.cc.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_rsa_scaling.cc.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_rsa_scaling.cc.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_spec.cc.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_spec.cc.o.d"
+  "test_workloads"
+  "test_workloads.pdb"
+  "test_workloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
