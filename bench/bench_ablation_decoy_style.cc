@@ -65,8 +65,9 @@ runWithStyle(const CryptoCase &c, DecoyStyle style)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     benchHeader("Ablation", "Decoy micro-loop vs unrolled decoys",
                 "Same obfuscation coverage; different front-end cost.");
 

@@ -51,8 +51,9 @@ runOnce(const AesWorkload &workload, unsigned max_nops,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     benchHeader("Ablation", "Timing-noise NOP injection (§IV-E)",
                 "Overhead and run-to-run spread vs noise amplitude.");
 

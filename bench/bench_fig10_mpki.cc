@@ -17,8 +17,9 @@ using namespace csd;
 using namespace csd::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     benchHeader("Figure 10", "L1D misses per kilo-instruction",
                 "Baseline vs stealth mode; decoy loads mostly hit.");
 

@@ -17,8 +17,9 @@ using namespace csd;
 using namespace csd::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     benchHeader("Figure 11",
                 "Normalized execution time vs watchdog period",
                 "Stealth mode; period swept 1000..10000 cycles.");

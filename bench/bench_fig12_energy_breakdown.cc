@@ -19,8 +19,9 @@ using namespace csd;
 using namespace csd::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     benchHeader("Figure 12", "Energy breakdown, normalized to "
                              "conventional power gating",
                 "Components: core dynamic / core static / VPU dynamic /"

@@ -17,8 +17,9 @@ using namespace csd;
 using namespace csd::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     benchHeader("Figure 13",
                 "Execution time (normalized to Always-On)",
                 "Policies: Always-On / CSD devectorization / "

@@ -17,8 +17,9 @@ using namespace csd;
 using namespace csd::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     benchHeader("Figure 14",
                 "Dynamic micro-ops (normalized to Always-On)", "");
 

@@ -18,8 +18,9 @@ using namespace csd;
 using namespace csd::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     benchHeader("Figure 15", "VPU power-gated time (CSD policy)", "");
 
     SpecRunConfig config;

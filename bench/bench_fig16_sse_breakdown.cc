@@ -41,8 +41,9 @@ addBreakdownRow(Table &table, const SpecRunResult &result)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     benchHeader("Figure 16",
                 "SSE instructions by VPU state (CSD policy)",
                 "PoweredOn = ran on the VPU; PoweringOn = scalarized "

@@ -66,8 +66,9 @@ report(const char *label, const AesAttackResult &result)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     benchHeader("Figure 7a",
                 "PRIME+PROBE attack on OpenSSL-style T-table AES",
                 "Chosen plaintexts; D-cache side channel; scaled sample"

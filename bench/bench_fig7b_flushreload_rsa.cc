@@ -66,8 +66,9 @@ report(const char *label, const RsaWorkload &,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     benchHeader("Figure 7b",
                 "FLUSH+RELOAD attack on GnuPG-style RSA",
                 "I-cache side channel on the `multiply` function; "

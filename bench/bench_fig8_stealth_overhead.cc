@@ -17,8 +17,9 @@ using namespace csd;
 using namespace csd::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     benchHeader("Figure 8", "Stealth-mode execution time (normalized)",
                 "8 datapoints: {AES, RSA, Blowfish, Rijndael} x "
                 "{encrypt, decrypt}; NoOpt vs Opt front ends.");

@@ -16,8 +16,9 @@ using namespace csd;
 using namespace csd::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     benchHeader("Table I", "Baseline processor configuration",
                 "Values read from the live SimParams defaults.");
 

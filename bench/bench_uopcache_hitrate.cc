@@ -25,8 +25,9 @@ using namespace csd;
 using namespace csd::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     benchHeader("uop-cache hit rate (paper §VII-A text)",
                 "Micro-op cache effectiveness under stealth mode",
                 "Context tag bits vs flush-on-switch ablation included.");
@@ -61,6 +62,12 @@ main()
                   pct(mean(base_f)), pct(mean(st_f)),
                   pct(mean(st_flush))});
     table.print();
+
+    benchStat("avg_base_hit_rate_no_fusion", mean(base_nf));
+    benchStat("avg_stealth_hit_rate_no_fusion", mean(st_nf));
+    benchStat("avg_base_hit_rate_fusion", mean(base_f));
+    benchStat("avg_stealth_hit_rate_fusion", mean(st_f));
+    benchStat("avg_stealth_hit_rate_flush_ablation", mean(st_flush));
 
     std::printf("\nPaper: 44%%->39%% (no fusion), 43%%->42%% (fusion); "
                 "the fusion configuration is far more stable under "

@@ -2,21 +2,207 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <sstream>
+#include <utility>
+
+#include "common/stats.hh"
 
 namespace csd::bench
 {
+
+namespace
+{
+
+// --- sidecar state ---------------------------------------------------------
+
+struct SidecarTable
+{
+    std::string name;
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+struct SidecarStat
+{
+    std::string key;
+    bool numeric = false;
+    double number = 0.0;
+    std::string text;
+};
+
+struct Sidecar
+{
+    std::string path;
+    std::string artifact;
+    std::string title;
+    std::vector<SidecarTable> tables;
+    std::vector<SidecarStat> stats;
+    bool atexitArmed = false;
+    bool written = false;
+};
+
+Sidecar &
+sidecar()
+{
+    static Sidecar s;
+    return s;
+}
+
+void
+armSidecar(std::string path)
+{
+    Sidecar &s = sidecar();
+    s.path = std::move(path);
+    if (!s.path.empty() && !s.atexitArmed) {
+        std::atexit(benchWriteJson);
+        s.atexitArmed = true;
+    }
+}
+
+/** Does the whole cell parse as a number (allowing a trailing '%')? */
+bool
+numericCell(const std::string &cell)
+{
+    if (cell.empty())
+        return false;
+    std::string body = cell;
+    if (body.back() == '%')
+        body.pop_back();
+    if (body.empty())
+        return false;
+    char *end = nullptr;
+    std::strtod(body.c_str(), &end);
+    return end && *end == '\0';
+}
+
+void
+jsonCell(std::ostream &os, const std::string &cell)
+{
+    os << "\"" << jsonEscape(cell) << "\"";
+}
+
+} // namespace
+
+void
+benchInit(int argc, char **argv)
+{
+    std::string path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc)
+            path = argv[++i];
+        else if (arg.rfind("--json=", 0) == 0)
+            path = arg.substr(7);
+    }
+    if (path.empty()) {
+        if (const char *env = std::getenv("CSD_BENCH_JSON"))
+            path = env;
+    }
+    armSidecar(std::move(path));
+}
 
 void
 benchHeader(const std::string &artifact, const std::string &title,
             const std::string &notes)
 {
+    Sidecar &s = sidecar();
+    s.artifact = artifact;
+    s.title = title;
+    // benchInit() may have been skipped; honor the environment anyway.
+    if (s.path.empty()) {
+        if (const char *env = std::getenv("CSD_BENCH_JSON"))
+            armSidecar(env);
+    }
+
     std::printf("================================================================\n");
     std::printf("%s — %s\n", artifact.c_str(), title.c_str());
     if (!notes.empty())
         std::printf("%s\n", notes.c_str());
     std::printf("================================================================\n");
 }
+
+bool
+benchJsonEnabled()
+{
+    return !sidecar().path.empty();
+}
+
+void
+benchStat(const std::string &key, double value)
+{
+    SidecarStat stat;
+    stat.key = key;
+    stat.numeric = true;
+    stat.number = value;
+    sidecar().stats.push_back(std::move(stat));
+}
+
+void
+benchStat(const std::string &key, const std::string &value)
+{
+    SidecarStat stat;
+    stat.key = key;
+    stat.text = value;
+    sidecar().stats.push_back(std::move(stat));
+}
+
+void
+benchWriteJson()
+{
+    Sidecar &s = sidecar();
+    if (s.path.empty() || s.written)
+        return;
+    s.written = true;
+
+    std::ofstream os(s.path);
+    if (!os) {
+        std::fprintf(stderr, "bench: cannot write JSON sidecar '%s'\n",
+                     s.path.c_str());
+        return;
+    }
+
+    os << "{\n  \"artifact\": \"" << jsonEscape(s.artifact)
+       << "\",\n  \"title\": \"" << jsonEscape(s.title)
+       << "\",\n  \"stats\": {";
+    for (std::size_t i = 0; i < s.stats.size(); ++i) {
+        const SidecarStat &stat = s.stats[i];
+        os << (i ? ",\n    " : "\n    ") << "\"" << jsonEscape(stat.key)
+           << "\": ";
+        if (stat.numeric && std::isfinite(stat.number))
+            os << stat.number;
+        else if (stat.numeric)
+            os << "null";
+        else
+            jsonCell(os, stat.text);
+    }
+    os << (s.stats.empty() ? "" : "\n  ") << "},\n  \"tables\": [";
+    for (std::size_t t = 0; t < s.tables.size(); ++t) {
+        const SidecarTable &table = s.tables[t];
+        os << (t ? ",\n    " : "\n    ") << "{\"name\": \""
+           << jsonEscape(table.name) << "\", \"headers\": [";
+        for (std::size_t c = 0; c < table.headers.size(); ++c) {
+            if (c)
+                os << ", ";
+            jsonCell(os, table.headers[c]);
+        }
+        os << "], \"rows\": [";
+        for (std::size_t r = 0; r < table.rows.size(); ++r) {
+            os << (r ? ", " : "") << "[";
+            for (std::size_t c = 0; c < table.rows[r].size(); ++c) {
+                if (c)
+                    os << ", ";
+                jsonCell(os, table.rows[r][c]);
+            }
+            os << "]";
+        }
+        os << "]}";
+    }
+    os << (s.tables.empty() ? "" : "\n  ") << "]\n}\n";
+}
+
+// --- Table -----------------------------------------------------------------
 
 Table::Table(std::vector<std::string> headers)
     : headers_(std::move(headers))
@@ -39,10 +225,18 @@ Table::print() const
         for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
             widths[c] = std::max(widths[c], row[c].size());
 
+    // A column is right-aligned iff every non-empty data cell in it is
+    // numeric (counts, percentages).
+    std::vector<bool> numeric(headers_.size(), !rows_.empty());
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            if (!row[c].empty() && !numericCell(row[c]))
+                numeric[c] = false;
+
     auto print_row = [&](const std::vector<std::string> &row) {
         for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
-            std::printf("%-*s  ", static_cast<int>(widths[c]),
-                        row[c].c_str());
+            std::printf(numeric[c] ? "%*s  " : "%-*s  ",
+                        static_cast<int>(widths[c]), row[c].c_str());
         std::printf("\n");
     };
     print_row(headers_);
@@ -52,7 +246,51 @@ Table::print() const
     std::printf("%s\n", std::string(total, '-').c_str());
     for (const auto &row : rows_)
         print_row(row);
+
+    // Every printed table lands in the sidecar, named by print order.
+    Sidecar &s = sidecar();
+    if (!s.path.empty()) {
+        SidecarTable copy;
+        copy.name = "table" + std::to_string(s.tables.size() + 1);
+        copy.headers = headers_;
+        copy.rows = rows_;
+        s.tables.push_back(std::move(copy));
+    }
 }
+
+void
+Table::writeCsv(std::ostream &os) const
+{
+    auto csv_cell = [&os](const std::string &cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos) {
+            os << cell;
+            return;
+        }
+        os << '"';
+        for (char c : cell) {
+            if (c == '"')
+                os << '"';
+            os << c;
+        }
+        os << '"';
+    };
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        if (c)
+            os << ',';
+        csv_cell(headers_[c]);
+    }
+    os << '\n';
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            csv_cell(row[c]);
+        }
+        os << '\n';
+    }
+}
+
+// --- numeric helpers -------------------------------------------------------
 
 std::string
 fmt(double value, int precision)

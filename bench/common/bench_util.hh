@@ -1,17 +1,33 @@
 /**
  * @file
  * Shared helpers for the figure-reproduction harnesses: aligned table
- * printing, normalization, and geometric means.
+ * printing with CSV export, normalization, geometric means, and a
+ * machine-readable JSON sidecar.
+ *
+ * Sidecar: call benchInit(argc, argv) first thing in main(). If
+ * `--json <path>` (or `--json=<path>`) is passed, or the
+ * CSD_BENCH_JSON environment variable names a path, every printed
+ * table plus any benchStat() key/values are written there as JSON at
+ * process exit, so the perf trajectory of each figure harness can be
+ * tracked by tooling instead of scraping stdout.
  */
 
 #ifndef CSD_BENCH_COMMON_BENCH_UTIL_HH
 #define CSD_BENCH_COMMON_BENCH_UTIL_HH
 
+#include <ostream>
 #include <string>
 #include <vector>
 
 namespace csd::bench
 {
+
+/**
+ * Parse harness arguments (--json <path>) and arm the JSON sidecar.
+ * Call before benchHeader(). Safe to omit: without it the sidecar is
+ * driven by CSD_BENCH_JSON alone, armed when benchHeader() runs.
+ */
+void benchInit(int argc, char **argv);
 
 /** Print a header identifying the reproduced paper artifact. */
 void benchHeader(const std::string &artifact, const std::string &title,
@@ -24,12 +40,36 @@ class Table
     explicit Table(std::vector<std::string> headers);
 
     void addRow(std::vector<std::string> cells);
+
+    /**
+     * Print aligned text (numeric columns right-aligned) and register
+     * a copy with the JSON sidecar.
+     */
     void print() const;
+
+    /** Write "header,header\ncell,cell\n..." with minimal quoting. */
+    void writeCsv(std::ostream &os) const;
+
+    const std::vector<std::string> &headers() const { return headers_; }
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
 
   private:
     std::vector<std::string> headers_;
     std::vector<std::vector<std::string>> rows_;
 };
+
+/** Record a key run statistic into the JSON sidecar. */
+void benchStat(const std::string &key, double value);
+void benchStat(const std::string &key, const std::string &value);
+
+/** True iff a sidecar path is armed (--json or CSD_BENCH_JSON). */
+bool benchJsonEnabled();
+
+/** Write the sidecar now (also runs automatically at exit). */
+void benchWriteJson();
 
 /** Format a double with @p precision decimals. */
 std::string fmt(double value, int precision = 3);

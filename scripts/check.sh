@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build, and run the full test suite, then
+# rebuild the common/sim tests under ASan+UBSan and run those.
+#
+# Usage: scripts/check.sh [--no-sanitize]
+#   CSD_CHECK_JOBS=N   parallelism (default: nproc)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs="${CSD_CHECK_JOBS:-$(nproc)}"
+sanitize=1
+if [[ "${1:-}" == "--no-sanitize" ]]; then
+    sanitize=0
+fi
+
+echo "== tier-1: build =="
+cmake -S . -B build >/dev/null
+cmake --build build -j"$jobs"
+
+echo "== tier-1: ctest =="
+ctest --test-dir build --output-on-failure -j"$jobs"
+
+if [[ "$sanitize" == 1 ]]; then
+    echo "== sanitize: ASan+UBSan build of common/sim tests =="
+    cmake -S . -B build-asan -DCSD_SANITIZE=ON >/dev/null
+    cmake --build build-asan -j"$jobs" --target test_common test_sim
+    echo "== sanitize: run =="
+    ./build-asan/tests/test_common
+    ./build-asan/tests/test_sim
+fi
+
+echo "check.sh: all green"

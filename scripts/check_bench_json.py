@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Verify a figure harness's JSON sidecar against its printed tables.
+
+Runs the given bench binary with --json <tmp>, captures stdout, and
+checks that:
+  - the sidecar parses as JSON with artifact/title/stats/tables keys,
+  - every table cell in the sidecar also appears in the stdout text
+    (the sidecar mirrors what was printed, not a second computation),
+  - every numeric stat is finite.
+
+Usage: check_bench_json.py <bench-binary> [args...]
+Exit code 0 on success; nonzero with a diagnostic otherwise.
+"""
+
+import json
+import math
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def fail(msg):
+    print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_bench_json.py <bench-binary> [args...]")
+    bench = sys.argv[1]
+
+    fd, path = tempfile.mkstemp(suffix=".json", prefix="bench_sidecar_")
+    os.close(fd)
+    try:
+        proc = subprocess.run(
+            [bench, "--json", path] + sys.argv[2:],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            timeout=600,
+        )
+        if proc.returncode != 0:
+            fail(f"{bench} exited {proc.returncode}:\n{proc.stdout}")
+        stdout = proc.stdout
+
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(f"sidecar unreadable or invalid JSON: {e}")
+
+        for key in ("artifact", "title", "stats", "tables"):
+            if key not in doc:
+                fail(f"sidecar missing key '{key}'")
+        if not doc["tables"]:
+            fail("sidecar holds no tables")
+
+        cells = 0
+        for table in doc["tables"]:
+            for key in ("name", "headers", "rows"):
+                if key not in table:
+                    fail(f"table missing key '{key}'")
+            width = len(table["headers"])
+            for header in table["headers"]:
+                if header not in stdout:
+                    fail(f"header '{header}' not in stdout")
+            for row in table["rows"]:
+                if len(row) != width:
+                    fail(f"row width {len(row)} != header width {width}")
+                for cell in row:
+                    if cell and cell not in stdout:
+                        fail(f"cell '{cell}' not in stdout")
+                    cells += 1
+
+        for key, value in doc["stats"].items():
+            if isinstance(value, (int, float)) and not math.isfinite(value):
+                fail(f"stat '{key}' is not finite")
+
+        print(
+            f"check_bench_json: OK: {os.path.basename(bench)}: "
+            f"{len(doc['tables'])} table(s), {cells} cells, "
+            f"{len(doc['stats'])} stat(s) match stdout"
+        )
+    finally:
+        os.unlink(path)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,252 @@
+#include "common/trace.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace csd
+{
+
+namespace trace_detail
+{
+std::uint32_t mask = 0;
+} // namespace trace_detail
+
+namespace
+{
+
+constexpr std::size_t defaultCapacity = 1u << 16;
+
+const char *const flagNames[static_cast<unsigned>(TraceFlag::NumFlags)] = {
+    "Frontend", "UopCache", "Csd", "Decoy", "Gating", "Cache", "Dift",
+};
+
+std::string
+lower(const std::string &s)
+{
+    std::string out = s;
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+void
+atexitExport()
+{
+    const char *path = std::getenv("CSD_TRACE_FILE");
+    if (path && *path && TraceManager::instance().size() > 0)
+        TraceManager::instance().exportChromeTrace(path);
+}
+
+} // namespace
+
+const char *
+TraceManager::flagName(TraceFlag flag)
+{
+    const auto idx = static_cast<unsigned>(flag);
+    if (idx >= static_cast<unsigned>(TraceFlag::NumFlags))
+        return "?";
+    return flagNames[idx];
+}
+
+std::optional<TraceFlag>
+TraceManager::parseFlag(const std::string &name)
+{
+    const std::string want = lower(name);
+    for (unsigned i = 0; i < static_cast<unsigned>(TraceFlag::NumFlags); ++i)
+        if (lower(flagNames[i]) == want)
+            return static_cast<TraceFlag>(i);
+    return std::nullopt;
+}
+
+TraceManager::TraceManager()
+{
+    ring_.resize(defaultCapacity);
+}
+
+TraceManager &
+TraceManager::instance()
+{
+    // Heap-allocated and leaked on purpose: the tracer must outlive
+    // every static-destruction-order dependency and the atexit export.
+    static TraceManager *manager = [] {
+        auto *m = new TraceManager();
+        m->initFromEnv();
+        return m;
+    }();
+    return *manager;
+}
+
+void
+TraceManager::initFromEnv()
+{
+    if (const char *cap = std::getenv("CSD_TRACE_CAPACITY")) {
+        const long n = std::atol(cap);
+        if (n > 0)
+            setCapacity(static_cast<std::size_t>(n));
+        else
+            warn("CSD_TRACE_CAPACITY='", cap, "' ignored (not a positive ",
+                 "integer)");
+    }
+    if (const char *flags = std::getenv("CSD_TRACE"))
+        configure(flags);
+    if (std::getenv("CSD_TRACE_FILE"))
+        std::atexit(atexitExport);
+}
+
+unsigned
+TraceManager::configure(const std::string &csv)
+{
+    unsigned enabled_count = 0;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        std::string token = csv.substr(pos, comma - pos);
+        pos = comma + 1;
+        // Trim surrounding whitespace.
+        while (!token.empty() && std::isspace(
+                   static_cast<unsigned char>(token.front())))
+            token.erase(token.begin());
+        while (!token.empty() &&
+               std::isspace(static_cast<unsigned char>(token.back())))
+            token.pop_back();
+        if (token.empty())
+            continue;
+        if (auto flag = parseFlag(token)) {
+            enable(*flag);
+            ++enabled_count;
+        } else {
+            std::string known;
+            for (unsigned i = 0;
+                 i < static_cast<unsigned>(TraceFlag::NumFlags); ++i) {
+                if (!known.empty())
+                    known += ", ";
+                known += flagNames[i];
+            }
+            warn("unknown trace flag '", token, "' (known: ", known, ")");
+        }
+    }
+    return enabled_count;
+}
+
+void
+TraceManager::enable(TraceFlag flag)
+{
+    trace_detail::mask |= 1u << static_cast<unsigned>(flag);
+}
+
+void
+TraceManager::disable(TraceFlag flag)
+{
+    trace_detail::mask &= ~(1u << static_cast<unsigned>(flag));
+}
+
+void
+TraceManager::disableAll()
+{
+    trace_detail::mask = 0;
+}
+
+void
+TraceManager::setCapacity(std::size_t capacity)
+{
+    if (capacity == 0)
+        csd_panic("TraceManager: capacity must be positive");
+    ring_.assign(capacity, TraceEvent{});
+    start_ = 0;
+    count_ = 0;
+    dropped_ = 0;
+}
+
+void
+TraceManager::clear()
+{
+    start_ = 0;
+    count_ = 0;
+    dropped_ = 0;
+}
+
+void
+TraceManager::record(TraceFlag flag, const char *name, Tick tick, char phase,
+                     const char *arg_name, double arg)
+{
+    TraceEvent &slot = ring_[(start_ + count_) % ring_.size()];
+    if (count_ == ring_.size()) {
+        // Full: overwrite the oldest event.
+        start_ = (start_ + 1) % ring_.size();
+        ++dropped_;
+    } else {
+        ++count_;
+    }
+    slot = TraceEvent{tick, flag, name, phase, arg_name, arg};
+}
+
+std::vector<TraceEvent>
+TraceManager::events() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(count_);
+    for (std::size_t i = 0; i < count_; ++i)
+        out.push_back(ring_[(start_ + i) % ring_.size()]);
+    return out;
+}
+
+void
+TraceManager::exportChromeTrace(std::ostream &os) const
+{
+    os << "{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [\n";
+
+    // Metadata: name one track (tid) per flag so Perfetto labels rows.
+    bool first = true;
+    for (unsigned i = 0; i < static_cast<unsigned>(TraceFlag::NumFlags);
+         ++i) {
+        os << (first ? "" : ",\n")
+           << "    {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
+           << "\"tid\": " << i << ", \"args\": {\"name\": \""
+           << flagNames[i] << "\"}}";
+        first = false;
+    }
+
+    for (std::size_t i = 0; i < count_; ++i) {
+        const TraceEvent &ev = ring_[(start_ + i) % ring_.size()];
+        os << (first ? "" : ",\n") << "    {\"name\": \""
+           << jsonEscape(ev.name ? ev.name : "?") << "\", \"cat\": \""
+           << flagName(ev.flag) << "\", \"ph\": \"" << ev.phase
+           << "\", \"ts\": " << ev.tick << ", \"pid\": 0, \"tid\": "
+           << static_cast<unsigned>(ev.flag);
+        if (ev.phase == 'i')
+            os << ", \"s\": \"t\"";
+        if (ev.argName) {
+            os << ", \"args\": {\"" << jsonEscape(ev.argName) << "\": ";
+            if (std::isfinite(ev.arg))
+                os << ev.arg;
+            else
+                os << "null";
+            os << "}";
+        }
+        os << "}";
+        first = false;
+    }
+    os << "\n  ]\n}\n";
+}
+
+bool
+TraceManager::exportChromeTrace(const std::string &path) const
+{
+    std::ofstream file(path);
+    if (!file) {
+        warn("TraceManager: cannot open trace file '", path, "'");
+        return false;
+    }
+    exportChromeTrace(file);
+    inform("trace: wrote ", count_, " events to ", path,
+           dropped_ ? " (ring overflowed; oldest events dropped)" : "");
+    return static_cast<bool>(file);
+}
+
+} // namespace csd

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Event tracing (gem5-DPRINTF-style flags, Chrome trace-event export).
+ *
+ * Components guard trace points with a named flag; a disabled flag
+ * costs one mask test and branch. Enabled flags record timestamped
+ * events into a bounded ring buffer that exports as Chrome
+ * trace-event JSON, loadable in chrome://tracing or Perfetto: micro-op
+ * cache hits vs legacy decode, decoy injections, and VPU gate/ungate
+ * transitions appear on a cycle timeline, one track per flag.
+ *
+ * Runtime control:
+ *  - CSD_TRACE=UopCache,Gating   enable flags at startup (CSV of names)
+ *  - CSD_TRACE_FILE=out.json     write the Chrome trace at process exit
+ *  - CSD_TRACE_CAPACITY=N        ring-buffer size (default 65536 events)
+ *
+ * The simulator is single-threaded; the tracer is not thread safe.
+ */
+
+#ifndef CSD_COMMON_TRACE_HH
+#define CSD_COMMON_TRACE_HH
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace csd
+{
+
+/** Named trace flags, one timeline track each. */
+enum class TraceFlag : unsigned
+{
+    Frontend,  //!< delivery-source switches, fetch stalls
+    UopCache,  //!< window probes, fills, context flushes
+    Csd,       //!< context switches, stealth triggers, watchdog fires
+    Decoy,     //!< decoy micro-op injections
+    Gating,    //!< VPU gate/wake transitions, demand wakes
+    Cache,     //!< DRAM accesses, clflushes
+    Dift,      //!< tainted loads/branches detected at decode
+    NumFlags,
+};
+
+namespace trace_detail
+{
+/** Bitmask of enabled flags; raw global so the fast path is one load. */
+extern std::uint32_t mask;
+} // namespace trace_detail
+
+/** Fast-path check compiled into every trace point. */
+inline bool
+traceEnabled(TraceFlag flag)
+{
+    return trace_detail::mask & (1u << static_cast<unsigned>(flag));
+}
+
+/** True iff any flag is enabled. */
+inline bool
+traceAnyEnabled()
+{
+    return trace_detail::mask != 0;
+}
+
+/** One recorded event. Names must be string literals (not copied). */
+struct TraceEvent
+{
+    Tick tick = 0;
+    TraceFlag flag = TraceFlag::Frontend;
+    const char *name = nullptr;
+    char phase = 'i';  //!< Chrome phase: 'i' instant, 'B' begin, 'E' end
+    const char *argName = nullptr;
+    double arg = 0.0;
+};
+
+/** The process-wide tracer. */
+class TraceManager
+{
+  public:
+    /** The singleton (never destroyed; first call reads CSD_TRACE*). */
+    static TraceManager &instance();
+
+    // --- configuration ----------------------------------------------------
+
+    /**
+     * Enable the flags named in a comma-separated list ("UopCache,
+     * Gating"); names are case-insensitive and unknown names warn.
+     * Returns the number of flags enabled.
+     */
+    unsigned configure(const std::string &csv);
+
+    void enable(TraceFlag flag);
+    void disable(TraceFlag flag);
+    void disableAll();
+    bool enabled(TraceFlag flag) const { return traceEnabled(flag); }
+
+    /** Resize the ring buffer (drops recorded events). */
+    void setCapacity(std::size_t capacity);
+    std::size_t capacity() const { return ring_.size(); }
+
+    // --- recording --------------------------------------------------------
+
+    /** Record an event at @p tick. Call only when enabled(flag). */
+    void record(TraceFlag flag, const char *name, Tick tick,
+                char phase = 'i', const char *arg_name = nullptr,
+                double arg = 0.0);
+
+    /** Record at the current time hint (components without a clock). */
+    void recordNow(TraceFlag flag, const char *name, char phase = 'i',
+                   const char *arg_name = nullptr, double arg = 0.0)
+    {
+        record(flag, name, timeHint_, phase, arg_name, arg);
+    }
+
+    /** Cycle stamp used by recordNow(); the simulator updates it. */
+    void setTimeHint(Tick tick) { timeHint_ = tick; }
+    Tick timeHint() const { return timeHint_; }
+
+    // --- inspection / export ----------------------------------------------
+
+    /** Number of events currently held (≤ capacity). */
+    std::size_t size() const { return count_; }
+
+    /** Events overwritten because the ring was full. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Drop all recorded events. */
+    void clear();
+
+    /** Events in record order (oldest first). */
+    std::vector<TraceEvent> events() const;
+
+    /**
+     * Write the recorded events as Chrome trace-event JSON
+     * ({"traceEvents": [...]}); cycles map to microseconds so one
+     * trace unit renders as one cycle.
+     */
+    void exportChromeTrace(std::ostream &os) const;
+
+    /** exportChromeTrace to a file; warns and returns false on error. */
+    bool exportChromeTrace(const std::string &path) const;
+
+    // --- flag names -------------------------------------------------------
+
+    static const char *flagName(TraceFlag flag);
+    static std::optional<TraceFlag> parseFlag(const std::string &name);
+
+  private:
+    TraceManager();
+
+    void initFromEnv();
+
+    std::vector<TraceEvent> ring_;
+    std::size_t start_ = 0;  //!< index of the oldest event
+    std::size_t count_ = 0;
+    std::uint64_t dropped_ = 0;
+    Tick timeHint_ = 0;
+};
+
+/**
+ * Record a trace event iff @p flag is enabled.
+ * Usage: CSD_TRACE(UopCache, "window_hit", cycle);
+ *        CSD_TRACE(Decoy, "inject", cycle, 'i', "uops", n);
+ */
+#define CSD_TRACE(flag, ...)                                                 \
+    do {                                                                     \
+        if (::csd::traceEnabled(::csd::TraceFlag::flag))                     \
+            ::csd::TraceManager::instance().record(                          \
+                ::csd::TraceFlag::flag, __VA_ARGS__);                        \
+    } while (0)
+
+/** CSD_TRACE for call sites without a clock (uses the time hint). */
+#define CSD_TRACE_NOW(flag, ...)                                             \
+    do {                                                                     \
+        if (::csd::traceEnabled(::csd::TraceFlag::flag))                     \
+            ::csd::TraceManager::instance().recordNow(                       \
+                ::csd::TraceFlag::flag, __VA_ARGS__);                        \
+    } while (0)
+
+} // namespace csd
+
+#endif // CSD_COMMON_TRACE_HH

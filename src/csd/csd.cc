@@ -1,5 +1,7 @@
 #include "csd/csd.hh"
 
+#include <iterator>
+
 #include "csd/devect.hh"
 
 namespace csd
@@ -14,6 +16,7 @@ ContextSensitiveDecoder::ContextSensitiveDecoder(MsrFile &msrs,
     });
     watchdog_.setCallback([this]() {
         ++watchdogFires_;
+        CSD_TRACE(Csd, "watchdog_fire", now_);
         retriggerStealth();
     });
 
@@ -33,6 +36,14 @@ ContextSensitiveDecoder::ContextSensitiveDecoder(MsrFile &msrs,
                       "watchdog-driven re-triggers");
     stats_.addCounter("noise_uops", &noiseUops_,
                       "timing-noise NOP uops injected");
+    stats_.addDistribution("decoys_per_flow", &decoysPerFlow_,
+                           "decoy uops injected per stealth flow");
+    stealthFlowRate_ = [this] {
+        return static_cast<double>(stealthFlows_.value()) /
+               static_cast<double>(translations_.value());
+    };
+    stats_.addFormula("stealth_flow_rate", &stealthFlowRate_,
+                      "fraction of translations carrying decoys");
     stats_.addChild(&mcu_.stats());
 }
 
@@ -84,8 +95,11 @@ ContextSensitiveDecoder::retriggerStealth()
     for (const AddrRange &range : msrs_.decoyDRanges())
         if (range.valid())
             pending_.push_back(PendingRange{range, false});
-    if (!pending_.empty())
+    if (!pending_.empty()) {
         ++stealthTriggers_;
+        CSD_TRACE(Csd, "stealth_trigger", now_, 'i', "ranges",
+                  static_cast<double>(pending_.size()));
+    }
 }
 
 void
@@ -201,6 +215,7 @@ ContextSensitiveDecoder::translate(const MacroOp &op)
         if (auto scalar = devectorize(op)) {
             ++devectFlows_;
             lastCtx_ = ctxDevect;
+            traceContextSwitch();
             return *std::move(scalar);
         }
     }
@@ -216,7 +231,12 @@ ContextSensitiveDecoder::translate(const MacroOp &op)
         if (injectDecoys(flow, next.range, next.isInstr, decoyStyle)) {
             pending_.erase(pending_.begin());
             ++stealthFlows_;
-            decoyUops_ += countDecoyUops(flow);
+            const std::uint64_t injected = countDecoyUops(flow);
+            decoyUops_ += injected;
+            decoysPerFlow_.sample(static_cast<double>(injected));
+            CSD_TRACE(Decoy, next.isInstr ? "inject_irange"
+                                          : "inject_drange",
+                      now_, 'i', "uops", static_cast<double>(injected));
             lastCtx_ = ctxStealth;
             if (flow.uops.size() > 4 || flow.loop)
                 flow.fromMsrom = true;
@@ -232,7 +252,24 @@ ContextSensitiveDecoder::translate(const MacroOp &op)
     if (msrs_.control() & ctrlTimingNoise)
         applyTimingNoise(op, flow);
 
+    traceContextSwitch();
     return flow;
+}
+
+void
+ContextSensitiveDecoder::traceContextSwitch()
+{
+    if (!traceEnabled(TraceFlag::Csd) || lastCtx_ == tracedCtx_)
+        return;
+    static const char *const names[] = {
+        "ctx_native", "ctx_stealth", "ctx_devect", "ctx_mcu", "ctx_noise",
+    };
+    const char *name = lastCtx_ < std::size(names) ? names[lastCtx_]
+                                                   : "ctx_?";
+    TraceManager::instance().record(TraceFlag::Csd, name, now_, 'i',
+                                    "from",
+                                    static_cast<double>(tracedCtx_));
+    tracedCtx_ = lastCtx_;
 }
 
 } // namespace csd

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "csd/decoy.hh"
 #include "csd/mcu.hh"
 #include "csd/msr.hh"
@@ -108,6 +109,9 @@ class ContextSensitiveDecoder : public Translator
     UopFlow applyMcu(const MacroOp &op, UopFlow flow);
     void applyTimingNoise(const MacroOp &op, UopFlow &flow);
 
+    /** Record a Csd trace event when the translation context changes. */
+    void traceContextSwitch();
+
     MsrFile &msrs_;
     TaintTracker *taint_;
     WatchdogTimer watchdog_;
@@ -123,6 +127,7 @@ class ContextSensitiveDecoder : public Translator
     bool devect_ = false;
     bool mcuMode_ = false;
     unsigned lastCtx_ = ctxNative;
+    unsigned tracedCtx_ = ctxNative;
     Tick now_ = 0;
     std::uint64_t noiseLfsr_ = 0xace1ace1ace1ace1ull;
 
@@ -135,6 +140,8 @@ class ContextSensitiveDecoder : public Translator
     Counter stealthTriggers_;
     Counter watchdogFires_;
     Counter noiseUops_;
+    Distribution decoysPerFlow_{0, 64, 16};
+    Formula stealthFlowRate_;
 };
 
 } // namespace csd

@@ -25,9 +25,46 @@ FrontEnd::FrontEnd(const FrontEndParams &params, MemHierarchy *mem)
                       "micro-op cache <-> legacy pipeline transitions");
     stats_.addCounter("fetch_stall_cycles", &fetchStallCycles_,
                       "cycles stalled on L1I misses");
+    stats_.addDistribution("slots_per_macro_op", &slotsPerMacroOp_,
+                           "fused-domain slots per macro-op flow");
+    const auto slot_total = [this]() -> double {
+        return static_cast<double>(
+            slotsUopCache_.value() + slotsLegacy_.value() +
+            slotsMsrom_.value() + slotsLsd_.value());
+    };
+    uopCacheSlotFrac_ = [this, slot_total] {
+        return static_cast<double>(slotsUopCache_.value()) / slot_total();
+    };
+    stats_.addFormula("uop_cache_slot_frac", &uopCacheSlotFrac_,
+                      "fraction of slots streamed from the micro-op cache");
+    legacySlotFrac_ = [this, slot_total] {
+        return static_cast<double>(slotsLegacy_.value() +
+                                   slotsMsrom_.value()) /
+               slot_total();
+    };
+    stats_.addFormula("legacy_slot_frac", &legacySlotFrac_,
+                      "fraction of slots from the legacy decode pipeline");
     stats_.addChild(&uopCache_->stats());
     stats_.addChild(&lsd_->stats());
 }
+
+namespace
+{
+
+/** Static event names so the tracer can keep bare pointers. */
+const char *
+switchEventName(DeliverySource src)
+{
+    switch (src) {
+      case DeliverySource::UopCache: return "switch_to_uop_cache";
+      case DeliverySource::Legacy:   return "switch_to_legacy";
+      case DeliverySource::Msrom:    return "switch_to_msrom";
+      case DeliverySource::Lsd:      return "switch_to_lsd";
+    }
+    return "switch_to_?";
+}
+
+} // namespace
 
 unsigned
 FrontEnd::slotLimit() const
@@ -56,8 +93,11 @@ FrontEnd::completePendingFill()
 {
     if (fillWindow_ == invalidAddr)
         return;
-    uopCache_->fill(fillWindow_, fillCtx_, static_cast<unsigned>(fillSlots_),
-                    fillCacheable_);
+    const bool installed = uopCache_->fill(
+        fillWindow_, fillCtx_, static_cast<unsigned>(fillSlots_),
+        fillCacheable_);
+    CSD_TRACE(UopCache, installed ? "window_fill" : "fill_reject",
+              feCycle_, 'i', "window", static_cast<double>(fillWindow_));
     fillWindow_ = invalidAddr;
     fillSlots_ = 0;
     fillCacheable_ = true;
@@ -82,6 +122,7 @@ FrontEnd::noteSwitch(DeliverySource next)
         complexUsedThisCycle_ = false;
         ++sourceSwitches_;
     }
+    CSD_TRACE(Frontend, switchEventName(next), feCycle_);
     source_ = next;
 }
 
@@ -101,6 +142,8 @@ FrontEnd::beginMacroOp(const MacroOp &op, const UopFlow &flow, unsigned ctx,
     haveLastCtx_ = true;
 
     const auto slots = deliveredSlots(flow);
+    if (statsDetailEnabled())
+        slotsPerMacroOp_.sample(static_cast<double>(slots));
     const bool lsd_eligible = !flow.fromMsrom && !flow.loop;
 
     // The LSD observes every op; lock state decides this op's source.
@@ -121,6 +164,9 @@ FrontEnd::beginMacroOp(const MacroOp &op, const UopFlow &flow, unsigned ctx,
             curWindow_ = window;
             curCtx_ = ctx;
             curWindowHit_ = uopCache_->lookup(op.pc, ctx);
+            CSD_TRACE(UopCache,
+                      curWindowHit_ ? "window_hit" : "window_miss",
+                      feCycle_, 'i', "pc", static_cast<double>(op.pc));
         }
         if (curWindowHit_) {
             noteSwitch(DeliverySource::UopCache);
@@ -147,6 +193,8 @@ FrontEnd::beginMacroOp(const MacroOp &op, const UopFlow &flow, unsigned ctx,
             if (result.levelHit > 1) {
                 const Cycles stall =
                     result.latency - mem_->params().l1i.hitLatency;
+                CSD_TRACE(Frontend, "l1i_miss_stall", feCycle_, 'i',
+                          "cycles", static_cast<double>(stall));
                 feCycle_ += stall;
                 fetchStallCycles_ += stall;
                 slotsThisCycle_ = 0;

@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "decode/fusion.hh"
 #include "decode/lsd.hh"
@@ -123,6 +124,9 @@ class FrontEnd
     Counter slotsLsd_;
     Counter sourceSwitches_;
     Counter fetchStallCycles_;
+    Distribution slotsPerMacroOp_{0, 18, 18};
+    Formula uopCacheSlotFrac_;
+    Formula legacySlotFrac_;
 };
 
 } // namespace csd

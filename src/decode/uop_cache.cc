@@ -20,6 +20,9 @@ UopCache::UopCache(const FrontEndParams &params)
                       "windows rejected by the 3-way/6-uop checks");
     stats_.addCounter("context_flushes", &contextFlushes_,
                       "full flushes on mode switch (no context bits)");
+    hitRate_ = [this] { return hitRate(); };
+    stats_.addFormula("hit_rate", &hitRate_,
+                      "window probe hit fraction");
 }
 
 unsigned

@@ -107,6 +107,7 @@ class UopCache
     Counter fills_;
     Counter fillRejects_;
     Counter contextFlushes_;
+    Formula hitRate_;
 };
 
 } // namespace csd

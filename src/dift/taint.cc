@@ -1,5 +1,7 @@
 #include "dift/taint.hh"
 
+#include "common/trace.hh"
+
 namespace csd
 {
 
@@ -80,6 +82,8 @@ TaintTracker::taintedLoadOrBranch(const MacroOp &op) const
         if (base_taint || index_taint || data_taint) {
             if (isMemRead(op))
                 ++const_cast<Counter &>(taintedLoads_);
+            CSD_TRACE_NOW(Dift, "tainted_load", 'i', "pc",
+                          static_cast<double>(op.pc));
             return true;
         }
         return false;
@@ -87,6 +91,8 @@ TaintTracker::taintedLoadOrBranch(const MacroOp &op) const
     if (op.opcode == MacroOpcode::Jcc && op.cond != Cond::Always) {
         if (regTainted(flagsReg())) {
             ++const_cast<Counter &>(taintedBranches_);
+            CSD_TRACE_NOW(Dift, "tainted_branch", 'i', "pc",
+                          static_cast<double>(op.pc));
             return true;
         }
         return false;
@@ -95,6 +101,8 @@ TaintTracker::taintedLoadOrBranch(const MacroOp &op) const
         if (op.opcode == MacroOpcode::JmpInd &&
             regTainted(intReg(op.src1))) {
             ++const_cast<Counter &>(taintedBranches_);
+            CSD_TRACE_NOW(Dift, "tainted_branch", 'i', "pc",
+                          static_cast<double>(op.pc));
             return true;
         }
         return false;

@@ -12,6 +12,16 @@ MemHierarchy::MemHierarchy(const MemHierarchyParams &params)
       stats_("mem")
 {
     stats_.addCounter("dram_accesses", &dramAccesses_, "DRAM accesses");
+    stats_.addDistribution("read_latency", &readLatency_,
+                           "demand data-read latency (cycles)");
+    l1dMissRate_ = [this] {
+        return static_cast<double>(
+                   l1d_->stats().counterValue("misses")) /
+               static_cast<double>(
+                   l1d_->stats().counterValue("accesses"));
+    };
+    stats_.addFormula("l1d_miss_rate", &l1dMissRate_,
+                      "L1D demand miss fraction");
     stats_.addChild(&l1i_->stats());
     stats_.addChild(&l1d_->stats());
     stats_.addChild(&l2_->stats());
@@ -46,6 +56,8 @@ MemHierarchy::accessThrough(Cache &l1, Addr addr, bool is_write)
     result.latency += params_.dramLatency;
     result.levelHit = 4;
     ++dramAccesses_;
+    CSD_TRACE_NOW(Cache, "dram_access", 'i', "addr",
+                  static_cast<double>(addr));
     llc_->fill(addr);
     l2_->fill(addr);
     l1.fill(addr);
@@ -55,7 +67,10 @@ MemHierarchy::accessThrough(Cache &l1, Addr addr, bool is_write)
 MemAccessResult
 MemHierarchy::readData(Addr addr)
 {
-    return accessThrough(*l1d_, addr, false);
+    const MemAccessResult result = accessThrough(*l1d_, addr, false);
+    if (statsDetailEnabled())
+        readLatency_.sample(static_cast<double>(result.latency));
+    return result;
 }
 
 MemAccessResult
@@ -73,6 +88,8 @@ MemHierarchy::fetchInstr(Addr addr)
 void
 MemHierarchy::flush(Addr addr)
 {
+    CSD_TRACE_NOW(Cache, "clflush", 'i', "addr",
+                  static_cast<double>(addr));
     l1i_->invalidate(addr);
     l1d_->invalidate(addr);
     l2_->invalidate(addr);

@@ -16,6 +16,7 @@
 #include <memory>
 
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "memory/cache.hh"
 
@@ -89,6 +90,8 @@ class MemHierarchy
 
     StatGroup stats_;
     Counter dramAccesses_;
+    Distribution readLatency_{0, 250, 25};
+    Formula l1dMissRate_;
 };
 
 } // namespace csd

@@ -21,6 +21,11 @@ PowerGateController::PowerGateController(const GatingParams &params,
                       "SSE instructions devectorized during wake");
     stats_.addCounter("sse_power_gated", &sseCounts_[2],
                       "SSE instructions devectorized while gated");
+    stats_.addDistribution("gated_stretch", &gatedStretch_,
+                           "length of each gated period (cycles)");
+    gatedFrac_ = [this] { return gatedFraction(); };
+    stats_.addFormula("gated_fraction", &gatedFrac_,
+                      "fraction of time the VPU spent power-gated");
 }
 
 void
@@ -43,12 +48,22 @@ PowerGateController::switchState(VpuState next, Tick now)
     accountUntil(now);
     if (next == state_)
         return;
-    if (next == VpuState::Gated)
+    if (state_ == VpuState::Gated) {
+        // Leaving the gated state closes one gated stretch.
+        gatedStretch_.sample(static_cast<double>(now - stateSince_));
+        CSD_TRACE(Gating, "vpu_gated", now, 'E');
+    }
+    if (next == VpuState::Gated) {
         ++gateEvents_;
+        CSD_TRACE(Gating, "vpu_gated", now, 'B');
+    }
     if (next == VpuState::PoweringOn) {
         ++wakeEvents_;
         wakeDoneAt_ = now + energy_.params().vpuWakeLatency;
+        CSD_TRACE(Gating, "wake_start", now);
     }
+    if (next == VpuState::On && state_ == VpuState::PoweringOn)
+        CSD_TRACE(Gating, "wake_done", now);
     state_ = next;
     stateSince_ = now;
 }
@@ -99,6 +114,8 @@ PowerGateController::onMacroOp(const MacroOp &op, Tick now,
                 if (state_ == VpuState::Gated)
                     switchState(VpuState::PoweringOn, now);
                 ++demandWakes_;
+                CSD_TRACE(Gating, "demand_wake", now, 'i', "stall",
+                          static_cast<double>(stall));
                 directive.stallCycles = stall;
                 switchState(VpuState::On, now + stall);
                 lastNow_ = now;  // caller advances time by stall

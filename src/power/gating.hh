@@ -19,6 +19,7 @@
 #include <deque>
 
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "isa/macroop.hh"
 #include "power/energy.hh"
@@ -147,6 +148,8 @@ class PowerGateController
     Counter wakeEvents_;
     Counter demandWakes_;
     Counter sseCounts_[3];
+    Distribution gatedStretch_{0, 20000, 20};
+    Formula gatedFrac_;
 };
 
 } // namespace csd

@@ -30,6 +30,10 @@ Simulation::Simulation(const Program &prog, const SimParams &params,
     state_.loadProgram(prog);
     idqRing_.assign(28, 0);
 
+    // Touch the tracer so CSD_TRACE/CSD_TRACE_FILE take effect even if
+    // no component recorded an event yet.
+    TraceManager::instance();
+
     stats_.addCounter("instructions", &instructions_,
                       "macro-ops committed");
     stats_.addCounter("slots_delivered", &slotsDelivered_,
@@ -42,6 +46,33 @@ Simulation::Simulation(const Program &prog, const SimParams &params,
                       "cmp/test+jcc pairs macro-fused");
     stats_.addCounter("vpu_wake_stalls", &vpuStalls_,
                       "cycles stalled on conventional demand wakes");
+    stats_.addDistribution("flow_len", &flowLen_,
+                           "dynamic uops per macro-op flow");
+    ipc_ = [this] {
+        return static_cast<double>(instructions_.value()) /
+               static_cast<double>(cycles_);
+    };
+    stats_.addFormula("ipc", &ipc_, "committed macro-ops per cycle");
+    uopsPerInstr_ = [this] {
+        return static_cast<double>(backend_->uopsExecuted()) /
+               static_cast<double>(instructions_.value());
+    };
+    stats_.addFormula("uops_per_instr", &uopsPerInstr_,
+                      "executed uops per committed macro-op");
+    l1dMpki_ = [this] {
+        return 1000.0 *
+               static_cast<double>(
+                   mem_->l1d().stats().counterValue("misses")) /
+               static_cast<double>(instructions_.value());
+    };
+    stats_.addFormula("l1d_mpki", &l1dMpki_,
+                      "L1D misses per kilo-instruction");
+    decoyFrac_ = [this] {
+        return static_cast<double>(decoyUopsExecuted_.value()) /
+               static_cast<double>(slotsDelivered_.value());
+    };
+    stats_.addFormula("decoy_frac", &decoyFrac_,
+                      "decoy uops per delivered slot");
     stats_.addChild(&frontend_->stats());
     stats_.addChild(&backend_->stats());
     stats_.addChild(&bpred_->stats());
@@ -94,6 +125,10 @@ Simulation::step()
         csd_fatal("Simulation: no instruction at pc 0x", std::hex,
                   state_.pc);
 
+    // Keep clock-less components' trace events roughly on the timeline.
+    if (traceAnyEnabled())
+        TraceManager::instance().setTimeHint(cycles_);
+
     // Power-gating decision (unit-criticality predictor input).
     if (power_) {
         const unsigned vec_uops =
@@ -131,9 +166,58 @@ Simulation::step()
         stepCacheOnly(*op, flow, result);
 
     ++instructions_;
+    if (statsDetailEnabled())
+        flowLen_.sample(static_cast<double>(result.dynUops.size()));
     havePrevMacro_ = true;
     prevMacro_ = *op;
+
+    if (sampleInterval_ != 0 && cycles_ >= nextSampleAt_)
+        maybeSample();
+
     return !state_.halted;
+}
+
+void
+Simulation::sampleEvery(Tick interval, std::vector<std::string> stat_paths)
+{
+    if (interval == 0)
+        csd_fatal("Simulation::sampleEvery: interval must be positive");
+    sampleInterval_ = interval;
+    samplePaths_ = stat_paths.empty()
+        ? std::vector<std::string>{"instructions", "ipc"}
+        : std::move(stat_paths);
+    // Validate eagerly so typos fail at configuration time.
+    for (const std::string &path : samplePaths_)
+        stats_.valueOf(path);
+    nextSampleAt_ = cycles_ + interval;
+}
+
+void
+Simulation::maybeSample()
+{
+    IntervalSample sample;
+    sample.cycle = cycles_;
+    sample.values.reserve(samplePaths_.size());
+    for (const std::string &path : samplePaths_)
+        sample.values.push_back(stats_.valueOf(path));
+    samples_.push_back(std::move(sample));
+    while (nextSampleAt_ <= cycles_)
+        nextSampleAt_ += sampleInterval_;
+}
+
+void
+Simulation::writeSamplesCsv(std::ostream &os) const
+{
+    os << "cycle";
+    for (const std::string &path : samplePaths_)
+        os << "," << path;
+    os << "\n";
+    for (const IntervalSample &sample : samples_) {
+        os << sample.cycle;
+        for (double v : sample.values)
+            os << "," << v;
+        os << "\n";
+    }
 }
 
 void

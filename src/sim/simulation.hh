@@ -17,8 +17,11 @@
 #define CSD_SIM_SIMULATION_HH
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "cpu/arch_state.hh"
 #include "cpu/backend.hh"
 #include "cpu/branch_pred.hh"
@@ -55,6 +58,13 @@ struct SimParams
     std::uint64_t maxInstructions = 1ull << 40;
 };
 
+/** One interval-sampler observation: selected stats at a cycle. */
+struct IntervalSample
+{
+    Tick cycle = 0;
+    std::vector<double> values;
+};
+
 /** The simulator. */
 class Simulation
 {
@@ -84,6 +94,30 @@ class Simulation
 
     /** Drive VPU power gating. */
     void setPowerController(PowerGateController *power);
+
+    /**
+     * Sample the statistics named by @p stat_paths (dotted paths under
+     * the "sim" group, e.g. "instructions", "ipc",
+     * "frontend.slots_legacy") every @p interval cycles into an
+     * in-memory time series. Pass an empty list for the default set
+     * {"instructions", "ipc"}. Paths are validated on the first
+     * sample; unknown paths are fatal. The series survives restart()
+     * so attack harnesses see all invocations on one timeline.
+     */
+    void sampleEvery(Tick interval,
+                     std::vector<std::string> stat_paths = {});
+
+    /** Stat paths captured by the interval sampler. */
+    const std::vector<std::string> &sampledStats() const
+    {
+        return samplePaths_;
+    }
+
+    /** The recorded time series (cumulative values at each sample). */
+    const std::vector<IntervalSample> &samples() const { return samples_; }
+
+    /** Write the time series as CSV: "cycle,<path>,<path>,..." */
+    void writeSamplesCsv(std::ostream &os) const;
 
     // --- execution ---------------------------------------------------------
 
@@ -125,8 +159,13 @@ class Simulation
     const EnergyModel &energyModel() const { return energyModel_; }
 
     StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+    /** Hierarchical JSON dump of the whole stat tree. */
+    void dumpStatsJson(std::ostream &os) const { stats_.dumpJson(os); }
 
   private:
+    void maybeSample();
     void stepDetailed(const MacroOp &op, const UopFlow &flow,
                       const FlowResult &result);
     void stepCacheOnly(const MacroOp &op, const UopFlow &flow,
@@ -168,6 +207,14 @@ class Simulation
     double vpuDynamic_ = 0;
     double frontendDynamic_ = 0;
 
+    // Interval sampler state. The series intentionally survives
+    // restart(): attack harnesses re-arm thousands of times and want
+    // one continuous timeline.
+    Tick sampleInterval_ = 0;
+    Tick nextSampleAt_ = 0;
+    std::vector<std::string> samplePaths_;
+    std::vector<IntervalSample> samples_;
+
     StatGroup stats_;
     Counter instructions_;
     Counter slotsDelivered_;
@@ -175,6 +222,11 @@ class Simulation
     Counter devectUopsExecuted_;
     Counter macroFusedPairs_;
     Counter vpuStalls_;
+    Distribution flowLen_{0, 32, 16};
+    Formula ipc_;
+    Formula uopsPerInstr_;
+    Formula l1dMpki_;
+    Formula decoyFrac_;
 };
 
 } // namespace csd

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * End-to-end tests of the observability layer: trace export from a
+ * real detailed simulation, interval sampling, stat preservation
+ * across restart(), and the JSON stats dump round-trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <functional>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "csd/csd.hh"
+#include "sim/simulation.hh"
+#include "tests/support/mini_json.hh"
+
+namespace csd
+{
+namespace
+{
+
+using testsupport::JsonValue;
+using testsupport::parseJson;
+
+Program
+loopProgram(unsigned iterations)
+{
+    ProgramBuilder b;
+    auto top = b.newLabel();
+    b.movri(Gpr::Rax, 0);
+    b.movri(Gpr::Rcx, iterations);
+    b.bind(top);
+    b.add(Gpr::Rax, Gpr::Rcx);
+    b.subi(Gpr::Rcx, 1);
+    b.jcc(Cond::Ne, top);
+    b.halt();
+    return b.build();
+}
+
+/** A loop with vector ops so the gating controller has work to do. */
+Program
+vectorLoopProgram(unsigned iterations)
+{
+    ProgramBuilder b;
+    std::vector<std::uint8_t> ones(16, 1);
+    const Addr vdata = b.defineData("v", ones, 16);
+    auto top = b.newLabel();
+    b.movri(Gpr::Rsi, static_cast<std::int64_t>(vdata));
+    b.movdqaLoad(Xmm::Xmm0, memAt(Gpr::Rsi));
+    b.movdqaLoad(Xmm::Xmm1, memAt(Gpr::Rsi));
+    b.movri(Gpr::Rcx, iterations);
+    b.bind(top);
+    b.add(Gpr::Rax, Gpr::Rcx);
+    b.subi(Gpr::Rcx, 1);
+    b.jcc(Cond::Ne, top);
+    b.vecOp(MacroOpcode::Paddb, Xmm::Xmm0, Xmm::Xmm1);
+    b.halt();
+    return b.build();
+}
+
+class ObservabilityTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        auto &tm = TraceManager::instance();
+        tm.disableAll();
+        tm.clear();
+        tm.setCapacity(1 << 16);
+        // Hot-path histograms (flow_len, read_latency, ...) only
+        // record when detail stats are on.
+        setStatsDetail(true);
+    }
+
+    void TearDown() override
+    {
+        auto &tm = TraceManager::instance();
+        tm.disableAll();
+        tm.clear();
+        setStatsDetail(false);
+    }
+};
+
+/**
+ * Acceptance: a detailed simulation with CSD_TRACE-style configuration
+ * ("UopCache,Gating") exports a parseable Chrome trace containing at
+ * least one event per enabled category.
+ */
+TEST_F(ObservabilityTest, DetailedRunProducesChromeTrace)
+{
+    auto &tm = TraceManager::instance();
+    ASSERT_EQ(tm.configure("UopCache,Gating"), 2u);
+
+    Program prog = vectorLoopProgram(3000);
+    MsrFile msrs;
+    ContextSensitiveDecoder csd(msrs);
+    EnergyModel energy;
+    GatingParams gp;
+    gp.policy = GatingPolicy::CsdDevect;
+    gp.windowInstrs = 100;
+    gp.lowWatermark = 0;
+    gp.highWatermark = 50;
+    PowerGateController power(gp, energy);
+
+    Simulation sim(prog);
+    sim.setCsd(&csd);
+    sim.setPowerController(&power);
+    sim.runToHalt();
+    power.finalize(sim.cycles());
+
+    EXPECT_GT(tm.size(), 0u);
+
+    const std::string path =
+        ::testing::TempDir() + "/csd_observability_trace.json";
+    ASSERT_TRUE(tm.exportChromeTrace(path));
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const auto doc = parseJson(buf.str());
+    const auto &events = doc->at("traceEvents");
+    ASSERT_TRUE(events.isArray());
+
+    std::set<std::string> cats;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const auto &e = events.at(i);
+        if (e.at("ph").str == "M")
+            continue;
+        cats.insert(e.at("cat").str);
+        // Timestamps are cycle numbers: monotone-bounded by the run.
+        EXPECT_LE(e.at("ts").number,
+                  static_cast<double>(sim.cycles()));
+    }
+    EXPECT_TRUE(cats.count("UopCache")) << "no UopCache events";
+    EXPECT_TRUE(cats.count("Gating")) << "no Gating events";
+    // Only the enabled categories may record.
+    for (const std::string &cat : cats)
+        EXPECT_TRUE(cat == "UopCache" || cat == "Gating") << cat;
+}
+
+TEST_F(ObservabilityTest, IntervalSamplerRecordsTimeSeries)
+{
+    Program prog = loopProgram(2000);
+    Simulation sim(prog);
+    sim.sampleEvery(500, {"instructions", "ipc", "mem.l1d.misses"});
+    sim.runToHalt();
+
+    const auto &samples = sim.samples();
+    ASSERT_GE(samples.size(), 3u);
+    ASSERT_EQ(sim.sampledStats().size(), 3u);
+
+    // Cycles strictly increase; the cumulative instruction count is
+    // non-decreasing and ends near the final total.
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+        EXPECT_GT(samples[i].cycle, samples[i - 1].cycle);
+        EXPECT_GE(samples[i].values[0], samples[i - 1].values[0]);
+    }
+    EXPECT_LE(samples.back().values[0],
+              static_cast<double>(sim.instructions()));
+    EXPECT_GT(samples.back().values[0], 0.0);
+
+    // CSV export: header + one line per sample.
+    std::ostringstream os;
+    sim.writeSamplesCsv(os);
+    const std::string csv = os.str();
+    EXPECT_EQ(csv.find("cycle,instructions,ipc,mem.l1d.misses"), 0u);
+    std::size_t lines = 0;
+    for (char c : csv)
+        if (c == '\n')
+            ++lines;
+    EXPECT_EQ(lines, samples.size() + 1);
+}
+
+TEST_F(ObservabilityTest, SamplerRejectsBadPaths)
+{
+    Program prog = loopProgram(10);
+    Simulation sim(prog);
+    EXPECT_THROW(sim.sampleEvery(100, {"not.a.stat"}), std::runtime_error);
+    EXPECT_THROW(sim.sampleEvery(0), std::runtime_error);
+}
+
+/**
+ * restart() re-arms the program but must keep observability state:
+ * counters, distributions, and the sampler series accumulate across
+ * invocations (attack harnesses rely on one continuous timeline).
+ */
+TEST_F(ObservabilityTest, RestartPreservesStatsAndSamples)
+{
+    Program prog = loopProgram(400);
+    Simulation sim(prog);
+    sim.sampleEvery(200);
+    sim.runToHalt();
+    ASSERT_TRUE(sim.halted());
+
+    const std::uint64_t instrs_once = sim.instructions();
+    const Tick cycles_once = sim.cycles();
+    const std::size_t samples_once = sim.samples().size();
+    const std::uint64_t flows_once =
+        sim.stats().distribution("flow_len").count();
+    ASSERT_GT(instrs_once, 0u);
+    ASSERT_GT(samples_once, 0u);
+    ASSERT_GT(flows_once, 0u);
+
+    sim.restart();
+    EXPECT_FALSE(sim.halted());
+    // Counters and samples survive the restart...
+    EXPECT_EQ(sim.instructions(), instrs_once);
+    EXPECT_EQ(sim.samples().size(), samples_once);
+    EXPECT_EQ(sim.stats().distribution("flow_len").count(), flows_once);
+
+    sim.runToHalt();
+    // ...and the second run accumulates on top.
+    EXPECT_EQ(sim.instructions(), 2 * instrs_once);
+    EXPECT_GT(sim.cycles(), cycles_once);
+    EXPECT_GT(sim.samples().size(), samples_once);
+    EXPECT_GT(sim.stats().distribution("flow_len").count(), flows_once);
+}
+
+/**
+ * Walk the live StatGroup tree and the parsed JSON dump side by side:
+ * every registered counter, scalar, formula, and distribution must
+ * appear with matching value and description.
+ */
+void
+compareGroupToJson(const StatGroup &group, const JsonValue &json)
+{
+    EXPECT_EQ(json.at("name").str, group.name());
+
+    for (const std::string &name : group.counterNames()) {
+        const auto &entry = json.at("counters").at(name);
+        EXPECT_DOUBLE_EQ(entry.at("value").number,
+                         static_cast<double>(group.counterValue(name)))
+            << group.name() << "." << name;
+        EXPECT_TRUE(entry.has("desc"));
+    }
+    for (const std::string &name : group.scalarNames()) {
+        EXPECT_DOUBLE_EQ(json.at("scalars").at(name).at("value").number,
+                         group.scalarValue(name))
+            << group.name() << "." << name;
+    }
+    for (const std::string &name : group.formulaNames()) {
+        // Formulas pass through decimal text; allow rounding slack.
+        const double live = group.formulaValue(name);
+        EXPECT_NEAR(json.at("formulas").at(name).at("value").number, live,
+                    1e-6 * std::max(1.0, std::abs(live)))
+            << group.name() << "." << name;
+    }
+    for (const std::string &name : group.distributionNames()) {
+        const Distribution &dist = group.distribution(name);
+        const auto &entry = json.at("distributions").at(name);
+        EXPECT_DOUBLE_EQ(entry.at("count").number,
+                         static_cast<double>(dist.count()))
+            << group.name() << "." << name;
+        EXPECT_DOUBLE_EQ(entry.at("mean").number, dist.mean());
+        EXPECT_EQ(entry.at("buckets").size(), dist.numBuckets());
+    }
+
+    const auto &child_json = json.at("groups");
+    ASSERT_EQ(child_json.size(), group.children().size());
+    for (std::size_t i = 0; i < group.children().size(); ++i)
+        compareGroupToJson(*group.children()[i], child_json.at(i));
+}
+
+TEST_F(ObservabilityTest, StatsJsonDumpRoundTrips)
+{
+    Program prog = loopProgram(500);
+    Simulation sim(prog);
+    sim.runToHalt();
+
+    std::ostringstream os;
+    sim.dumpStatsJson(os);
+    const auto doc = parseJson(os.str());
+
+    compareGroupToJson(sim.stats(), *doc);
+
+    // Spot-check key derived stats made it through with real values.
+    EXPECT_GT(doc->at("formulas").at("ipc").at("value").number, 0.0);
+    EXPECT_GT(doc->at("counters").at("instructions").at("value").number,
+              1000.0);
+}
+
+} // namespace
+} // namespace csd
