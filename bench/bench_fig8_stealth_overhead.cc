@@ -8,6 +8,7 @@
  * is worse. Compare with the 20x of compiler-based obfuscation.
  */
 
+#include <array>
 #include <cstdio>
 
 #include "bench/common/bench_util.hh"
@@ -36,6 +37,11 @@ main(int argc, char **argv)
                  "Opt overhead"});
     std::vector<double> noopt_ratios, opt_ratios;
 
+    // CPI-stack attribution of the Opt-config overhead: aggregate
+    // per-bucket cycles across all 8 datapoints, base vs stealth.
+    std::array<double, numCpiBuckets> base_buckets{}, stealth_buckets{};
+    double base_total = 0, stealth_total = 0;
+
     for (const CryptoCase &c : cryptoSuite()) {
         const auto base_no = runCryptoCase(c, false, noopt);
         const auto stealth_no = runCryptoCase(c, true, noopt);
@@ -50,11 +56,42 @@ main(int argc, char **argv)
         opt_ratios.push_back(ratio_opt);
         table.addRow({c.name, fmt(ratio_no), fmt(ratio_opt),
                       pct(ratio_opt - 1.0)});
+
+        for (unsigned i = 0; i < numCpiBuckets; ++i) {
+            base_buckets[i] +=
+                static_cast<double>(base_opt.cpiCycles[i]);
+            stealth_buckets[i] +=
+                static_cast<double>(stealth_opt.cpiCycles[i]);
+        }
+        base_total += static_cast<double>(base_opt.cycles);
+        stealth_total += static_cast<double>(stealth_opt.cycles);
     }
 
     table.addRow({"average", fmt(mean(noopt_ratios)),
                   fmt(mean(opt_ratios)), pct(mean(opt_ratios) - 1.0)});
     table.print();
+
+    // Where the stealth overhead comes from, by CPI bucket (Opt
+    // config, aggregated over all datapoints). Positive deltas are
+    // cycles stealth mode added; the sidecar gets every bucket so
+    // tooling can track the attribution across revisions.
+    const double overhead_total = stealth_total - base_total;
+    Table attribution({"CPI bucket", "base cycles", "stealth cycles",
+                       "delta", "share of overhead"});
+    for (unsigned i = 0; i < numCpiBuckets; ++i) {
+        const auto bucket = static_cast<CpiBucket>(i);
+        const double delta = stealth_buckets[i] - base_buckets[i];
+        attribution.addRow(
+            {cpiBucketName(bucket), fmt(base_buckets[i], 0),
+             fmt(stealth_buckets[i], 0), fmt(delta, 0),
+             overhead_total > 0 ? pct(delta / overhead_total)
+                                : "n/a"});
+        benchStat(std::string("cpi_overhead.") + cpiBucketName(bucket),
+                  delta);
+    }
+    std::printf("\n");
+    attribution.print();
+    benchStat("cpi_overhead.total", overhead_total);
 
     std::printf("\nPaper: average overhead 5.6%%, all below 10%% (Opt); "
                 "prior software obfuscation ~20x.\n");

@@ -124,6 +124,7 @@ runCryptoCase(const CryptoCase &c, bool stealth,
         params.mem.extraL2Latency = 4;  // hardware DIFT tag check
 
     Simulation sim(c.program, params);
+    sim.enableCpiStack();
 
     MsrFile msrs;
     TaintTracker taint;
@@ -159,6 +160,7 @@ runCryptoCase(const CryptoCase &c, bool stealth,
         1000.0 * static_cast<double>(sim.mem().l1d().misses()) /
         static_cast<double>(sim.instructions());
     stats.uopCacheHitRate = sim.frontend().uopCache().hitRate();
+    stats.cpiCycles = sim.cpiStack()->buckets();
     return stats;
 }
 

@@ -44,6 +44,8 @@ struct CryptoRunStats
     std::uint64_t decoyUops = 0;
     double l1dMpki = 0.0;
     double uopCacheHitRate = 0.0;
+    /** CPI-stack attribution; buckets sum to cycles. */
+    std::array<Cycles, numCpiBuckets> cpiCycles{};
 };
 
 /** Run one case in detailed-timing mode. */

@@ -24,6 +24,7 @@ runSpecPolicy(const SpecPreset &preset, GatingPolicy policy,
     params.mode = SimMode::Detailed;
     params.energy = config.energy;
     Simulation sim(workload.program, params);
+    sim.enableCpiStack();
 
     EnergyModel energy_model(config.energy);
     GatingParams gating = config.gating;
@@ -59,6 +60,9 @@ runSpecPolicy(const SpecPreset &preset, GatingPolicy policy,
     result.gateEvents = controller.gateEvents();
     result.wakeStallCycles =
         sim.stats().counterValue("vpu_wake_stalls");
+    result.devectUops =
+        sim.stats().counterValue("devect_uops_executed");
+    result.cpiCycles = sim.cpiStack()->buckets();
     return result;
 }
 

@@ -31,6 +31,9 @@ struct SpecRunResult
     std::uint64_t sseGated = 0;
     std::uint64_t gateEvents = 0;
     std::uint64_t wakeStallCycles = 0;
+    std::uint64_t devectUops = 0;
+    /** CPI-stack attribution; buckets sum to cycles. */
+    std::array<Cycles, numCpiBuckets> cpiCycles{};
 };
 
 /** Knobs shared across the Figs. 12-16 harnesses. */

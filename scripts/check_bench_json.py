@@ -6,9 +6,15 @@ checks that:
   - the sidecar parses as JSON with artifact/title/stats/tables keys,
   - every table cell in the sidecar also appears in the stdout text
     (the sidecar mirrors what was printed, not a second computation),
-  - every numeric stat is finite.
+  - every numeric stat is finite,
+  - every key named by --require is present in the sidecar's stats.
 
-Usage: check_bench_json.py <bench-binary> [args...]
+Usage: check_bench_json.py [--require k1,k2,...] <bench-binary> [args...]
+
+A required key ending in ".*" is a prefix requirement: at least one
+stat whose name starts with the prefix must exist (e.g.
+"cpi_overhead.*" matches "cpi_overhead.csd_decoy").
+
 Exit code 0 on success; nonzero with a diagnostic otherwise.
 """
 
@@ -26,15 +32,26 @@ def fail(msg):
 
 
 def main():
-    if len(sys.argv) < 2:
-        fail("usage: check_bench_json.py <bench-binary> [args...]")
-    bench = sys.argv[1]
+    argv = sys.argv[1:]
+    required = []
+    if argv and argv[0] == "--require":
+        if len(argv) < 2:
+            fail("--require needs a comma-separated key list")
+        required = [k for k in argv[1].split(",") if k]
+        argv = argv[2:]
+    if not argv:
+        fail(
+            "usage: check_bench_json.py [--require k1,k2,...] "
+            "<bench-binary> [args...]"
+        )
+    bench = argv[0]
+    argv = argv[1:]
 
     fd, path = tempfile.mkstemp(suffix=".json", prefix="bench_sidecar_")
     os.close(fd)
     try:
         proc = subprocess.run(
-            [bench, "--json", path] + sys.argv[2:],
+            [bench, "--json", path] + argv,
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
             text=True,
@@ -76,6 +93,14 @@ def main():
         for key, value in doc["stats"].items():
             if isinstance(value, (int, float)) and not math.isfinite(value):
                 fail(f"stat '{key}' is not finite")
+
+        for req in required:
+            if req.endswith(".*"):
+                prefix = req[:-1]
+                if not any(k.startswith(prefix) for k in doc["stats"]):
+                    fail(f"no stat matches required prefix '{req}'")
+            elif req not in doc["stats"]:
+                fail(f"required stat '{req}' missing from sidecar")
 
         print(
             f"check_bench_json: OK: {os.path.basename(bench)}: "

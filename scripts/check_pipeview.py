@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Validate lifecycle-tracer exports parse as their target formats.
+
+Runs a trace-producing binary (by default examples/rsa_pipeview) with
+two output paths, then parses both files with strict, self-contained
+readers:
+
+  - O3PipeView: every record must be 7 lines
+    (fetch/decode/rename/dispatch/issue/complete/retire) with
+    monotonically non-decreasing per-record timestamps, exactly the
+    framing gem5's util/o3-pipeview.py consumes.
+  - Kanata: header "Kanata<TAB>0004", then C=/C/I/L/S/E/R commands;
+    every instruction lane must be declared (I) before it is labeled,
+    staged, or retired, stage starts and ends must alternate per lane,
+    and every declared instruction must retire — the invariants Konata
+    relies on to build its timeline.
+
+Usage: check_pipeview.py <binary> [args-before-paths...]
+The two trace paths are appended to the command automatically.
+Exit code 0 on success; nonzero with a diagnostic otherwise.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def fail(msg):
+    print(f"check_pipeview: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_o3pipeview(path):
+    stages = [
+        "fetch", "decode", "rename", "dispatch", "issue", "complete",
+        "retire",
+    ]
+    records = 0
+    with open(path) as f:
+        lines = [line.rstrip("\n") for line in f]
+    if not lines:
+        fail("O3PipeView trace is empty")
+    if len(lines) % 7 != 0:
+        fail(f"O3PipeView line count {len(lines)} is not a multiple of 7")
+    for base in range(0, len(lines), 7):
+        last_tick = None
+        for offset, stage in enumerate(stages):
+            line = lines[base + offset]
+            prefix = f"O3PipeView:{stage}:"
+            if not line.startswith(prefix):
+                fail(
+                    f"line {base + offset + 1}: expected '{prefix}...', "
+                    f"got '{line[:40]}'"
+                )
+            fields = line.split(":")
+            try:
+                tick = int(fields[2])
+            except (IndexError, ValueError):
+                fail(f"line {base + offset + 1}: bad tick in '{line[:40]}'")
+            if stage == "fetch" and (len(fields) < 6 or not fields[3]):
+                fail(f"line {base + offset + 1}: fetch line missing pc/sn")
+            if stage == "retire" and (
+                len(fields) < 5 or fields[3] != "store"
+            ):
+                fail(f"line {base + offset + 1}: retire line missing store")
+            if last_tick is not None and tick < last_tick:
+                fail(
+                    f"line {base + offset + 1}: {stage} tick {tick} "
+                    f"precedes previous stage ({last_tick})"
+                )
+            last_tick = tick
+        records += 1
+    return records
+
+
+def parse_kanata(path):
+    with open(path) as f:
+        lines = [line.rstrip("\n") for line in f]
+    if not lines or lines[0] != "Kanata\t0004":
+        fail("Kanata trace missing 'Kanata\\t0004' header")
+    if len(lines) < 2 or not lines[1].startswith("C=\t"):
+        fail("Kanata trace missing initial 'C=' cycle command")
+
+    declared = set()
+    open_stage = {}
+    retired = set()
+    for num, line in enumerate(lines[2:], start=3):
+        if not line:
+            continue
+        fields = line.split("\t")
+        cmd = fields[0]
+        if cmd == "C":
+            if int(fields[1]) <= 0:
+                fail(f"line {num}: non-positive cycle advance")
+            continue
+        if cmd == "I":
+            declared.add(fields[1])
+            continue
+        ident = fields[1]
+        if ident not in declared:
+            fail(f"line {num}: command '{cmd}' for undeclared id {ident}")
+        if cmd == "L":
+            if len(fields) < 4 or not fields[3]:
+                fail(f"line {num}: label command without text")
+        elif cmd == "S":
+            if ident in open_stage:
+                fail(f"line {num}: id {ident} starts a stage while "
+                     f"'{open_stage[ident]}' is open")
+            open_stage[ident] = fields[3]
+        elif cmd == "E":
+            if open_stage.get(ident) != fields[3]:
+                fail(f"line {num}: id {ident} ends stage '{fields[3]}' "
+                     f"but '{open_stage.get(ident)}' is open")
+            del open_stage[ident]
+        elif cmd == "R":
+            if ident in open_stage:
+                fail(f"line {num}: id {ident} retires with stage "
+                     f"'{open_stage[ident]}' open")
+            retired.add(ident)
+        else:
+            fail(f"line {num}: unknown command '{cmd}'")
+    unretired = declared - retired
+    if unretired:
+        fail(f"{len(unretired)} declared instruction(s) never retire")
+    return len(declared)
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_pipeview.py <binary> [args...]")
+    tmpdir = tempfile.mkdtemp(prefix="pipeview_")
+    o3_path = os.path.join(tmpdir, "trace.o3log")
+    kanata_path = os.path.join(tmpdir, "trace.kanata")
+    try:
+        proc = subprocess.run(
+            sys.argv[1:] + [o3_path, kanata_path],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            timeout=600,
+        )
+        if proc.returncode != 0:
+            fail(f"{sys.argv[1]} exited {proc.returncode}:\n{proc.stdout}")
+        o3_records = parse_o3pipeview(o3_path)
+        kanata_insts = parse_kanata(kanata_path)
+        if o3_records == 0 or kanata_insts == 0:
+            fail("traces parsed but hold no instructions")
+        print(
+            f"check_pipeview: OK: {o3_records} O3PipeView record(s), "
+            f"{kanata_insts} Kanata instruction(s)"
+        )
+    finally:
+        for path in (o3_path, kanata_path):
+            if os.path.exists(path):
+                os.unlink(path)
+        os.rmdir(tmpdir)
+
+
+if __name__ == "__main__":
+    main()

@@ -85,9 +85,11 @@ BackEnd::process(const Uop &uop, const DynUop &dyn, Tick deliver)
 
     // Dispatch: after rename depth, subject to ROB occupancy.
     Tick dispatch = deliver + params_.dispatchLatency;
-    if (robCount_ >= params_.robEntries) {
+    if (robCount_ >= params_.robEntries &&
+        robRing_[robIdx_] > dispatch) {
         // The slot this uop reuses must have committed.
-        dispatch = std::max(dispatch, robRing_[robIdx_]);
+        timing.robStall = robRing_[robIdx_] - dispatch;
+        dispatch = robRing_[robIdx_];
     }
     ready = std::max(ready, dispatch);
 
@@ -98,6 +100,8 @@ BackEnd::process(const Uop &uop, const DynUop &dyn, Tick deliver)
     ready = std::max(ready, serializeAfter_);
     if (uop.op == MicroOpcode::ReadCycles)
         ready = std::max(ready, lastCommit_);
+    if (ready > dispatch)
+        timing.depStall = ready - dispatch;
 
     // Issue: earliest among candidate ports.
     Tick issue = ready;
@@ -108,6 +112,7 @@ BackEnd::process(const Uop &uop, const DynUop &dyn, Tick deliver)
             if (portFree_[port] < portFree_[best])
                 best = port;
         if (portFree_[best] > issue) {
+            timing.portStall = portFree_[best] - issue;
             portConflictCycles_ += portFree_[best] - issue;
             issue = portFree_[best];
         }
@@ -120,12 +125,21 @@ BackEnd::process(const Uop &uop, const DynUop &dyn, Tick deliver)
     if (uop.isLoad()) {
         ++loadsExecuted_;
         Cycles latency = 4;
+        Cycles l1d_hit = 4;
+        timing.memLevel = 1;
         if (mem_) {
             const auto result = uop.instrFetch
                 ? mem_->fetchInstr(dyn.effAddr)
                 : mem_->readData(dyn.effAddr);
             latency = result.latency;
+            l1d_hit = uop.instrFetch ? mem_->params().l1i.hitLatency
+                                     : mem_->params().l1d.hitLatency;
+            timing.memLevel =
+                static_cast<std::uint8_t>(result.levelHit);
         }
+        timing.l1dLatency = std::min(latency, l1d_hit);
+        if (latency > l1d_hit)
+            timing.memStall = latency - l1d_hit;
         complete = issue + latency;
     } else if (uop.isStore()) {
         ++storesExecuted_;
@@ -156,6 +170,7 @@ BackEnd::process(const Uop &uop, const DynUop &dyn, Tick deliver)
     if (commit == lastCommitCycle_ &&
         commitsThisCycle_ >= params_.commitWidth) {
         commit += 1;
+        timing.commitWidthStall = true;
     }
     if (commit != lastCommitCycle_) {
         lastCommitCycle_ = commit;

@@ -49,6 +49,17 @@ class BackEnd
         Tick issue = 0;
         Tick complete = 0;
         Tick commit = 0;
+
+        // Stall decomposition: cycles each constraint demonstrably
+        // added along this uop's dispatch->commit chain. Consumed by
+        // the CPI-stack accountant (cpu/cpi_stack.hh).
+        Cycles robStall = 0;     //!< dispatch held for a ROB entry
+        Cycles depStall = 0;     //!< issue held past dispatch for sources
+        Cycles portStall = 0;    //!< issue held for a free port
+        Cycles memStall = 0;     //!< load latency beyond the L1D hit
+        Cycles l1dLatency = 0;   //!< L1D-hit portion of a load's latency
+        std::uint8_t memLevel = 0;  //!< level serving a load (1=L1D..4=DRAM)
+        bool commitWidthStall = false;  //!< commit pushed by the width cap
     };
 
     /**

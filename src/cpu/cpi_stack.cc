@@ -1,0 +1,174 @@
+#include "cpu/cpi_stack.hh"
+
+#include <algorithm>
+
+namespace csd
+{
+
+const char *
+cpiBucketName(CpiBucket bucket)
+{
+    switch (bucket) {
+      case CpiBucket::Base:           return "base";
+      case CpiBucket::FrontendL1i:    return "frontend_l1i";
+      case CpiBucket::FrontendDecode: return "frontend_decode";
+      case CpiBucket::BackendRob:     return "backend_rob";
+      case CpiBucket::BackendDep:     return "backend_dep";
+      case CpiBucket::BackendPort:    return "backend_port";
+      case CpiBucket::BackendCommit:  return "backend_commit";
+      case CpiBucket::MemL1d:         return "mem_l1d";
+      case CpiBucket::MemL2:          return "mem_l2";
+      case CpiBucket::MemLlc:         return "mem_llc";
+      case CpiBucket::MemDram:        return "mem_dram";
+      case CpiBucket::CsdDecoy:       return "csd_decoy";
+      case CpiBucket::CsdDevect:      return "csd_devect";
+      case CpiBucket::VpuWake:        return "vpu_wake";
+      case CpiBucket::NumBuckets:     break;
+    }
+    return "?";
+}
+
+CpiStack::CpiStack(Tick start_cycle)
+    : startCycle_(start_cycle), accountedUpTo_(start_cycle)
+{
+}
+
+void
+CpiStack::accountUop(const BackEnd::UopTiming &timing,
+                     const UopContext &ctx)
+{
+    PcProfile &profile = profiles_[ctx.pc];
+    ++profile.uops;
+    if (ctx.tainted)
+        ++profile.taintHits;
+    if (ctx.decoy)
+        ++profile.decoyUops;
+
+    if (timing.commit <= accountedUpTo_)
+        return;  // fully overlapped; opens no new cycles
+    Cycles remaining = timing.commit - accountedUpTo_;
+    accountedUpTo_ = timing.commit;
+    profile.cycles += remaining;
+
+    const auto take = [&](CpiBucket bucket, Cycles amount) {
+        if (remaining == 0 || amount == 0)
+            return;
+        const Cycles credited = std::min(remaining, amount);
+        buckets_[static_cast<unsigned>(bucket)] += credited;
+        profile.buckets[static_cast<unsigned>(bucket)] += credited;
+        remaining -= credited;
+    };
+
+    // CSD-injected work is pure overhead: every cycle such a uop opens
+    // on the commit timeline is charged to its CSD bucket, whatever
+    // micro-architectural constraint produced it.
+    if (ctx.decoy) {
+        take(CpiBucket::CsdDecoy, remaining);
+        return;
+    }
+    if (ctx.devectExpansion) {
+        take(CpiBucket::CsdDevect, remaining);
+        return;
+    }
+
+    // Walk the constraint chain from commit backwards; each stage is
+    // credited at most the cycles it added, capped by what is left of
+    // the gap (overlapped portions stay hidden).
+    take(CpiBucket::BackendCommit, timing.commitWidthStall ? 1 : 0);
+    switch (timing.memLevel) {
+      case 2: take(CpiBucket::MemL2, timing.memStall); break;
+      case 3: take(CpiBucket::MemLlc, timing.memStall); break;
+      case 4: take(CpiBucket::MemDram, timing.memStall); break;
+      default: break;
+    }
+    if (timing.memLevel >= 1)
+        take(CpiBucket::MemL1d, timing.l1dLatency);
+    take(CpiBucket::BackendPort, timing.portStall);
+    take(CpiBucket::BackendDep, timing.depStall);
+    take(CpiBucket::BackendRob, timing.robStall);
+    take(CpiBucket::FrontendL1i, ctx.feL1i);
+    take(CpiBucket::FrontendDecode, ctx.feDecode);
+    take(CpiBucket::Base, remaining);
+}
+
+void
+CpiStack::accountExternal(Tick new_total, CpiBucket bucket)
+{
+    if (new_total <= accountedUpTo_)
+        return;
+    buckets_[static_cast<unsigned>(bucket)] += new_total - accountedUpTo_;
+    accountedUpTo_ = new_total;
+}
+
+Cycles
+CpiStack::totalBucketCycles() const
+{
+    Cycles total = 0;
+    for (Cycles cycles : buckets_)
+        total += cycles;
+    return total;
+}
+
+std::vector<Addr>
+CpiStack::hottestPcs(std::size_t max_pcs) const
+{
+    std::vector<Addr> pcs;
+    pcs.reserve(profiles_.size());
+    for (const auto &[pc, profile] : profiles_)
+        pcs.push_back(pc);
+    std::sort(pcs.begin(), pcs.end(), [this](Addr a, Addr b) {
+        const Cycles ca = profiles_.at(a).cycles;
+        const Cycles cb = profiles_.at(b).cycles;
+        return ca != cb ? ca > cb : a < b;
+    });
+    if (max_pcs != 0 && pcs.size() > max_pcs)
+        pcs.resize(max_pcs);
+    return pcs;
+}
+
+void
+CpiStack::dumpJson(std::ostream &os, std::size_t max_pcs) const
+{
+    os << "{\n  \"total_cycles\": " << accounted() << ",\n  \"buckets\": {";
+    for (unsigned i = 0; i < numCpiBuckets; ++i) {
+        os << (i ? ", " : "") << '"'
+           << cpiBucketName(static_cast<CpiBucket>(i)) << "\": "
+           << buckets_[i];
+    }
+    os << "},\n  \"pcs\": [\n";
+    const auto pcs = hottestPcs(max_pcs);
+    for (std::size_t n = 0; n < pcs.size(); ++n) {
+        const PcProfile &profile = profiles_.at(pcs[n]);
+        os << "    {\"pc\": " << pcs[n] << ", \"uops\": " << profile.uops
+           << ", \"cycles\": " << profile.cycles
+           << ", \"taint_hits\": " << profile.taintHits
+           << ", \"decoy_uops\": " << profile.decoyUops
+           << ", \"buckets\": {";
+        for (unsigned i = 0; i < numCpiBuckets; ++i) {
+            os << (i ? ", " : "") << '"'
+               << cpiBucketName(static_cast<CpiBucket>(i)) << "\": "
+               << profile.buckets[i];
+        }
+        os << "}}" << (n + 1 < pcs.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+void
+CpiStack::dumpCsv(std::ostream &os, std::size_t max_pcs) const
+{
+    os << "pc,uops,cycles,taint_hits,decoy_uops";
+    for (unsigned i = 0; i < numCpiBuckets; ++i)
+        os << ',' << cpiBucketName(static_cast<CpiBucket>(i));
+    os << "\n";
+    for (Addr pc : hottestPcs(max_pcs)) {
+        const PcProfile &profile = profiles_.at(pc);
+        os << pc << ',' << profile.uops << ',' << profile.cycles << ','
+           << profile.taintHits << ',' << profile.decoyUops;
+        for (unsigned i = 0; i < numCpiBuckets; ++i)
+            os << ',' << profile.buckets[i];
+        os << "\n";
+    }
+}
+
+} // namespace csd

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * CPI-stack accounting: classify every simulated cycle into one stall
+ * bucket, with the invariant that the buckets sum exactly to the total
+ * cycle count.
+ *
+ * The timing model is dependence-driven, so the accountant works on the
+ * commit timeline: each processed micro-op advances accounted time to
+ * its commit cycle, and the gap it opens is decomposed by walking the
+ * uop's dispatch->issue->complete->commit constraint chain backwards
+ * (commit width, then memory, then port, then operand, then ROB, then
+ * exposed front-end stalls), crediting each constraint with the cycles
+ * it demonstrably added and the remainder to the base bucket. Stall
+ * cycles hidden under out-of-order overlap are therefore *not* counted
+ * — only exposed cycles are, which is what makes the buckets sum to
+ * the run's cycles with no residue.
+ *
+ * Micro-ops injected by context-sensitive decoding charge their whole
+ * gap to a CSD-overhead bucket: decoy uops (all of them are extra
+ * work) and the expansion uops of devectorized flows (those touching
+ * decoder-temporary registers — the extract/insert glue and per-lane
+ * scalar compute introduced by the vector->scalar rewrite).
+ *
+ * The accountant also keeps a per-PC profile (cycles, uops, per-bucket
+ * stalls, taint hits, decoy uops) dumpable as JSON or CSV.
+ */
+
+#ifndef CSD_CPU_CPI_STACK_HH
+#define CSD_CPU_CPI_STACK_HH
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "cpu/backend.hh"
+#include "uop/uop.hh"
+
+namespace csd
+{
+
+/** CPI-stack buckets. Every simulated cycle lands in exactly one. */
+enum class CpiBucket : unsigned
+{
+    Base,            //!< useful pipelined progress (incl. hidden stalls)
+    FrontendL1i,     //!< exposed L1I-miss fetch stalls
+    FrontendDecode,  //!< legacy-decode bandwidth + uop-cache switch cost
+    BackendRob,      //!< dispatch held for a ROB entry
+    BackendDep,      //!< issue held for source operands / serialization
+    BackendPort,     //!< issue held for a free issue port
+    BackendCommit,   //!< commit pushed a cycle by the commit width
+    MemL1d,          //!< exposed L1D-hit load latency
+    MemL2,           //!< exposed load latency served by the L2
+    MemLlc,          //!< exposed load latency served by the LLC
+    MemDram,         //!< exposed load latency served by DRAM
+    CsdDecoy,        //!< cycles opened by decoy micro-ops
+    CsdDevect,       //!< cycles opened by devectorization-expansion uops
+    VpuWake,         //!< pipeline stalls on conventional-PG demand wakes
+    NumBuckets,
+};
+
+constexpr unsigned numCpiBuckets =
+    static_cast<unsigned>(CpiBucket::NumBuckets);
+
+/** Stable machine-readable bucket name ("frontend_l1i", ...). */
+const char *cpiBucketName(CpiBucket bucket);
+
+/** The CPI-stack accountant. */
+class CpiStack
+{
+  public:
+    /** Per-uop attribution inputs beyond the back-end timing. */
+    struct UopContext
+    {
+        Addr pc = invalidAddr;     //!< parent macro-op PC
+        bool decoy = false;        //!< stealth-mode decoy uop
+        bool devectExpansion = false; //!< devect glue/per-lane uop
+        bool tainted = false;      //!< touches DIFT-tainted state
+        Cycles feL1i = 0;          //!< fresh L1I fetch-stall cycles
+        Cycles feDecode = 0;       //!< fresh legacy-decode/switch cycles
+    };
+
+    /** Per-PC aggregate profile row. */
+    struct PcProfile
+    {
+        std::uint64_t uops = 0;
+        std::uint64_t taintHits = 0;
+        std::uint64_t decoyUops = 0;
+        Cycles cycles = 0;  //!< commit-timeline cycles opened at this PC
+        std::array<Cycles, numCpiBuckets> buckets{};
+    };
+
+    /** Start accounting at @p start_cycle (the enable-time cycle). */
+    explicit CpiStack(Tick start_cycle = 0);
+
+    /** Account one processed micro-op. */
+    void accountUop(const BackEnd::UopTiming &timing,
+                    const UopContext &ctx);
+
+    /**
+     * Account an externally imposed stall that advanced the simulator
+     * clock to @p new_total (e.g. a VPU demand-wake stall).
+     */
+    void accountExternal(Tick new_total, CpiBucket bucket);
+
+    /** Cycles attributed so far; equals the sum of all buckets. */
+    Cycles accounted() const { return accountedUpTo_ - startCycle_; }
+
+    /** Commit-timeline position the accountant has reached. */
+    Tick accountedUpTo() const { return accountedUpTo_; }
+
+    Cycles bucketCycles(CpiBucket bucket) const
+    {
+        return buckets_[static_cast<unsigned>(bucket)];
+    }
+    const std::array<Cycles, numCpiBuckets> &buckets() const
+    {
+        return buckets_;
+    }
+
+    /** Sum of every bucket (== accounted(), by construction). */
+    Cycles totalBucketCycles() const;
+
+    // --- per-PC profiles --------------------------------------------------
+
+    const std::unordered_map<Addr, PcProfile> &pcProfiles() const
+    {
+        return profiles_;
+    }
+
+    /** PCs ordered by descending attributed cycles (ties: by PC). */
+    std::vector<Addr> hottestPcs(std::size_t max_pcs = 0) const;
+
+    /**
+     * Dump the stack plus the per-PC table as JSON:
+     * {"total_cycles":..., "buckets":{...}, "pcs":[{...}, ...]}.
+     */
+    void dumpJson(std::ostream &os, std::size_t max_pcs = 0) const;
+
+    /** Dump the per-PC table as CSV (one bucket column each). */
+    void dumpCsv(std::ostream &os, std::size_t max_pcs = 0) const;
+
+  private:
+    Tick startCycle_;
+    Tick accountedUpTo_;
+    std::array<Cycles, numCpiBuckets> buckets_{};
+    std::unordered_map<Addr, PcProfile> profiles_;
+};
+
+} // namespace csd
+
+#endif // CSD_CPU_CPI_STACK_HH

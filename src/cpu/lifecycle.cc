@@ -1,0 +1,217 @@
+#include "cpu/lifecycle.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace csd
+{
+
+namespace
+{
+
+const char *
+sourceName(DeliverySource source)
+{
+    switch (source) {
+      case DeliverySource::UopCache: return "uc";
+      case DeliverySource::Legacy:   return "dec";
+      case DeliverySource::Msrom:    return "ms";
+      case DeliverySource::Lsd:      return "lsd";
+    }
+    return "?";
+}
+
+} // namespace
+
+LifecycleTracer::LifecycleTracer(std::size_t capacity)
+{
+    setCapacity(capacity);
+}
+
+void
+LifecycleTracer::setCapacity(std::size_t capacity)
+{
+    if (capacity == 0)
+        csd_fatal("LifecycleTracer: capacity must be positive");
+    ring_.assign(capacity, LifecycleRecord{});
+    start_ = 0;
+    count_ = 0;
+    dropped_ = 0;
+}
+
+void
+LifecycleTracer::record(LifecycleRecord record)
+{
+    record.seq = nextSeq_++;
+    // Normalize to a monotone per-uop timeline: eliminated and fused
+    // uops carry borrowed timestamps (their leader's slot, the previous
+    // commit) that can run backwards, which pipeline viewers reject.
+    record.decode = std::max(record.decode, record.fetch);
+    record.dispatch = std::max(record.dispatch, record.decode);
+    record.issue = std::max(record.issue, record.dispatch);
+    record.complete = std::max(record.complete, record.issue);
+    record.commit = std::max(record.commit, record.complete);
+    if (count_ < ring_.size()) {
+        ring_[(start_ + count_) % ring_.size()] = std::move(record);
+        ++count_;
+    } else {
+        ring_[start_] = std::move(record);
+        start_ = (start_ + 1) % ring_.size();
+        ++dropped_;
+    }
+}
+
+void
+LifecycleTracer::clear()
+{
+    start_ = 0;
+    count_ = 0;
+    dropped_ = 0;
+}
+
+std::vector<LifecycleRecord>
+LifecycleTracer::records() const
+{
+    std::vector<LifecycleRecord> out;
+    out.reserve(count_);
+    for (std::size_t i = 0; i < count_; ++i)
+        out.push_back(ring_[(start_ + i) % ring_.size()]);
+    return out;
+}
+
+std::string
+LifecycleTracer::label(const LifecycleRecord &record)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << record.uop.macroPc << std::dec << "."
+       << static_cast<unsigned>(record.uop.uopIdx) << " ["
+       << sourceName(record.source);
+    if (record.uop.decoy)
+        os << " decoy";
+    if (record.devectCtx)
+        os << " devect";
+    if (record.uop.fusedLeader)
+        os << " fused";
+    if (record.uop.eliminated)
+        os << " elim";
+    if (record.tainted)
+        os << " taint";
+    os << "] " << toString(record.uop);
+    return os.str();
+}
+
+void
+LifecycleTracer::exportO3PipeView(std::ostream &os) const
+{
+    for (std::size_t i = 0; i < count_; ++i) {
+        const LifecycleRecord &r = ring_[(start_ + i) % ring_.size()];
+        os << "O3PipeView:fetch:" << r.fetch << ":0x" << std::hex
+           << r.uop.macroPc << std::dec << ":"
+           << static_cast<unsigned>(r.uop.uopIdx) << ":" << r.seq << ":"
+           << label(r) << "\n";
+        os << "O3PipeView:decode:" << r.decode << "\n";
+        os << "O3PipeView:rename:" << r.decode << "\n";
+        os << "O3PipeView:dispatch:" << r.dispatch << "\n";
+        os << "O3PipeView:issue:" << r.issue << "\n";
+        os << "O3PipeView:complete:" << r.complete << "\n";
+        os << "O3PipeView:retire:" << r.commit << ":store:"
+           << (r.uop.isStore() ? r.complete : 0) << "\n";
+    }
+}
+
+void
+LifecycleTracer::exportKanata(std::ostream &os) const
+{
+    // Kanata requires a cycle-ordered command stream; collect (cycle,
+    // line) pairs per record, then stable-sort so same-cycle commands
+    // keep per-uop order.
+    struct Command
+    {
+        Tick cycle;
+        std::string line;
+    };
+    std::vector<Command> commands;
+    commands.reserve(count_ * 8);
+
+    for (std::size_t i = 0; i < count_; ++i) {
+        const LifecycleRecord &r = ring_[(start_ + i) % ring_.size()];
+        const SeqNum id = r.seq;
+        const auto cmd = [&](Tick cycle, std::string line) {
+            commands.push_back({cycle, std::move(line)});
+        };
+        std::ostringstream decl;
+        decl << "I\t" << id << "\t" << id << "\t0";
+        cmd(r.fetch, decl.str());
+        cmd(r.fetch, "L\t" + std::to_string(id) + "\t0\t" + label(r));
+        cmd(r.fetch, "S\t" + std::to_string(id) + "\t0\tF");
+
+        // Stage boundaries; zero-length stages are skipped.
+        struct Stage
+        {
+            Tick at;
+            const char *name;
+        };
+        const Stage stages[] = {{r.decode, "D"},
+                                {r.dispatch, "W"},
+                                {r.issue, "X"},
+                                {r.complete, "C"}};
+        const char *open = "F";
+        Tick open_at = r.fetch;
+        for (const Stage &stage : stages) {
+            if (stage.at <= open_at)
+                continue;
+            cmd(stage.at, std::string("E\t") + std::to_string(id) +
+                              "\t0\t" + open);
+            cmd(stage.at, std::string("S\t") + std::to_string(id) +
+                              "\t0\t" + stage.name);
+            open = stage.name;
+            open_at = stage.at;
+        }
+        cmd(std::max(r.commit, open_at),
+            std::string("E\t") + std::to_string(id) + "\t0\t" + open);
+        cmd(std::max(r.commit, open_at),
+            "R\t" + std::to_string(id) + "\t" + std::to_string(id) +
+                "\t0");
+    }
+
+    std::stable_sort(commands.begin(), commands.end(),
+                     [](const Command &a, const Command &b) {
+                         return a.cycle < b.cycle;
+                     });
+
+    os << "Kanata\t0004\n";
+    Tick current = commands.empty() ? 0 : commands.front().cycle;
+    os << "C=\t" << current << "\n";
+    for (const Command &command : commands) {
+        if (command.cycle > current) {
+            os << "C\t" << command.cycle - current << "\n";
+            current = command.cycle;
+        }
+        os << command.line << "\n";
+    }
+}
+
+bool
+LifecycleTracer::exportFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("LifecycleTracer: cannot open ", path);
+        return false;
+    }
+    const auto has_suffix = [&](const std::string &suffix) {
+        return path.size() >= suffix.size() &&
+               path.compare(path.size() - suffix.size(), suffix.size(),
+                            suffix) == 0;
+    };
+    if (has_suffix(".kanata") || has_suffix(".klog"))
+        exportKanata(os);
+    else
+        exportO3PipeView(os);
+    return os.good();
+}
+
+} // namespace csd

@@ -25,8 +25,14 @@ FrontEnd::FrontEnd(const FrontEndParams &params, MemHierarchy *mem)
                       "micro-op cache <-> legacy pipeline transitions");
     stats_.addCounter("fetch_stall_cycles", &fetchStallCycles_,
                       "cycles stalled on L1I misses");
+    stats_.addCounter("decode_bw_cycles", &decodeBwCycles_,
+                      "cycles consumed by legacy-decode bandwidth limits "
+                      "and uop-cache switch penalties");
     stats_.addDistribution("slots_per_macro_op", &slotsPerMacroOp_,
                            "fused-domain slots per macro-op flow");
+    stats_.addDistribution("l1i_stall_cycles", &l1iStallCycles_,
+                           "per-block L1I-miss fetch-stall lengths "
+                           "(CSD_STATS_DETAIL)");
     const auto slot_total = [this]() -> double {
         return static_cast<double>(
             slotsUopCache_.value() + slotsLegacy_.value() +
@@ -82,6 +88,10 @@ void
 FrontEnd::forceNextCycle()
 {
     ++feCycle_;
+    if (source_ == DeliverySource::Legacy ||
+        source_ == DeliverySource::Msrom) {
+        ++decodeBwCycles_;
+    }
     slotsThisCycle_ = 0;
     bytesThisCycle_ = 0;
     macroOpsThisCycle_ = 0;
@@ -116,6 +126,7 @@ FrontEnd::noteSwitch(DeliverySource next)
     // switch-penalty guidance, paper §III-B).
     if (streams(next) != streams(source_)) {
         feCycle_ += params_.uopCacheSwitchPenalty;
+        decodeBwCycles_ += params_.uopCacheSwitchPenalty;
         slotsThisCycle_ = 0;
         bytesThisCycle_ = 0;
         macroOpsThisCycle_ = 0;
@@ -195,6 +206,8 @@ FrontEnd::beginMacroOp(const MacroOp &op, const UopFlow &flow, unsigned ctx,
                     result.latency - mem_->params().l1i.hitLatency;
                 CSD_TRACE(Frontend, "l1i_miss_stall", feCycle_, 'i',
                           "cycles", static_cast<double>(stall));
+                if (statsDetailEnabled())
+                    l1iStallCycles_.sample(static_cast<double>(stall));
                 feCycle_ += stall;
                 fetchStallCycles_ += stall;
                 slotsThisCycle_ = 0;

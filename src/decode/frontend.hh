@@ -81,6 +81,30 @@ class FrontEnd
     StatGroup &stats() { return stats_; }
     std::uint64_t slotsFrom(DeliverySource src) const;
 
+    /** Cumulative cycles stalled on L1I misses. */
+    std::uint64_t fetchStallCycles() const
+    {
+        return fetchStallCycles_.value();
+    }
+
+    /**
+     * Cumulative cycles consumed by legacy-decode bandwidth limits and
+     * uop-cache <-> legacy switch penalties (CPI-stack input).
+     */
+    std::uint64_t decodeBwCycles() const
+    {
+        return decodeBwCycles_.value();
+    }
+
+    /**
+     * Per-block L1I-miss stall-length histogram. Sampled only under
+     * CSD_STATS_DETAIL; the cumulative counter above is always live.
+     */
+    const Distribution &l1iStallHistogram() const
+    {
+        return l1iStallCycles_;
+    }
+
   private:
     unsigned slotLimit() const;
     void forceNextCycle();
@@ -124,7 +148,9 @@ class FrontEnd
     Counter slotsLsd_;
     Counter sourceSwitches_;
     Counter fetchStallCycles_;
+    Counter decodeBwCycles_;
     Distribution slotsPerMacroOp_{0, 18, 18};
+    Distribution l1iStallCycles_{0, 260, 26};
     Formula uopCacheSlotFrac_;
     Formula legacySlotFrac_;
 };

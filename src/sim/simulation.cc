@@ -1,11 +1,35 @@
 #include "sim/simulation.hh"
 
+#include <cstdlib>
+
 #include "common/logging.hh"
 #include "csd/csd.hh"
 #include "csd/devect.hh"
 
 namespace csd
 {
+
+namespace
+{
+
+/**
+ * Is this uop part of the *expansion* a devectorized flow introduces?
+ * The vector->scalar rewrite lives in decoder-temporary registers: the
+ * extract/insert glue and the per-lane scalar compute all touch a
+ * temporary, while the flow's original loads/stores/address math do
+ * not.
+ */
+bool
+devectExpansionUop(const Uop &uop)
+{
+    const auto temp = [](const RegId &reg) {
+        return reg.isIntTemp() || reg.isVecTemp();
+    };
+    return temp(uop.dst) || temp(uop.src1) || temp(uop.src2) ||
+           temp(uop.src3);
+}
+
+} // namespace
 
 Simulation::Simulation(const Program &prog, const SimParams &params)
     : Simulation(prog, params, nullptr)
@@ -77,9 +101,57 @@ Simulation::Simulation(const Program &prog, const SimParams &params,
     stats_.addChild(&backend_->stats());
     stats_.addChild(&bpred_->stats());
     stats_.addChild(&mem_->stats());
+
+    // Instruction-grain observability, armed from the environment so
+    // existing harnesses grow traces without code changes.
+    if (params_.mode == SimMode::Detailed) {
+        const char *cpi_env = std::getenv("CSD_CPI_STACK");
+        if (cpi_env && *cpi_env && *cpi_env != '0')
+            enableCpiStack();
+        const char *lc_env = std::getenv("CSD_LIFECYCLE");
+        const char *lc_file = std::getenv("CSD_LIFECYCLE_FILE");
+        if ((lc_env && *lc_env && *lc_env != '0') || lc_file) {
+            std::size_t capacity = 1 << 16;
+            if (const char *cap = std::getenv("CSD_LIFECYCLE_CAPACITY"))
+                capacity = std::strtoull(cap, nullptr, 10);
+            enableLifecycle(capacity ? capacity : 1 << 16);
+            if (lc_file)
+                lifecycleExportPath_ = lc_file;
+        }
+    }
 }
 
-Simulation::~Simulation() = default;
+Simulation::~Simulation()
+{
+    if (lifecycle_ && !lifecycleExportPath_.empty())
+        lifecycle_->exportFile(lifecycleExportPath_);
+}
+
+CpiStack &
+Simulation::enableCpiStack()
+{
+    if (params_.mode != SimMode::Detailed)
+        csd_fatal("Simulation: CPI-stack accounting requires detailed "
+                  "mode");
+    if (!cpiStack_) {
+        cpiStack_ = std::make_unique<CpiStack>(cycles_);
+        feL1iSeen_ = frontend_->fetchStallCycles();
+        feDecodeSeen_ = frontend_->decodeBwCycles();
+    }
+    return *cpiStack_;
+}
+
+LifecycleTracer &
+Simulation::enableLifecycle(std::size_t capacity)
+{
+    if (params_.mode != SimMode::Detailed)
+        csd_fatal("Simulation: lifecycle tracing requires detailed mode");
+    if (!lifecycle_)
+        lifecycle_ = std::make_unique<LifecycleTracer>(capacity);
+    else
+        lifecycle_->setCapacity(capacity);
+    return *lifecycle_;
+}
 
 void
 Simulation::setTranslator(Translator *translator)
@@ -141,6 +213,8 @@ Simulation::step()
             cycles_ += directive.stallCycles;
             vpuStalls_ += directive.stallCycles;
             frontend_->redirect(cycles_);
+            if (cpiStack_)
+                cpiStack_->accountExternal(cycles_, CpiBucket::VpuWake);
         }
     }
 
@@ -232,6 +306,7 @@ Simulation::stepDetailed(const MacroOp &op, const UopFlow &flow,
     if (macro_fused)
         ++macroFusedPairs_;
 
+    const Tick fetch_cycle = frontend_->cycle();
     frontend_->beginMacroOp(op, flow, curCtx_, result.tookBranch,
                             result.nextPc);
 
@@ -259,6 +334,44 @@ Simulation::stepDetailed(const MacroOp &op, const UopFlow &flow,
         lastSlotCycle_ = deliver;
 
         const auto timing = backend_->process(uop, dyn, deliver);
+
+        if (cpiStack_ || lifecycle_) {
+            const bool devect_ctx = curCtx_ == ctxDevect;
+            const bool tainted = taint_ &&
+                ((uop.dst.valid() && taint_->regTainted(uop.dst)) ||
+                 (uop.src1.valid() && taint_->regTainted(uop.src1)) ||
+                 (uop.src2.valid() && taint_->regTainted(uop.src2)) ||
+                 (uop.src3.valid() && taint_->regTainted(uop.src3)));
+            if (cpiStack_) {
+                CpiStack::UopContext ctx;
+                ctx.pc = op.pc;
+                ctx.decoy = uop.decoy;
+                ctx.devectExpansion =
+                    devect_ctx && devectExpansionUop(uop);
+                ctx.tainted = tainted;
+                const std::uint64_t l1i = frontend_->fetchStallCycles();
+                const std::uint64_t bw = frontend_->decodeBwCycles();
+                ctx.feL1i = l1i - feL1iSeen_;
+                ctx.feDecode = bw - feDecodeSeen_;
+                feL1iSeen_ = l1i;
+                feDecodeSeen_ = bw;
+                cpiStack_->accountUop(timing, ctx);
+            }
+            if (lifecycle_) {
+                LifecycleRecord record;
+                record.uop = uop;
+                record.fetch = fetch_cycle;
+                record.decode = deliver;
+                record.dispatch = timing.dispatch;
+                record.issue = timing.issue;
+                record.complete = timing.complete;
+                record.commit = timing.commit;
+                record.source = frontend_->source();
+                record.devectCtx = devect_ctx;
+                record.tainted = tainted;
+                lifecycle_->record(std::move(record));
+            }
+        }
 
         // rdtsc's architectural value is its execution timestamp.
         if (uop.op == MicroOpcode::ReadCycles && uop.dst.valid())

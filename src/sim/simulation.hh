@@ -25,7 +25,9 @@
 #include "cpu/arch_state.hh"
 #include "cpu/backend.hh"
 #include "cpu/branch_pred.hh"
+#include "cpu/cpi_stack.hh"
 #include "cpu/executor.hh"
+#include "cpu/lifecycle.hh"
 #include "decode/frontend.hh"
 #include "decode/translator.hh"
 #include "dift/taint.hh"
@@ -119,6 +121,31 @@ class Simulation
     /** Write the time series as CSV: "cycle,<path>,<path>,..." */
     void writeSamplesCsv(std::ostream &os) const;
 
+    // --- instruction-grain observability -----------------------------------
+
+    /**
+     * Enable CPI-stack accounting (detailed mode only). Every cycle
+     * from this point on is attributed to exactly one CpiBucket;
+     * enable before the first step() so the buckets sum to cycles().
+     * Also armed at construction by CSD_CPI_STACK=1.
+     */
+    CpiStack &enableCpiStack();
+
+    /** The accountant, or null when not enabled. */
+    CpiStack *cpiStack() { return cpiStack_.get(); }
+    const CpiStack *cpiStack() const { return cpiStack_.get(); }
+
+    /**
+     * Enable per-uop lifecycle tracing into a bounded ring (detailed
+     * mode only; records export as O3PipeView / Kanata). Also armed at
+     * construction by CSD_LIFECYCLE=1 with CSD_LIFECYCLE_CAPACITY and,
+     * when CSD_LIFECYCLE_FILE names a path, exported at destruction.
+     */
+    LifecycleTracer &enableLifecycle(std::size_t capacity = 1 << 16);
+
+    /** The lifecycle tracer, or null when not enabled. */
+    LifecycleTracer *lifecycle() { return lifecycle_.get(); }
+
     // --- execution ---------------------------------------------------------
 
     /** Execute one macro-op. Returns false once halted. */
@@ -206,6 +233,14 @@ class Simulation
     double coreDynamic_ = 0;
     double vpuDynamic_ = 0;
     double frontendDynamic_ = 0;
+
+    // Instruction-grain observability (both null => zero per-uop cost
+    // beyond two pointer tests).
+    std::unique_ptr<CpiStack> cpiStack_;
+    std::unique_ptr<LifecycleTracer> lifecycle_;
+    std::string lifecycleExportPath_;
+    std::uint64_t feL1iSeen_ = 0;     //!< fetch-stall counter watermark
+    std::uint64_t feDecodeSeen_ = 0;  //!< decode-bw counter watermark
 
     // Interval sampler state. The series intentionally survives
     // restart(): attack harnesses re-arm thousands of times and want

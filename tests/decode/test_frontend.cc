@@ -192,5 +192,39 @@ TEST(FrontEnd, LsdTakesOverSmallLoops)
     EXPECT_GT(fe.slotsFrom(DeliverySource::Lsd), 0u);
 }
 
+TEST(FrontEnd, L1iStallHistogramUnderStatsDetail)
+{
+    setStatsDetail(true);
+    MemHierarchy mem;
+    FrontEndParams params;
+    params.uopCacheEnabled = false;
+    params.lsdEnabled = false;
+    FrontEnd fe(params, &mem);
+    feedProgram(fe, straightLine(64));
+    setStatsDetail(false);
+
+    // Every compulsory L1I miss contributed one histogram sample, and
+    // the samples reconstruct the cumulative stall counter exactly.
+    const Distribution &hist = fe.l1iStallHistogram();
+    EXPECT_GT(hist.count(), 0u);
+    EXPECT_EQ(static_cast<std::uint64_t>(hist.sum()),
+              fe.fetchStallCycles());
+    EXPECT_GT(fe.fetchStallCycles(), 0u);
+}
+
+TEST(FrontEnd, L1iStallHistogramOffByDefault)
+{
+    setStatsDetail(false);
+    MemHierarchy mem;
+    FrontEndParams params;
+    params.uopCacheEnabled = false;
+    FrontEnd fe(params, &mem);
+    feedProgram(fe, straightLine(64));
+
+    // The cheap counter still accumulates; the histogram stays empty.
+    EXPECT_GT(fe.fetchStallCycles(), 0u);
+    EXPECT_EQ(fe.l1iStallHistogram().count(), 0u);
+}
+
 } // namespace
 } // namespace csd
