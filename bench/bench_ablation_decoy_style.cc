@@ -15,6 +15,7 @@
 
 #include "bench/common/bench_util.hh"
 #include "bench/common/crypto_cases.hh"
+#include "bench/common/parallel.hh"
 #include "csd/csd.hh"
 
 using namespace csd;
@@ -74,9 +75,21 @@ main(int argc, char **argv)
     Table table({"benchmark", "loop cycles", "unrolled cycles",
                  "unrolled penalty", "loop uopc-hit", "unrolled uopc-hit"});
     std::vector<double> penalties;
-    for (const CryptoCase &c : cryptoSuite()) {
-        const auto loop = runWithStyle(c, DecoyStyle::MicroLoop);
-        const auto unrolled = runWithStyle(c, DecoyStyle::Unrolled);
+    const std::vector<CryptoCase> suite = cryptoSuite();
+    struct StylePair
+    {
+        StyleResult loop, unrolled;
+    };
+    const auto runs =
+        parallelMap<StylePair>(suite.size(), [&](std::size_t i) {
+            return StylePair{
+                runWithStyle(suite[i], DecoyStyle::MicroLoop),
+                runWithStyle(suite[i], DecoyStyle::Unrolled)};
+        });
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const CryptoCase &c = suite[i];
+        const auto &loop = runs[i].loop;
+        const auto &unrolled = runs[i].unrolled;
         const double penalty = static_cast<double>(unrolled.cycles) /
                                    static_cast<double>(loop.cycles) -
                                1.0;

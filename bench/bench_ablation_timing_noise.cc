@@ -10,8 +10,10 @@
  */
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench/common/bench_util.hh"
+#include "bench/common/parallel.hh"
 #include "csd/csd.hh"
 #include "sim/simulation.hh"
 #include "workloads/aes.hh"
@@ -62,16 +64,30 @@ main(int argc, char **argv)
         key[i] = static_cast<std::uint8_t>(0x11 * i);
     const AesWorkload workload = AesWorkload::build(key);
 
-    const NoiseRun base = runOnce(workload, 0, 0);
+    const unsigned amplitudes[] = {1u, 2u, 3u, 5u};
+    const std::uint64_t seeds[] = {11ull, 22ull, 33ull, 44ull};
+    const std::size_t num_seeds = std::size(seeds);
+
+    // Flatten (amplitude x seed) plus the noise-off baseline at the
+    // end; workers only simulate, rendering stays in sweep order.
+    const auto runs = parallelMap<NoiseRun>(
+        std::size(amplitudes) * num_seeds + 1, [&](std::size_t idx) {
+            if (idx == std::size(amplitudes) * num_seeds)
+                return runOnce(workload, 0, 0);
+            return runOnce(workload, amplitudes[idx / num_seeds],
+                           seeds[idx % num_seeds]);
+        });
+    const NoiseRun base = runs.back();
 
     Table table({"max NOPs/instr", "norm. time", "run-to-run spread",
                  "uop expansion"});
     table.addRow({"0 (off)", "1.000", "0 cycles", "-"});
-    for (unsigned max_nops : {1u, 2u, 3u, 5u}) {
+    for (std::size_t a = 0; a < std::size(amplitudes); ++a) {
+        const unsigned max_nops = amplitudes[a];
         Tick lo = ~Tick{0}, hi = 0;
         std::uint64_t uops = 0;
-        for (std::uint64_t seed : {11ull, 22ull, 33ull, 44ull}) {
-            const NoiseRun run = runOnce(workload, max_nops, seed);
+        for (std::size_t s = 0; s < num_seeds; ++s) {
+            const NoiseRun run = runs[a * num_seeds + s];
             lo = std::min(lo, run.cycles);
             hi = std::max(hi, run.cycles);
             uops = std::max(uops, run.uops);

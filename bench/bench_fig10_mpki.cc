@@ -12,6 +12,7 @@
 
 #include "bench/common/bench_util.hh"
 #include "bench/common/crypto_cases.hh"
+#include "bench/common/parallel.hh"
 
 using namespace csd;
 using namespace csd::bench;
@@ -27,9 +28,21 @@ main(int argc, char **argv)
     Table table({"benchmark", "base MPKI", "stealth MPKI", "delta"});
     std::vector<double> base_vals, stealth_vals;
 
-    for (const CryptoCase &c : cryptoSuite()) {
-        const auto base = runCryptoCase(c, false, frontend);
-        const auto stealth = runCryptoCase(c, true, frontend);
+    const std::vector<CryptoCase> suite = cryptoSuite();
+    struct CaseRuns
+    {
+        CryptoRunStats base, stealth;
+    };
+    const auto runs =
+        parallelMap<CaseRuns>(suite.size(), [&](std::size_t i) {
+            return CaseRuns{runCryptoCase(suite[i], false, frontend),
+                            runCryptoCase(suite[i], true, frontend)};
+        });
+
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const CryptoCase &c = suite[i];
+        const auto &base = runs[i].base;
+        const auto &stealth = runs[i].stealth;
         base_vals.push_back(base.l1dMpki);
         stealth_vals.push_back(stealth.l1dMpki);
         table.addRow({c.name, fmt(base.l1dMpki, 3),

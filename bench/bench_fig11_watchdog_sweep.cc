@@ -9,9 +9,11 @@
  */
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench/common/bench_util.hh"
 #include "bench/common/crypto_cases.hh"
+#include "bench/common/parallel.hh"
 
 using namespace csd;
 using namespace csd::bench;
@@ -42,21 +44,34 @@ main(int argc, char **argv)
     headers.push_back("average");
     Table table(headers);
 
-    std::vector<double> base_cycles;
-    for (const auto &c : cases)
-        base_cycles.push_back(static_cast<double>(
-            runCryptoCase(c, false, frontend).cycles));
+    // Flatten the sweep: index 0..N-1 are the per-case baselines,
+    // N.. are (period x case) stealth runs. Workers only compute.
+    const std::size_t num_periods = std::size(periods);
+    const std::size_t num_cases = cases.size();
+    const auto cycles_of = parallelMap<double>(
+        num_cases * (1 + num_periods), [&](std::size_t idx) {
+            const std::size_t case_idx = idx % num_cases;
+            if (idx < num_cases)
+                return static_cast<double>(
+                    runCryptoCase(cases[case_idx], false, frontend)
+                        .cycles);
+            const Cycles period = periods[idx / num_cases - 1];
+            return static_cast<double>(
+                runCryptoCase(cases[case_idx], true, frontend, period)
+                    .cycles);
+        });
+    const double *base_cycles = cycles_of.data();
 
     double prev_avg = 0;
     bool monotone = true;
-    for (Cycles period : periods) {
+    for (std::size_t p = 0; p < num_periods; ++p) {
+        const Cycles period = periods[p];
         std::vector<std::string> row = {std::to_string(period)};
         std::vector<double> ratios;
-        for (std::size_t i = 0; i < cases.size(); ++i) {
-            const auto stats =
-                runCryptoCase(cases[i], true, frontend, period);
-            const double ratio =
-                static_cast<double>(stats.cycles) / base_cycles[i];
+        for (std::size_t i = 0; i < num_cases; ++i) {
+            const double stealth_cycles =
+                cycles_of[(p + 1) * num_cases + i];
+            const double ratio = stealth_cycles / base_cycles[i];
             ratios.push_back(ratio);
             row.push_back(fmt(ratio));
         }

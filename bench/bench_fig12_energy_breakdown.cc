@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "bench/common/bench_util.hh"
+#include "bench/common/parallel.hh"
 #include "bench/common/spec_runner.hh"
 
 using namespace csd;
@@ -33,11 +34,24 @@ main(int argc, char **argv)
                  "csd gate-ovh", "csd total", "savings"});
     std::vector<double> savings;
 
-    for (const SpecPreset &preset : specPresets()) {
-        const auto conv = runSpecPolicy(
-            preset, GatingPolicy::ConventionalPG, config);
-        const auto devect =
-            runSpecPolicy(preset, GatingPolicy::CsdDevect, config);
+    const std::vector<SpecPreset> presets = specPresets();
+    struct PresetRuns
+    {
+        SpecRunResult conv, devect;
+    };
+    const auto runs =
+        parallelMap<PresetRuns>(presets.size(), [&](std::size_t i) {
+            return PresetRuns{
+                runSpecPolicy(presets[i], GatingPolicy::ConventionalPG,
+                              config),
+                runSpecPolicy(presets[i], GatingPolicy::CsdDevect,
+                              config)};
+        });
+
+    for (std::size_t i = 0; i < presets.size(); ++i) {
+        const SpecPreset &preset = presets[i];
+        const auto &conv = runs[i].conv;
+        const auto &devect = runs[i].devect;
 
         const double conv_total = conv.energy.total();
         const EnergyBreakdown &e = devect.energy;

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench/common/bench_util.hh"
+#include "bench/common/parallel.hh"
 #include "bench/common/spec_runner.hh"
 
 using namespace csd;
@@ -37,13 +38,27 @@ main(int argc, char **argv)
     std::array<double, numCpiBuckets> always_b{}, csd_b{}, conv_b{};
     double always_total = 0, csd_total = 0, conv_total = 0;
 
-    for (const SpecPreset &preset : specPresets()) {
-        const auto always =
-            runSpecPolicy(preset, GatingPolicy::AlwaysOn, config);
-        const auto devect =
-            runSpecPolicy(preset, GatingPolicy::CsdDevect, config);
-        const auto conv = runSpecPolicy(
-            preset, GatingPolicy::ConventionalPG, config);
+    const std::vector<SpecPreset> presets = specPresets();
+    struct PresetRuns
+    {
+        SpecRunResult always, devect, conv;
+    };
+    const auto runs =
+        parallelMap<PresetRuns>(presets.size(), [&](std::size_t i) {
+            return PresetRuns{
+                runSpecPolicy(presets[i], GatingPolicy::AlwaysOn,
+                              config),
+                runSpecPolicy(presets[i], GatingPolicy::CsdDevect,
+                              config),
+                runSpecPolicy(presets[i], GatingPolicy::ConventionalPG,
+                              config)};
+        });
+
+    for (std::size_t i2 = 0; i2 < presets.size(); ++i2) {
+        const SpecPreset &preset = presets[i2];
+        const auto &always = runs[i2].always;
+        const auto &devect = runs[i2].devect;
+        const auto &conv = runs[i2].conv;
 
         const double base = static_cast<double>(always.cycles);
         const double csd_r = static_cast<double>(devect.cycles) / base;

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench/common/bench_util.hh"
+#include "bench/common/parallel.hh"
 #include "bench/common/spec_runner.hh"
 
 using namespace csd;
@@ -30,13 +31,27 @@ main(int argc, char **argv)
     double csd_uops_total = 0, devect_uops_total = 0;
     double devect_cycles_total = 0, csd_cycles_total = 0;
 
-    for (const SpecPreset &preset : specPresets()) {
-        const auto always =
-            runSpecPolicy(preset, GatingPolicy::AlwaysOn, config);
-        const auto devect =
-            runSpecPolicy(preset, GatingPolicy::CsdDevect, config);
-        const auto conv = runSpecPolicy(
-            preset, GatingPolicy::ConventionalPG, config);
+    const std::vector<SpecPreset> presets = specPresets();
+    struct PresetRuns
+    {
+        SpecRunResult always, devect, conv;
+    };
+    const auto runs =
+        parallelMap<PresetRuns>(presets.size(), [&](std::size_t i) {
+            return PresetRuns{
+                runSpecPolicy(presets[i], GatingPolicy::AlwaysOn,
+                              config),
+                runSpecPolicy(presets[i], GatingPolicy::CsdDevect,
+                              config),
+                runSpecPolicy(presets[i], GatingPolicy::ConventionalPG,
+                              config)};
+        });
+
+    for (std::size_t i = 0; i < presets.size(); ++i) {
+        const SpecPreset &preset = presets[i];
+        const auto &always = runs[i].always;
+        const auto &devect = runs[i].devect;
+        const auto &conv = runs[i].conv;
 
         const double base = static_cast<double>(always.uops);
         const double csd_r = static_cast<double>(devect.uops) / base;

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench/common/bench_util.hh"
+#include "bench/common/parallel.hh"
 #include "bench/common/spec_runner.hh"
 
 using namespace csd;
@@ -27,9 +28,16 @@ main(int argc, char **argv)
     Table table({"benchmark", "gated", "waking", "on", "gate events"});
     std::vector<double> gated;
 
-    for (const SpecPreset &preset : specPresets()) {
-        const auto result =
-            runSpecPolicy(preset, GatingPolicy::CsdDevect, config);
+    const std::vector<SpecPreset> presets = specPresets();
+    const auto results = parallelMap<SpecRunResult>(
+        presets.size(), [&](std::size_t i) {
+            return runSpecPolicy(presets[i], GatingPolicy::CsdDevect,
+                                 config);
+        });
+
+    for (std::size_t i = 0; i < presets.size(); ++i) {
+        const SpecPreset &preset = presets[i];
+        const auto &result = results[i];
         gated.push_back(result.gatedFraction);
         table.addRow({preset.name, pct(result.gatedFraction),
                       pct(result.wakingFraction),

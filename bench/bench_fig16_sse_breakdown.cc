@@ -13,8 +13,10 @@
  */
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench/common/bench_util.hh"
+#include "bench/common/parallel.hh"
 #include "bench/common/spec_runner.hh"
 
 using namespace csd;
@@ -52,10 +54,14 @@ main(int argc, char **argv)
     SpecRunConfig config;
     Table table({"benchmark", "powered-on", "powering-on",
                  "power-gated", "SSE instrs"});
-    for (const SpecPreset &preset : specPresets())
-        addBreakdownRow(table,
-                        runSpecPolicy(preset, GatingPolicy::CsdDevect,
-                                      config));
+    const std::vector<SpecPreset> presets = specPresets();
+    const auto results = parallelMap<SpecRunResult>(
+        presets.size(), [&](std::size_t i) {
+            return runSpecPolicy(presets[i], GatingPolicy::CsdDevect,
+                                 config);
+        });
+    for (const SpecRunResult &result : results)
+        addBreakdownRow(table, result);
     table.print();
 
     // Threshold ablation (DESIGN.md #4): namd with a longer activity
@@ -65,14 +71,20 @@ main(int argc, char **argv)
     std::printf("\nAblation: namd activity-window sweep "
                 "(paper: the static threshold over-gates namd)\n");
     Table ablation({"window (instrs)", "gated time", "SSE power-gated"});
-    for (unsigned window : {128u, 256u, 512u, 1024u, 2048u}) {
-        SpecRunConfig cfg;
-        cfg.gating.windowInstrs = window;
-        const auto result = runSpecPolicy(specPreset("namd"),
-                                          GatingPolicy::CsdDevect, cfg);
+    const unsigned windows[] = {128u, 256u, 512u, 1024u, 2048u};
+    const auto sweep = parallelMap<SpecRunResult>(
+        std::size(windows), [&](std::size_t i) {
+            SpecRunConfig cfg;
+            cfg.gating.windowInstrs = windows[i];
+            return runSpecPolicy(specPreset("namd"),
+                                 GatingPolicy::CsdDevect, cfg);
+        });
+    for (std::size_t i = 0; i < std::size(windows); ++i) {
+        const auto &result = sweep[i];
         const double total = static_cast<double>(
             result.sseOn + result.sseWaking + result.sseGated);
-        ablation.addRow({std::to_string(window), pct(result.gatedFraction),
+        ablation.addRow({std::to_string(windows[i]),
+                         pct(result.gatedFraction),
                          total == 0 ? "-"
                                     : pct(result.sseGated / total)});
     }

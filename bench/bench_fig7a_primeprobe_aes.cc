@@ -9,8 +9,10 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/common/bench_util.hh"
+#include "bench/common/parallel.hh"
 #include "sec/aes_attack.hh"
 
 using namespace csd;
@@ -74,10 +76,12 @@ main(int argc, char **argv)
                 "Chosen plaintexts; D-cache side channel; scaled sample"
                 " counts (see DESIGN.md).");
 
-    const auto undefended = runOnce(false);
+    const std::vector<AesAttackResult> runs =
+        parallelMap<AesAttackResult>(
+            2, [](std::size_t idx) { return runOnce(idx == 1); });
+    const AesAttackResult &undefended = runs[0];
+    const AesAttackResult &defended = runs[1];
     report("stealth-mode OFF", undefended);
-
-    const auto defended = runOnce(true);
     report("stealth-mode ON", defended);
 
     std::printf("\nSummary: %u bits leak without CSD, %u with CSD "

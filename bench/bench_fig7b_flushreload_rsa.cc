@@ -10,8 +10,10 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/common/bench_util.hh"
+#include "bench/common/parallel.hh"
 #include "sec/rsa_attack.hh"
 
 using namespace csd;
@@ -81,21 +83,23 @@ main(int argc, char **argv)
                     static_cast<int>((workload.exponent >> i) & 1));
     std::printf("\n");
 
-    Victim undefended(workload.program, makeDefense(workload, false));
-    const auto attack_plain = runRsaAttack(undefended, workload);
+    // Four independent (attack, defense) runs; PRIME+PROBE is the
+    // paper's "also defeated" variant (§VII-A).
+    const std::vector<RsaAttackResult> runs =
+        parallelMap<RsaAttackResult>(4, [&](std::size_t idx) {
+            const bool defended = (idx & 1) != 0;
+            RsaAttackConfig config;
+            config.flushReload = idx < 2;
+            Victim victim(workload.program,
+                          makeDefense(workload, defended));
+            return runRsaAttack(victim, workload, config);
+        });
+    const RsaAttackResult &attack_plain = runs[0];
+    const RsaAttackResult &attack_defended = runs[1];
+    const RsaAttackResult &pp_off = runs[2];
+    const RsaAttackResult &pp_on = runs[3];
     report("stealth-mode OFF (FLUSH+RELOAD)", workload, attack_plain);
-
-    Victim defended(workload.program, makeDefense(workload, true));
-    const auto attack_defended = runRsaAttack(defended, workload);
     report("stealth-mode ON (FLUSH+RELOAD)", workload, attack_defended);
-
-    // PRIME+PROBE variant (paper §VII-A: "also defeated").
-    RsaAttackConfig pp;
-    pp.flushReload = false;
-    Victim pp_plain(workload.program, makeDefense(workload, false));
-    const auto pp_off = runRsaAttack(pp_plain, workload, pp);
-    Victim pp_def(workload.program, makeDefense(workload, true));
-    const auto pp_on = runRsaAttack(pp_def, workload, pp);
 
     Table table({"attack", "defense", "bit accuracy"});
     table.addRow({"FLUSH+RELOAD", "off", fmt(attack_plain.accuracy, 3)});

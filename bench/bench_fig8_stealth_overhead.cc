@@ -13,6 +13,7 @@
 
 #include "bench/common/bench_util.hh"
 #include "bench/common/crypto_cases.hh"
+#include "bench/common/parallel.hh"
 
 using namespace csd;
 using namespace csd::bench;
@@ -42,11 +43,29 @@ main(int argc, char **argv)
     std::array<double, numCpiBuckets> base_buckets{}, stealth_buckets{};
     double base_total = 0, stealth_total = 0;
 
-    for (const CryptoCase &c : cryptoSuite()) {
-        const auto base_no = runCryptoCase(c, false, noopt);
-        const auto stealth_no = runCryptoCase(c, true, noopt);
-        const auto base_opt = runCryptoCase(c, false, opt);
-        const auto stealth_opt = runCryptoCase(c, true, opt);
+    // Compute all datapoints (possibly across --jobs threads), then
+    // render serially in case order so output is deterministic.
+    const std::vector<CryptoCase> suite = cryptoSuite();
+    struct CaseRuns
+    {
+        CryptoRunStats baseNo, stealthNo, baseOpt, stealthOpt;
+    };
+    const auto runs =
+        parallelMap<CaseRuns>(suite.size(), [&](std::size_t i) {
+            CaseRuns r;
+            r.baseNo = runCryptoCase(suite[i], false, noopt);
+            r.stealthNo = runCryptoCase(suite[i], true, noopt);
+            r.baseOpt = runCryptoCase(suite[i], false, opt);
+            r.stealthOpt = runCryptoCase(suite[i], true, opt);
+            return r;
+        });
+
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const CryptoCase &c = suite[i];
+        const auto &base_no = runs[i].baseNo;
+        const auto &stealth_no = runs[i].stealthNo;
+        const auto &base_opt = runs[i].baseOpt;
+        const auto &stealth_opt = runs[i].stealthOpt;
 
         const double ratio_no = static_cast<double>(stealth_no.cycles) /
                                 static_cast<double>(base_no.cycles);

@@ -11,6 +11,7 @@
 
 #include "bench/common/bench_util.hh"
 #include "bench/common/crypto_cases.hh"
+#include "bench/common/parallel.hh"
 
 using namespace csd;
 using namespace csd::bench;
@@ -28,9 +29,21 @@ main(int argc, char **argv)
                  "decoy uops", "expansion"});
     std::vector<double> ratios;
 
-    for (const CryptoCase &c : cryptoSuite()) {
-        const auto base = runCryptoCase(c, false, frontend);
-        const auto stealth = runCryptoCase(c, true, frontend);
+    const std::vector<CryptoCase> suite = cryptoSuite();
+    struct CaseRuns
+    {
+        CryptoRunStats base, stealth;
+    };
+    const auto runs =
+        parallelMap<CaseRuns>(suite.size(), [&](std::size_t i) {
+            return CaseRuns{runCryptoCase(suite[i], false, frontend),
+                            runCryptoCase(suite[i], true, frontend)};
+        });
+
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const CryptoCase &c = suite[i];
+        const auto &base = runs[i].base;
+        const auto &stealth = runs[i].stealth;
         const double ratio = static_cast<double>(stealth.uopsExecuted) /
                              static_cast<double>(base.uopsExecuted);
         ratios.push_back(ratio);

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Host-throughput benchmark: simulated kilo-uops per host second.
+ *
+ * This is not a paper figure — it tracks how fast the simulator itself
+ * runs, so CI can catch host-side regressions (scripts/
+ * check_throughput.py compares the sidecar against a committed
+ * baseline). Three configurations of the AES detailed workload, the
+ * same program BM_DetailedAesBlock drives:
+ *
+ *  - detailed, flow cache on  (the default production configuration)
+ *  - detailed, flow cache off (every macro-op re-translated)
+ *  - cache-only fidelity      (functional + cache residency)
+ *
+ * The cache-on / cache-off ratio is the measured speedup of the
+ * predecoded-flow cache (DESIGN.md, "Host performance architecture").
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/common/bench_util.hh"
+#include "sim/simulation.hh"
+#include "workloads/aes.hh"
+
+using namespace csd;
+using namespace csd::bench;
+
+namespace
+{
+
+struct ThroughputRun
+{
+    double kuopsPerSec = 0;
+    std::uint64_t uops = 0;
+    double hostSeconds = 0;
+    double flowCacheHitRate = 0;
+};
+
+ThroughputRun
+measure(SimMode mode, bool flow_cache_on)
+{
+    std::array<std::uint8_t, 16> key{};
+    for (unsigned i = 0; i < 16; ++i)
+        key[i] = static_cast<std::uint8_t>(i);
+    const AesWorkload workload = AesWorkload::build(key);
+
+    SimParams params;
+    params.mode = mode;
+    Simulation sim(workload.program, params);
+    sim.setFlowCacheEnabled(flow_cache_on);
+
+    // Warm host caches, the branch predictor, and the flow cache so
+    // the timed region measures steady state.
+    for (int block = 0; block < 5; ++block) {
+        sim.restart();
+        sim.runToHalt();
+    }
+
+    using Clock = std::chrono::steady_clock;
+    constexpr double min_seconds = 0.5;
+    constexpr int batch = 20;
+
+    const std::uint64_t uops_before = sim.uopsSimulated();
+    const Clock::time_point start = Clock::now();
+    double elapsed = 0;
+    do {
+        for (int block = 0; block < batch; ++block) {
+            sim.restart();
+            sim.runToHalt();
+        }
+        elapsed = std::chrono::duration<double>(Clock::now() - start)
+                      .count();
+    } while (elapsed < min_seconds);
+
+    ThroughputRun run;
+    run.uops = sim.uopsSimulated() - uops_before;
+    run.hostSeconds = elapsed;
+    run.kuopsPerSec =
+        static_cast<double>(run.uops) / 1000.0 / elapsed;
+    const FlowCache &fc = sim.flowCache();
+    const std::uint64_t lookups = fc.hits + fc.misses + fc.invalidations;
+    if (lookups > 0)
+        run.flowCacheHitRate =
+            static_cast<double>(fc.hits) / static_cast<double>(lookups);
+    return run;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchInit(argc, argv);
+    benchHeader("Throughput", "Simulator host throughput (AES block)",
+                "Simulated kilo-uops per host second; higher is "
+                "better. Tracks the simulator, not the paper.");
+
+    const ThroughputRun on = measure(SimMode::Detailed, true);
+    const ThroughputRun off = measure(SimMode::Detailed, false);
+    const ThroughputRun cache_only = measure(SimMode::CacheOnly, true);
+
+    Table table({"configuration", "kuops/s", "uops", "host s",
+                 "flow-cache hit"});
+    table.addRow({"detailed, flow cache on", fmt(on.kuopsPerSec, 1),
+                  std::to_string(on.uops), fmt(on.hostSeconds, 2),
+                  pct(on.flowCacheHitRate)});
+    table.addRow({"detailed, flow cache off", fmt(off.kuopsPerSec, 1),
+                  std::to_string(off.uops), fmt(off.hostSeconds, 2),
+                  "-"});
+    table.addRow({"cache-only fidelity", fmt(cache_only.kuopsPerSec, 1),
+                  std::to_string(cache_only.uops),
+                  fmt(cache_only.hostSeconds, 2),
+                  pct(cache_only.flowCacheHitRate)});
+    table.print();
+
+    const double speedup = on.kuopsPerSec / off.kuopsPerSec;
+    benchStat("detailed_kuops_per_s_cache_on", on.kuopsPerSec);
+    benchStat("detailed_kuops_per_s_cache_off", off.kuopsPerSec);
+    benchStat("cacheonly_kuops_per_s", cache_only.kuopsPerSec);
+    benchStat("flow_cache_speedup", speedup);
+    benchStat("flow_cache_hit_rate", on.flowCacheHitRate);
+
+    std::printf("\nflow-cache speedup on the detailed model: %sx "
+                "(hit rate %s)\n", fmt(speedup, 2).c_str(),
+                pct(on.flowCacheHitRate).c_str());
+    return 0;
+}

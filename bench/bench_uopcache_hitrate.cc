@@ -20,6 +20,7 @@
 
 #include "bench/common/bench_util.hh"
 #include "bench/common/crypto_cases.hh"
+#include "bench/common/parallel.hh"
 
 using namespace csd;
 using namespace csd::bench;
@@ -43,13 +44,27 @@ main(int argc, char **argv)
                  "base (fusion)", "stealth (fusion)",
                  "stealth (fusion, FLUSH ablation)"});
 
+    const std::vector<CryptoCase> suite = cryptoSuite();
+    struct CaseRates
+    {
+        double bnf, snf, bf, sf, sfl;
+    };
+    const auto rates =
+        parallelMap<CaseRates>(suite.size(), [&](std::size_t i) {
+            const CryptoCase &c = suite[i];
+            CaseRates r;
+            r.bnf = runCryptoCase(c, false, unfused).uopCacheHitRate;
+            r.snf = runCryptoCase(c, true, unfused).uopCacheHitRate;
+            r.bf = runCryptoCase(c, false, fused).uopCacheHitRate;
+            r.sf = runCryptoCase(c, true, fused).uopCacheHitRate;
+            r.sfl = runCryptoCase(c, true, flush).uopCacheHitRate;
+            return r;
+        });
+
     std::vector<double> base_nf, st_nf, base_f, st_f, st_flush;
-    for (const CryptoCase &c : cryptoSuite()) {
-        const double bnf = runCryptoCase(c, false, unfused).uopCacheHitRate;
-        const double snf = runCryptoCase(c, true, unfused).uopCacheHitRate;
-        const double bf = runCryptoCase(c, false, fused).uopCacheHitRate;
-        const double sf = runCryptoCase(c, true, fused).uopCacheHitRate;
-        const double sfl = runCryptoCase(c, true, flush).uopCacheHitRate;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const CryptoCase &c = suite[i];
+        const auto [bnf, snf, bf, sf, sfl] = rates[i];
         base_nf.push_back(bnf);
         st_nf.push_back(snf);
         base_f.push_back(bf);

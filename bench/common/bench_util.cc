@@ -7,6 +7,7 @@
 #include <sstream>
 #include <utility>
 
+#include "bench/common/parallel.hh"
 #include "common/stats.hh"
 
 namespace csd::bench
@@ -95,6 +96,12 @@ benchInit(int argc, char **argv)
             path = argv[++i];
         else if (arg.rfind("--json=", 0) == 0)
             path = arg.substr(7);
+        else if (arg == "--jobs" && i + 1 < argc)
+            benchSetJobs(static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10)));
+        else if (arg.rfind("--jobs=", 0) == 0)
+            benchSetJobs(static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 7, nullptr, 10)));
     }
     if (path.empty()) {
         if (const char *env = std::getenv("CSD_BENCH_JSON"))
@@ -132,6 +139,7 @@ benchJsonEnabled()
 void
 benchStat(const std::string &key, double value)
 {
+    benchAssertSerialContext("benchStat");
     SidecarStat stat;
     stat.key = key;
     stat.numeric = true;
@@ -142,6 +150,7 @@ benchStat(const std::string &key, double value)
 void
 benchStat(const std::string &key, const std::string &value)
 {
+    benchAssertSerialContext("benchStat");
     SidecarStat stat;
     stat.key = key;
     stat.text = value;
@@ -218,6 +227,7 @@ Table::addRow(std::vector<std::string> cells)
 void
 Table::print() const
 {
+    benchAssertSerialContext("Table::print");
     std::vector<std::size_t> widths(headers_.size(), 0);
     for (std::size_t c = 0; c < headers_.size(); ++c)
         widths[c] = headers_[c].size();

@@ -1,0 +1,123 @@
+#include "bench/common/parallel.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace csd::bench
+{
+
+namespace
+{
+
+/** --jobs request; 0 = auto (hardware threads), unset = 1 via env. */
+unsigned requestedJobs = 0;
+bool jobsRequested = false;
+
+std::atomic<bool> inParallelRegion{false};
+std::thread::id mainThread = std::this_thread::get_id();
+
+bool
+envArmed(const char *name)
+{
+    const char *value = std::getenv(name);
+    return value && *value && !(*value == '0' && value[1] == '\0');
+}
+
+unsigned
+resolveJobs()
+{
+    unsigned jobs = 1;
+    if (jobsRequested) {
+        jobs = requestedJobs;
+    } else if (const char *env = std::getenv("CSD_BENCH_JOBS")) {
+        jobs = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    }
+    if (jobs == 0) {
+        jobs = std::thread::hardware_concurrency();
+        if (jobs == 0)
+            jobs = 1;
+    }
+
+    // The event tracer and lifecycle exporter are process-wide
+    // singletons and explicitly not thread safe (common/trace.hh);
+    // tracing runs stay serial so the trace remains coherent.
+    if (jobs > 1 && (envArmed("CSD_TRACE") ||
+                     std::getenv("CSD_TRACE_FILE") ||
+                     envArmed("CSD_LIFECYCLE") ||
+                     std::getenv("CSD_LIFECYCLE_FILE"))) {
+        static bool warned = false;
+        if (!warned) {
+            std::fprintf(stderr,
+                         "bench: tracing armed; forcing --jobs 1 (the "
+                         "tracer is a process-wide singleton)\n");
+            warned = true;
+        }
+        return 1;
+    }
+    return jobs;
+}
+
+} // namespace
+
+unsigned
+benchJobs()
+{
+    return resolveJobs();
+}
+
+void
+benchSetJobs(unsigned jobs)
+{
+    requestedJobs = jobs;
+    jobsRequested = true;
+}
+
+void
+benchAssertSerialContext(const char *what)
+{
+    if (inParallelRegion.load(std::memory_order_relaxed) ||
+        std::this_thread::get_id() != mainThread) {
+        std::fprintf(stderr,
+                     "bench: %s called from a parallel worker; tables "
+                     "and stats must be emitted from the main thread "
+                     "after the parallel section (see parallel.hh)\n",
+                     what);
+        std::abort();
+    }
+}
+
+namespace detail
+{
+
+void
+runIndexed(std::size_t n, unsigned jobs,
+           const std::function<void(std::size_t)> &fn)
+{
+    if (jobs > n)
+        jobs = static_cast<unsigned>(n);
+
+    inParallelRegion.store(true, std::memory_order_relaxed);
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t) {
+        pool.emplace_back([&] {
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    return;
+                fn(i);
+            }
+        });
+    }
+    for (std::thread &worker : pool)
+        worker.join();
+    inParallelRegion.store(false, std::memory_order_relaxed);
+}
+
+} // namespace detail
+
+} // namespace csd::bench

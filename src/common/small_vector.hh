@@ -1,0 +1,362 @@
+/**
+ * @file
+ * A vector with inline storage for its first N elements.
+ *
+ * The simulator's hot loop builds one micro-op flow per macro-op and
+ * one dynamic-uop list per executed flow; almost all of them are a
+ * handful of elements. SmallVector keeps those on the stack (or inside
+ * the owning object) and only touches the heap when a flow outgrows
+ * its inline capacity — decoy-expanded or microsequenced flows — so
+ * the per-instruction fast path performs zero allocations.
+ *
+ * The interface is the subset of std::vector the simulator uses.
+ * Iterators are raw pointers; like std::vector, they are invalidated
+ * by any operation that grows the container past its capacity.
+ */
+
+#ifndef CSD_COMMON_SMALL_VECTOR_HH
+#define CSD_COMMON_SMALL_VECTOR_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <iterator>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace csd
+{
+
+template <typename T, std::size_t N>
+class SmallVector
+{
+    static_assert(N > 0, "SmallVector needs a nonzero inline capacity");
+
+  public:
+    using value_type = T;
+    using size_type = std::size_t;
+    using iterator = T *;
+    using const_iterator = const T *;
+    using reference = T &;
+    using const_reference = const T &;
+
+    SmallVector() : data_(inlinePtr()), size_(0), capacity_(N) {}
+
+    explicit SmallVector(size_type count, const T &value = T())
+        : SmallVector()
+    {
+        assign(count, value);
+    }
+
+    SmallVector(std::initializer_list<T> init) : SmallVector()
+    {
+        assign(init.begin(), init.end());
+    }
+
+    template <typename InputIt,
+              typename = typename std::iterator_traits<
+                  InputIt>::iterator_category>
+    SmallVector(InputIt first, InputIt last) : SmallVector()
+    {
+        assign(first, last);
+    }
+
+    SmallVector(const SmallVector &other) : SmallVector()
+    {
+        assign(other.begin(), other.end());
+    }
+
+    SmallVector(SmallVector &&other) noexcept : SmallVector()
+    {
+        stealOrMove(std::move(other));
+    }
+
+    SmallVector &
+    operator=(const SmallVector &other)
+    {
+        if (this != &other)
+            assign(other.begin(), other.end());
+        return *this;
+    }
+
+    SmallVector &
+    operator=(SmallVector &&other) noexcept
+    {
+        if (this != &other) {
+            destroyAll();
+            stealOrMove(std::move(other));
+        }
+        return *this;
+    }
+
+    SmallVector &
+    operator=(std::initializer_list<T> init)
+    {
+        assign(init.begin(), init.end());
+        return *this;
+    }
+
+    ~SmallVector() { destroyAll(); }
+
+    // --- capacity ---------------------------------------------------------
+
+    size_type size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    size_type capacity() const { return capacity_; }
+    static constexpr size_type inlineCapacity() { return N; }
+
+    /** True while the elements live in the inline buffer. */
+    bool usesInlineStorage() const { return data_ == inlinePtr(); }
+
+    void
+    reserve(size_type new_cap)
+    {
+        if (new_cap > capacity_)
+            grow(new_cap);
+    }
+
+    // --- element access ---------------------------------------------------
+
+    T *data() { return data_; }
+    const T *data() const { return data_; }
+
+    iterator begin() { return data_; }
+    iterator end() { return data_ + size_; }
+    const_iterator begin() const { return data_; }
+    const_iterator end() const { return data_ + size_; }
+    const_iterator cbegin() const { return data_; }
+    const_iterator cend() const { return data_ + size_; }
+
+    reference operator[](size_type i) { return data_[i]; }
+    const_reference operator[](size_type i) const { return data_[i]; }
+
+    reference front() { return data_[0]; }
+    const_reference front() const { return data_[0]; }
+    reference back() { return data_[size_ - 1]; }
+    const_reference back() const { return data_[size_ - 1]; }
+
+    // --- modifiers --------------------------------------------------------
+
+    void
+    clear()
+    {
+        std::destroy(begin(), end());
+        size_ = 0;
+    }
+
+    void
+    push_back(const T &value)
+    {
+        emplace_back(value);
+    }
+
+    void
+    push_back(T &&value)
+    {
+        emplace_back(std::move(value));
+    }
+
+    template <typename... Args>
+    reference
+    emplace_back(Args &&...args)
+    {
+        if (size_ == capacity_)
+            grow(capacity_ * 2);
+        T *slot = data_ + size_;
+        ::new (static_cast<void *>(slot)) T(std::forward<Args>(args)...);
+        ++size_;
+        return *slot;
+    }
+
+    void
+    pop_back()
+    {
+        --size_;
+        std::destroy_at(data_ + size_);
+    }
+
+    void
+    resize(size_type count, const T &value = T())
+    {
+        if (count < size_) {
+            std::destroy(begin() + count, end());
+            size_ = count;
+            return;
+        }
+        reserve(count);
+        while (size_ < count)
+            emplace_back(value);
+    }
+
+    void
+    assign(size_type count, const T &value)
+    {
+        clear();
+        reserve(count);
+        while (size_ < count)
+            emplace_back(value);
+    }
+
+    template <typename InputIt,
+              typename = typename std::iterator_traits<
+                  InputIt>::iterator_category>
+    void
+    assign(InputIt first, InputIt last)
+    {
+        clear();
+        reserve(static_cast<size_type>(std::distance(first, last)));
+        for (; first != last; ++first)
+            emplace_back(*first);
+    }
+
+    iterator
+    insert(const_iterator pos, const T &value)
+    {
+        // Copy first: `value` may alias an element that openGap shifts.
+        T tmp(value);
+        return insert(pos, std::move(tmp));
+    }
+
+    iterator
+    insert(const_iterator pos, T &&value)
+    {
+        const size_type at = static_cast<size_type>(pos - data_);
+        openGap(at, 1);
+        data_[at] = std::move(value);
+        return data_ + at;
+    }
+
+    /**
+     * Insert [first, last) before @p pos. The range must not alias this
+     * container's storage (matching how the simulator splices decoy /
+     * MCU uop sequences built in separate buffers).
+     */
+    template <typename InputIt,
+              typename = typename std::iterator_traits<
+                  InputIt>::iterator_category>
+    iterator
+    insert(const_iterator pos, InputIt first, InputIt last)
+    {
+        const size_type at = static_cast<size_type>(pos - data_);
+        const size_type count =
+            static_cast<size_type>(std::distance(first, last));
+        if (count == 0)
+            return data_ + at;
+        openGap(at, count);
+        // openGap leaves [at, at+count) as moved-from or
+        // default-constructed slots; overwrite them by assignment.
+        std::copy(first, last, data_ + at);
+        return data_ + at;
+    }
+
+    iterator
+    erase(const_iterator pos)
+    {
+        return erase(pos, pos + 1);
+    }
+
+    iterator
+    erase(const_iterator first, const_iterator last)
+    {
+        T *dst = data_ + (first - data_);
+        T *src = data_ + (last - data_);
+        T *stop = std::move(src, end(), dst);
+        std::destroy(stop, end());
+        size_ = static_cast<size_type>(stop - data_);
+        return dst;
+    }
+
+    bool
+    operator==(const SmallVector &other) const
+    {
+        return size_ == other.size_ &&
+               std::equal(begin(), end(), other.begin());
+    }
+
+  private:
+    T *
+    inlinePtr()
+    {
+        return std::launder(reinterpret_cast<T *>(inline_));
+    }
+
+    const T *
+    inlinePtr() const
+    {
+        return std::launder(reinterpret_cast<const T *>(inline_));
+    }
+
+    void
+    destroyAll()
+    {
+        std::destroy(begin(), end());
+        if (!usesInlineStorage())
+            ::operator delete(data_);
+        data_ = inlinePtr();
+        size_ = 0;
+        capacity_ = N;
+    }
+
+    /** Move elements out of @p other, stealing its heap buffer if any. */
+    void
+    stealOrMove(SmallVector &&other)
+    {
+        if (!other.usesInlineStorage()) {
+            data_ = other.data_;
+            size_ = other.size_;
+            capacity_ = other.capacity_;
+        } else {
+            data_ = inlinePtr();
+            capacity_ = N;
+            size_ = other.size_;
+            std::uninitialized_move(other.begin(), other.end(), data_);
+            std::destroy(other.begin(), other.end());
+        }
+        other.data_ = other.inlinePtr();
+        other.size_ = 0;
+        other.capacity_ = N;
+    }
+
+    void
+    grow(size_type min_cap)
+    {
+        size_type new_cap = std::max<size_type>(capacity_ * 2, N);
+        new_cap = std::max(new_cap, min_cap);
+        T *fresh = static_cast<T *>(::operator new(new_cap * sizeof(T)));
+        std::uninitialized_move(begin(), end(), fresh);
+        std::destroy(begin(), end());
+        if (!usesInlineStorage())
+            ::operator delete(data_);
+        data_ = fresh;
+        capacity_ = new_cap;
+    }
+
+    /**
+     * Open @p count element slots at index @p at, shifting the tail
+     * right. The gap's slots are left constructed (moved-from tail
+     * elements or value-initialized) so callers may assign into them.
+     */
+    void
+    openGap(size_type at, size_type count)
+    {
+        reserve(size_ + count);
+        // The slots past the old size are raw memory: construct them,
+        // then shift the tail right within the initialized prefix.
+        const size_type old_size = size_;
+        for (size_type i = 0; i < count; ++i)
+            ::new (static_cast<void *>(data_ + old_size + i)) T();
+        size_ = old_size + count;
+        std::move_backward(data_ + at, data_ + old_size, data_ + size_);
+    }
+
+    T *data_;
+    size_type size_;
+    size_type capacity_;
+    alignas(T) std::byte inline_[N * sizeof(T)];
+};
+
+} // namespace csd
+
+#endif // CSD_COMMON_SMALL_VECTOR_HH

@@ -18,7 +18,7 @@ BackEnd::BackEnd(const BackEndParams &params, MemHierarchy *mem)
                       "cycles lost waiting for an issue port");
 }
 
-const std::vector<unsigned> &
+const BackEnd::PortSet &
 BackEnd::portsFor(FuClass fu)
 {
     // Sandy Bridge-like port binding:
@@ -26,30 +26,20 @@ BackEnd::portsFor(FuClass fu)
     //   p1: ALU, int mul, scalar FP
     //   p5: ALU, branch, vector ALU
     //   p2/p3: loads, p4: store
-    static const std::vector<unsigned> int_alu{0, 1, 5};
-    static const std::vector<unsigned> int_mul{1};
-    static const std::vector<unsigned> branch{5};
-    static const std::vector<unsigned> vec_alu{0, 5};
-    static const std::vector<unsigned> vec_mul{0};
-    static const std::vector<unsigned> vec_div{0};
-    static const std::vector<unsigned> fp_scalar{1};
-    static const std::vector<unsigned> loads{2, 3};
-    static const std::vector<unsigned> stores{4};
-    static const std::vector<unsigned> none{};
-
-    switch (fu) {
-      case FuClass::IntAlu:   return int_alu;
-      case FuClass::IntMul:   return int_mul;
-      case FuClass::Branch:   return branch;
-      case FuClass::VecAlu:   return vec_alu;
-      case FuClass::VecMul:   return vec_mul;
-      case FuClass::VecFpDiv: return vec_div;
-      case FuClass::FpScalar: return fp_scalar;
-      case FuClass::MemLoad:  return loads;
-      case FuClass::MemStore: return stores;
-      case FuClass::None:     return none;
-    }
-    return none;
+    // Indexed by FuClass; plain data so the per-uop lookup is one load.
+    static constexpr PortSet table[] = {
+        /* IntAlu   */ {3, {0, 1, 5}},
+        /* IntMul   */ {1, {1}},
+        /* Branch   */ {1, {5}},
+        /* MemLoad  */ {2, {2, 3}},
+        /* MemStore */ {1, {4}},
+        /* VecAlu   */ {2, {0, 5}},
+        /* VecMul   */ {1, {0}},
+        /* VecFpDiv */ {1, {0}},
+        /* FpScalar */ {1, {1}},
+        /* None     */ {0, {}},
+    };
+    return table[static_cast<std::size_t>(fu)];
 }
 
 BackEnd::UopTiming
@@ -105,18 +95,21 @@ BackEnd::process(const Uop &uop, const DynUop &dyn, Tick deliver)
 
     // Issue: earliest among candidate ports.
     Tick issue = ready;
-    const auto &ports = portsFor(fuClass(uop));
-    if (!ports.empty()) {
-        unsigned best = ports[0];
-        for (unsigned port : ports)
+    const FuClass fu = fuClass(uop);
+    const PortSet &ports = portsFor(fu);
+    if (ports.count > 0) {
+        unsigned best = ports.ports[0];
+        for (unsigned i = 1; i < ports.count; ++i) {
+            const unsigned port = ports.ports[i];
             if (portFree_[port] < portFree_[best])
                 best = port;
+        }
         if (portFree_[best] > issue) {
             timing.portStall = portFree_[best] - issue;
             portConflictCycles_ += portFree_[best] - issue;
             issue = portFree_[best];
         }
-        const bool pipelined = fuClass(uop) != FuClass::VecFpDiv;
+        const bool pipelined = fu != FuClass::VecFpDiv;
         portFree_[best] = issue + (pipelined ? 1 : fuLatency(uop));
     }
 
@@ -182,7 +175,8 @@ BackEnd::process(const Uop &uop, const DynUop &dyn, Tick deliver)
 
     // ROB ring bookkeeping.
     robRing_[robIdx_] = commit;
-    robIdx_ = (robIdx_ + 1) % params_.robEntries;
+    if (++robIdx_ == params_.robEntries)
+        robIdx_ = 0;
     if (robCount_ < params_.robEntries)
         ++robCount_;
 

@@ -80,7 +80,12 @@ class BackEnd
     static constexpr unsigned numPorts = 6;
 
     /** Candidate issue ports for a functional-unit class. */
-    static const std::vector<unsigned> &portsFor(FuClass fu);
+    struct PortSet
+    {
+        std::uint8_t count = 0;
+        std::uint8_t ports[3] = {};
+    };
+    static const PortSet &portsFor(FuClass fu);
 
     BackEndParams params_;
     MemHierarchy *mem_;

@@ -37,7 +37,15 @@ void
 CpiStack::accountUop(const BackEnd::UopTiming &timing,
                      const UopContext &ctx)
 {
-    PcProfile &profile = profiles_[ctx.pc];
+    // Consecutive uops almost always share a parent macro-op PC (one
+    // flow is several uops), so memoize the last profile row instead
+    // of re-hashing per uop. References into an unordered_map survive
+    // insertion of other keys, so the cached pointer stays valid.
+    if (ctx.pc != lastPc_ || lastProfile_ == nullptr) {
+        lastProfile_ = &profiles_[ctx.pc];
+        lastPc_ = ctx.pc;
+    }
+    PcProfile &profile = *lastProfile_;
     ++profile.uops;
     if (ctx.tainted)
         ++profile.taintHits;

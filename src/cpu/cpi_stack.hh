@@ -148,6 +148,9 @@ class CpiStack
     Tick accountedUpTo_;
     std::array<Cycles, numCpiBuckets> buckets_{};
     std::unordered_map<Addr, PcProfile> profiles_;
+    // Hot-loop memo: the profile row of the last accounted PC.
+    Addr lastPc_ = invalidAddr;
+    PcProfile *lastProfile_ = nullptr;
 };
 
 } // namespace csd

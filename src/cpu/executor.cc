@@ -501,7 +501,18 @@ FlowResult
 FunctionalExecutor::execute(const MacroOp &macro, const UopFlow &flow)
 {
     FlowResult result;
+    executeInto(macro, flow, result);
+    return result;
+}
+
+void
+FunctionalExecutor::executeInto(const MacroOp &macro, const UopFlow &flow,
+                                FlowResult &result)
+{
+    result.dynUops.clear();  // keeps any spilled heap buffer
     result.nextPc = macro.nextPc();
+    result.tookBranch = false;
+    result.halted = false;
     result.dynUops.reserve(flow.expandedCount());
 
     auto run_range = [&](std::size_t first, std::size_t last) {
@@ -529,7 +540,6 @@ FunctionalExecutor::execute(const MacroOp &macro, const UopFlow &flow)
     }
 
     state_.pc = result.nextPc;
-    return result;
 }
 
 } // namespace csd

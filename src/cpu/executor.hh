@@ -13,8 +13,7 @@
 #ifndef CSD_CPU_EXECUTOR_HH
 #define CSD_CPU_EXECUTOR_HH
 
-#include <vector>
-
+#include "common/small_vector.hh"
 #include "cpu/arch_state.hh"
 #include "uop/flow.hh"
 
@@ -29,10 +28,17 @@ struct DynUop
     bool taken = false;          //!< branch outcome
 };
 
+/**
+ * Container for a flow's executed uops. Sized for typical flows plus a
+ * small fusion/branch tail; decoy micro-loop expansions (dozens of
+ * trips) spill to the heap, which execute() pre-reserves in one shot.
+ */
+using DynUopVec = SmallVector<DynUop, 8>;
+
 /** Result of executing one macro-op's flow. */
 struct FlowResult
 {
-    std::vector<DynUop> dynUops; //!< expanded, in execution order
+    DynUopVec dynUops;           //!< expanded, in execution order
     Addr nextPc = invalidAddr;   //!< PC after the macro-op
     bool tookBranch = false;     //!< control left the fall-through path
     bool halted = false;
@@ -49,6 +55,15 @@ class FunctionalExecutor
      * including PC.
      */
     FlowResult execute(const MacroOp &macro, const UopFlow &flow);
+
+    /**
+     * Same, but reuse @p result's dynUops storage across calls (the
+     * simulator's hot loop executes millions of flows; recycling the
+     * heap buffer of a once-spilled DynUopVec avoids reallocating it
+     * every macro-op).
+     */
+    void executeInto(const MacroOp &macro, const UopFlow &flow,
+                     FlowResult &result);
 
   private:
     void execUop(const Uop &uop, DynUop &dyn, FlowResult &result,

@@ -60,6 +60,10 @@ ContextSensitiveDecoder::onMsrWrite(MsrAddr addr, std::uint64_t value)
     // to the decoy range registers while enabled, triggers an immediate
     // mode switch (internal-range snapshot).
     (void)value;
+    // Any MSR write may change what a translation produces (control
+    // bits, decoy ranges, tainted-PC scratchpads): stale memoized flows
+    // must be re-translated.
+    ++epoch_;
     switch (addr) {
       case MsrAddr::CsdControl:
         if (stealthArmed())
@@ -88,6 +92,7 @@ ContextSensitiveDecoder::onMsrWrite(MsrAddr addr, std::uint64_t value)
 void
 ContextSensitiveDecoder::retriggerStealth()
 {
+    ++epoch_;
     pending_.clear();
     for (const AddrRange &range : msrs_.decoyIRanges())
         if (range.valid())
@@ -112,7 +117,40 @@ ContextSensitiveDecoder::tick(Tick now)
 void
 ContextSensitiveDecoder::setDevectorize(bool on)
 {
+    if (devect_ != on)
+        ++epoch_;
     devect_ = on;
+}
+
+bool
+ContextSensitiveDecoder::translationStable(const MacroOp &op) const
+{
+    if (mcuMode_)
+        return false;
+    if (msrs_.control() & ctrlTimingNoise)
+        return false;
+    // A pending decoy injection for a tainted op consumes a decoy
+    // range and advances the stealth burst: never memoized.
+    if (stealthArmed() && !pending_.empty() && instrTainted(op))
+        return false;
+    return true;
+}
+
+void
+ContextSensitiveDecoder::noteCachedTranslation(const MacroOp &op,
+                                               const UopFlow &flow,
+                                               unsigned ctx)
+{
+    // Reproduce exactly the accounting translate() performs on the
+    // paths a memoizable flow can come from (native or devectorized;
+    // stealth/MCU/noise flows are never stable, see above).
+    (void)op;
+    (void)flow;
+    ++translations_;
+    lastCtx_ = ctx;
+    if (ctx == ctxDevect)
+        ++devectFlows_;
+    traceContextSwitch();
 }
 
 bool
@@ -137,7 +175,7 @@ ContextSensitiveDecoder::applyMcu(const MacroOp &op, UopFlow flow)
         return flow;
     ++mcuFlows_;
     lastCtx_ = ctxMcu;
-    std::vector<Uop> custom = xlat->uops;
+    UopVec custom = xlat->uops;
     for (Uop &uop : custom) {
         uop.macroPc = op.pc;
     }

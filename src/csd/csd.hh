@@ -18,8 +18,6 @@
 #ifndef CSD_CSD_CSD_HH
 #define CSD_CSD_CSD_HH
 
-#include <vector>
-
 #include "common/stats.hh"
 #include "common/trace.hh"
 #include "csd/decoy.hh"
@@ -64,6 +62,21 @@ class ContextSensitiveDecoder : public Translator
     /** Advance the decoder clock; fires the watchdog. */
     void tick(Tick now) override;
 
+    /** Bumped on every trigger-state change (MSR write, devect/MCU
+     *  mode switch, stealth retrigger): cached flows become stale. */
+    std::uint64_t translationEpoch() const override { return epoch_; }
+
+    /**
+     * A translation is memoizable unless it would consume mutable
+     * per-instance state: MCU rule lookup, timing-noise randomness, or
+     * a pending stealth decoy injection for a tainted instruction.
+     */
+    bool translationStable(const MacroOp &op) const override;
+
+    /** Replay translate()'s accounting for a flow served from cache. */
+    void noteCachedTranslation(const MacroOp &op, const UopFlow &flow,
+                               unsigned ctx) override;
+
     // --- Devectorization control (unit-criticality predictor) -----------
 
     /** Enable/disable vector->scalar translation (VPU gated). */
@@ -92,7 +105,13 @@ class ContextSensitiveDecoder : public Translator
     McuEngine &mcu() { return mcu_; }
 
     /** Enable applying installed MCU rules. */
-    void setMcuMode(bool on) { mcuMode_ = on; }
+    void
+    setMcuMode(bool on)
+    {
+        if (mcuMode_ != on)
+            ++epoch_;
+        mcuMode_ = on;
+    }
     bool mcuMode() const { return mcuMode_; }
 
     StatGroup &stats() { return stats_; }
@@ -122,13 +141,14 @@ class ContextSensitiveDecoder : public Translator
         AddrRange range;
         bool isInstr;
     };
-    std::vector<PendingRange> pending_;
+    SmallVector<PendingRange, 2 * numDecoyRanges> pending_;
 
     bool devect_ = false;
     bool mcuMode_ = false;
     unsigned lastCtx_ = ctxNative;
     unsigned tracedCtx_ = ctxNative;
     Tick now_ = 0;
+    std::uint64_t epoch_ = 0;
     std::uint64_t noiseLfsr_ = 0xace1ace1ace1ace1ull;
 
     StatGroup stats_;

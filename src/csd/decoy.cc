@@ -48,7 +48,7 @@ injectDecoys(UopFlow &flow, const AddrRange &range, bool is_instr,
     if (!flow.uops.empty() && flow.uops.back().isBranch())
         insert_at = flow.uops.size() - 1;
 
-    std::vector<Uop> decoys;
+    UopVec decoys;
     if (style == DecoyStyle::Unrolled) {
         decoys.reserve(blocks);
         for (std::uint32_t blk = 0; blk < blocks; ++blk) {

@@ -78,7 +78,7 @@ laneHighMask(unsigned lane)
 
 /** SWAR per-lane addition: r = ((a&L)+(b&L)) ^ ((a^b)&H). */
 void
-emitSwarAdd(std::vector<Uop> &uops, unsigned lane, Addr pc)
+emitSwarAdd(UopVec &uops, unsigned lane, Addr pc)
 {
     const auto h = static_cast<std::int64_t>(laneHighMask(lane));
     const auto l = static_cast<std::int64_t>(~laneHighMask(lane));
@@ -92,7 +92,7 @@ emitSwarAdd(std::vector<Uop> &uops, unsigned lane, Addr pc)
 
 /** SWAR per-lane subtraction: r = ((a|H)-(b&L)) ^ ((a^~b)&H). */
 void
-emitSwarSub(std::vector<Uop> &uops, unsigned lane, Addr pc)
+emitSwarSub(UopVec &uops, unsigned lane, Addr pc)
 {
     const auto h = static_cast<std::int64_t>(laneHighMask(lane));
     const auto l = static_cast<std::int64_t>(~laneHighMask(lane));
@@ -108,7 +108,7 @@ emitSwarSub(std::vector<Uop> &uops, unsigned lane, Addr pc)
 
 /** Per-16-bit-lane low multiply within a 64-bit chunk. */
 void
-emitMul16(std::vector<Uop> &uops, Addr pc)
+emitMul16(UopVec &uops, Addr pc)
 {
     uops.push_back(aluImm(MicroOpcode::LoadImm, tAcc, RegId(), 0, pc));
     for (unsigned i = 0; i < 4; ++i) {
@@ -127,7 +127,7 @@ emitMul16(std::vector<Uop> &uops, Addr pc)
 
 /** Per-32-bit-lane immediate shift within a 64-bit chunk. */
 void
-emitShift32(std::vector<Uop> &uops, bool left, unsigned count, Addr pc)
+emitShift32(UopVec &uops, bool left, unsigned count, Addr pc)
 {
     if (count >= 32) {
         uops.push_back(aluImm(MicroOpcode::LoadImm, tA, RegId(), 0, pc));
@@ -150,7 +150,7 @@ emitShift32(std::vector<Uop> &uops, bool left, unsigned count, Addr pc)
 
 /** Two packed float32 lanes per chunk via the scalar FP unit. */
 void
-emitFloat32(std::vector<Uop> &uops, MicroOpcode scalar_op, Addr pc)
+emitFloat32(UopVec &uops, MicroOpcode scalar_op, Addr pc)
 {
     uops.push_back(aluImm(MicroOpcode::LoadImm, tAcc, RegId(), 0, pc));
     for (unsigned i = 0; i < 2; ++i) {

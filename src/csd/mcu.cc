@@ -56,7 +56,7 @@ namespace
 
 /** Remap every architectural GPR in @p uops onto decoder temporaries. */
 bool
-remapToTemps(std::vector<Uop> &uops, std::string *error)
+remapToTemps(UopVec &uops, std::string *error)
 {
     // t0..t5 are available; t6/t7 are reserved for decoys.
     constexpr unsigned avail = numIntTemps - 2;
@@ -98,7 +98,7 @@ remapToTemps(std::vector<Uop> &uops, std::string *error)
  * since instrumentation updates read them out-of-band.
  */
 unsigned
-eliminateDeadTemps(std::vector<Uop> &uops)
+eliminateDeadTemps(UopVec &uops)
 {
     unsigned removed = 0;
     bool changed = true;

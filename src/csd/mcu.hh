@@ -81,7 +81,7 @@ void sealMcu(McuBlob &blob);
 struct CustomTranslation
 {
     McuPlacement placement = McuPlacement::Append;
-    std::vector<Uop> uops;
+    UopVec uops;
 };
 
 /**

@@ -58,6 +58,30 @@ class DecoderProfiler : public Translator
     unsigned contextId() const override { return inner_.contextId(); }
     void tick(Tick now) override { inner_.tick(now); }
 
+    // Forward the predecoded-flow-cache protocol to the wrapped
+    // translator, and keep counting exact on cache hits: a replayed
+    // flow is still one decoded instruction's worth of events.
+    std::uint64_t
+    translationEpoch() const override
+    {
+        return inner_.translationEpoch();
+    }
+
+    bool
+    translationStable(const MacroOp &op) const override
+    {
+        return inner_.translationStable(op);
+    }
+
+    void
+    noteCachedTranslation(const MacroOp &op, const UopFlow &flow,
+                          unsigned ctx) override
+    {
+        inner_.noteCachedTranslation(op, flow, ctx);
+        if (enabled_)
+            account(op, flow);
+    }
+
     /** Counting can be toggled at run time (another context switch). */
     void setEnabled(bool enabled) { enabled_ = enabled; }
     bool enabled() const { return enabled_; }

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Host-side predecoded-flow cache.
+ *
+ * The simulator re-enters the translator for every fetched macro-op,
+ * and most translations are pure: the same macro-op under the same CSD
+ * trigger state always yields the same micro-op flow. This table
+ * memoizes those translations per static instruction so the hot loop
+ * hands out a shared immutable flow instead of rebuilding (and
+ * re-running the decode-time fusion passes over) an identical one.
+ *
+ * The table is a flat vector with one slot per static instruction of
+ * the program (the simulator indexes it by the macro-op's position in
+ * Program::code()), so a lookup is an array access plus an epoch
+ * compare — no hashing on the hot path. The vector is sized once and
+ * never reallocates, so flow references stay stable until clear().
+ *
+ * This is purely a host optimization — it models no hardware structure
+ * and must never change simulated timing or statistics. Architectural
+ * faithfulness is kept by the Translator's flow-cache protocol
+ * (translator.hh): entries are tagged with the translator's epoch and
+ * dropped when trigger state changes, ops whose translation depends on
+ * mutable per-instance state bypass the cache entirely, and hits
+ * replay the translator's accounting. The hit/miss counters below are
+ * host-side plain integers, deliberately outside the simulated stat
+ * tree, so a stat dump is byte-identical with the cache on or off.
+ */
+
+#ifndef CSD_DECODE_FLOW_CACHE_HH
+#define CSD_DECODE_FLOW_CACHE_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+#include "uop/flow.hh"
+
+namespace csd
+{
+
+/** Memoization table: instruction slot -> (epoch, context, flow). */
+class FlowCache
+{
+  public:
+    struct Entry
+    {
+        std::uint64_t epoch = 0;  //!< translator epoch at insertion
+        unsigned ctx = 0;         //!< contextId() of the translation
+        bool valid = false;
+        UopFlow flow;             //!< shared immutable predecoded flow
+    };
+
+    /** Size the table for a program's static instruction count. */
+    void
+    reset(std::size_t slot_count)
+    {
+        entries_.assign(slot_count, Entry{});
+        count_ = 0;
+    }
+
+    std::size_t slots() const { return entries_.size(); }
+
+    /**
+     * The cached flow in @p slot if it was recorded under @p epoch,
+     * else nullptr. A stale entry (older epoch) counts as an
+     * invalidation; the caller re-translates and insert() overwrites.
+     */
+    const Entry *
+    lookup(std::size_t slot, std::uint64_t epoch)
+    {
+        Entry &entry = entries_[slot];
+        if (!entry.valid) {
+            ++misses;
+            return nullptr;
+        }
+        if (entry.epoch != epoch) {
+            ++invalidations;
+            return nullptr;
+        }
+        ++hits;
+        return &entry;
+    }
+
+    /**
+     * Record @p flow in @p slot under @p epoch, overwriting any stale
+     * entry. Returns the cached copy; the reference stays valid until
+     * clear()/reset() (the slot vector never reallocates in between).
+     */
+    const UopFlow &
+    insert(std::size_t slot, std::uint64_t epoch, unsigned ctx,
+           UopFlow flow)
+    {
+        Entry &entry = entries_[slot];
+        count_ += entry.valid ? 0 : 1;
+        entry.valid = true;
+        entry.epoch = epoch;
+        entry.ctx = ctx;
+        entry.flow = std::move(flow);
+        return entry.flow;
+    }
+
+    /** Drop every cached flow; keeps the sizing and the counters. */
+    void
+    clear()
+    {
+        for (Entry &entry : entries_) {
+            entry.valid = false;
+            entry.flow = UopFlow{};
+        }
+        count_ = 0;
+    }
+
+    /** Number of live entries. */
+    std::size_t size() const { return count_; }
+
+    // Host-side accounting (see file comment: intentionally not Stats).
+    std::uint64_t hits = 0;           //!< served from cache
+    std::uint64_t misses = 0;         //!< slot never filled
+    std::uint64_t invalidations = 0;  //!< entry stale (epoch changed)
+    std::uint64_t bypasses = 0;       //!< translation unstable, not cached
+
+  private:
+    std::vector<Entry> entries_;
+    std::size_t count_ = 0;
+};
+
+} // namespace csd
+
+#endif // CSD_DECODE_FLOW_CACHE_HH

@@ -3,28 +3,6 @@
 namespace csd
 {
 
-bool
-macroFusesWithPrev(const MacroOp &prev, const MacroOp &cur)
-{
-    if (cur.opcode != MacroOpcode::Jcc || cur.cond == Cond::Always)
-        return false;
-    switch (prev.opcode) {
-      case MacroOpcode::Cmp:
-      case MacroOpcode::CmpI:
-      case MacroOpcode::Test:
-      case MacroOpcode::TestI:
-      case MacroOpcode::Add:
-      case MacroOpcode::AddI:
-      case MacroOpcode::Sub:
-      case MacroOpcode::SubI:
-        break;
-      default:
-        return false;
-    }
-    // The pair must be adjacent in the static code.
-    return prev.nextPc() == cur.pc;
-}
-
 void
 applyFusionConfig(UopFlow &flow, const FrontEndParams &params)
 {

@@ -24,7 +24,27 @@ namespace csd
  * a register compare/test followed by an adjacent conditional branch
  * forms a single fused-domain slot.
  */
-bool macroFusesWithPrev(const MacroOp &prev, const MacroOp &cur);
+inline bool
+macroFusesWithPrev(const MacroOp &prev, const MacroOp &cur)
+{
+    if (cur.opcode != MacroOpcode::Jcc || cur.cond == Cond::Always)
+        return false;
+    switch (prev.opcode) {
+      case MacroOpcode::Cmp:
+      case MacroOpcode::CmpI:
+      case MacroOpcode::Test:
+      case MacroOpcode::TestI:
+      case MacroOpcode::Add:
+      case MacroOpcode::AddI:
+      case MacroOpcode::Sub:
+      case MacroOpcode::SubI:
+        break;
+      default:
+        return false;
+    }
+    // The pair must be adjacent in the static code.
+    return prev.nextPc() == cur.pc;
+}
 
 /**
  * Strip fusion markers when micro-fusion is disabled so every uop

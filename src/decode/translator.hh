@@ -12,6 +12,8 @@
 #ifndef CSD_DECODE_TRANSLATOR_HH
 #define CSD_DECODE_TRANSLATOR_HH
 
+#include <cstdint>
+
 #include "common/types.hh"
 #include "isa/macroop.hh"
 #include "uop/flow.hh"
@@ -38,6 +40,52 @@ class Translator
 
     /** Advance time-based triggers (watchdog timers). */
     virtual void tick(Tick now) { (void)now; }
+
+    // --- host-side flow-cache protocol -----------------------------------
+    //
+    // The simulation may memoize translate() results per PC. The three
+    // hooks below make that memoization architecturally faithful: the
+    // epoch invalidates cached flows in bulk when trigger state
+    // changes, the stability predicate vetoes memoization for ops whose
+    // translation depends on mutable per-instance state, and the replay
+    // hook reproduces translate()'s accounting so stats stay
+    // bit-identical whether a flow was cached or freshly translated.
+
+    /**
+     * Monotonic counter bumped whenever a state change could alter the
+     * translation of *any* macro-op (MSR writes, devectorization or MCU
+     * mode switches, stealth retriggers). Cached flows recorded under
+     * an older epoch must be re-translated.
+     */
+    virtual std::uint64_t translationEpoch() const { return 0; }
+
+    /**
+     * True iff translating @p op right now is a pure function of
+     * (op, epoch): no per-instance randomness (timing noise), no
+     * translation-time side effects beyond plain accounting (stealth
+     * decoy-range consumption), and no mutable rule lookup (MCU mode).
+     * Unstable ops always go through the real translate().
+     */
+    virtual bool translationStable(const MacroOp &op) const
+    {
+        (void)op;
+        return true;
+    }
+
+    /**
+     * Replay the accounting translate() would have performed for a
+     * cache hit that returned @p flow translated under context @p ctx.
+     * After this call all translator-side stats and the value of
+     * contextId() must match what a real translate(op) would have left.
+     */
+    virtual void
+    noteCachedTranslation(const MacroOp &op, const UopFlow &flow,
+                          unsigned ctx)
+    {
+        (void)op;
+        (void)flow;
+        (void)ctx;
+    }
 };
 
 /** The default static translation (contexts never change). */

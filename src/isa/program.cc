@@ -7,7 +7,7 @@ namespace csd
 {
 
 const MacroOp *
-Program::at(Addr pc) const
+Program::atSparse(Addr pc) const
 {
     auto it = pcIndex_.find(pc);
     if (it == pcIndex_.end())
@@ -482,6 +482,19 @@ ProgramBuilder::build()
     prog.symbols_ = symbols_;
     for (std::size_t i = 0; i < prog.code_.size(); ++i)
         prog.pcIndex_[prog.code_[i].pc] = i;
+    if (!prog.code_.empty()) {
+        const Addr lo = prog.code_.front().pc;
+        const Addr hi = prog.code_.back().nextPc();
+        // Tabulate unless the code span is pathologically sparse
+        // (handcrafted far-apart PCs); the map handles those.
+        if (hi - lo <= (std::size_t{1} << 22)) {
+            prog.codeBase_ = lo;
+            prog.denseIndex_.assign(hi - lo, -1);
+            for (std::size_t i = 0; i < prog.code_.size(); ++i)
+                prog.denseIndex_[prog.code_[i].pc - lo] =
+                    static_cast<std::int32_t>(i);
+        }
+    }
     return prog;
 }
 

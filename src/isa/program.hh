@@ -35,8 +35,21 @@ class Program
     /** Entry point PC. */
     Addr entry() const { return entry_; }
 
-    /** Instruction at @p pc, or nullptr if no instruction starts there. */
-    const MacroOp *at(Addr pc) const;
+    /**
+     * Instruction at @p pc, or nullptr if no instruction starts there.
+     * Inline dense-table fast path: the simulator calls this once per
+     * executed instruction.
+     */
+    const MacroOp *
+    at(Addr pc) const
+    {
+        const Addr off = pc - codeBase_;
+        if (off < denseIndex_.size()) {
+            const std::int32_t i = denseIndex_[off];
+            return i >= 0 ? &code_[static_cast<std::size_t>(i)] : nullptr;
+        }
+        return atSparse(pc);
+    }
 
     /** Initialized data: (address, bytes) chunks. */
     const std::vector<std::pair<Addr, std::vector<std::uint8_t>>> &
@@ -66,8 +79,17 @@ class Program
   private:
     friend class ProgramBuilder;
 
+    const MacroOp *atSparse(Addr pc) const;
+
     std::vector<MacroOp> code_;
     std::unordered_map<Addr, std::size_t> pcIndex_;
+    // Dense pc -> code_ index table over [codeBase_, codeBase_ +
+    // denseIndex_.size()): the simulator calls at() once per executed
+    // instruction, so the lookup must not hash. -1 marks addresses
+    // where no instruction starts; pcIndex_ remains the fallback for
+    // programs too sparse to tabulate.
+    Addr codeBase_ = 0;
+    std::vector<std::int32_t> denseIndex_;
     Addr entry_ = invalidAddr;
     std::vector<std::pair<Addr, std::vector<std::uint8_t>>> data_;
     std::map<std::string, AddrRange> symbols_;

@@ -1,24 +1,8 @@
 #include "power/energy.hh"
 
+// EnergyModel is header-only (the per-uop lookup must inline into the
+// simulator's hot loop); this TU just anchors the header's build.
+
 namespace csd
 {
-
-double
-EnergyModel::uopEnergy(const Uop &uop) const
-{
-    switch (fuClass(uop)) {
-      case FuClass::IntAlu:   return params_.intAluEnergy;
-      case FuClass::IntMul:   return params_.intMulEnergy;
-      case FuClass::Branch:   return params_.branchEnergy;
-      case FuClass::MemLoad:  return params_.memLoadEnergy;
-      case FuClass::MemStore: return params_.memStoreEnergy;
-      case FuClass::VecAlu:   return params_.vecAluEnergy;
-      case FuClass::VecMul:   return params_.vecMulEnergy;
-      case FuClass::VecFpDiv: return params_.vecDivEnergy;
-      case FuClass::FpScalar: return params_.fpScalarEnergy;
-      case FuClass::None:     return 0.0;
-    }
-    return 0.0;
-}
-
 } // namespace csd

@@ -12,6 +12,8 @@
 #ifndef CSD_POWER_ENERGY_HH
 #define CSD_POWER_ENERGY_HH
 
+#include <array>
+
 #include "common/types.hh"
 #include "uop/uop.hh"
 
@@ -69,12 +71,37 @@ class EnergyModel
     explicit EnergyModel(const EnergyParams &params = {})
         : params_(params)
     {
+        // Flatten the per-class energies into a FuClass-indexed table:
+        // uopEnergy runs once per simulated uop.
+        energyByFu_[static_cast<std::size_t>(FuClass::IntAlu)] =
+            params_.intAluEnergy;
+        energyByFu_[static_cast<std::size_t>(FuClass::IntMul)] =
+            params_.intMulEnergy;
+        energyByFu_[static_cast<std::size_t>(FuClass::Branch)] =
+            params_.branchEnergy;
+        energyByFu_[static_cast<std::size_t>(FuClass::MemLoad)] =
+            params_.memLoadEnergy;
+        energyByFu_[static_cast<std::size_t>(FuClass::MemStore)] =
+            params_.memStoreEnergy;
+        energyByFu_[static_cast<std::size_t>(FuClass::VecAlu)] =
+            params_.vecAluEnergy;
+        energyByFu_[static_cast<std::size_t>(FuClass::VecMul)] =
+            params_.vecMulEnergy;
+        energyByFu_[static_cast<std::size_t>(FuClass::VecFpDiv)] =
+            params_.vecDivEnergy;
+        energyByFu_[static_cast<std::size_t>(FuClass::FpScalar)] =
+            params_.fpScalarEnergy;
+        energyByFu_[static_cast<std::size_t>(FuClass::None)] = 0.0;
     }
 
     const EnergyParams &params() const { return params_; }
 
     /** Dynamic energy of one executed micro-op (nJ). */
-    double uopEnergy(const Uop &uop) const;
+    double
+    uopEnergy(const Uop &uop) const
+    {
+        return energyByFu_[static_cast<std::size_t>(fuClass(uop))];
+    }
 
     /**
      * E_overhead of one gate/ungate pair (Hu et al. Eq. 1):
@@ -103,6 +130,7 @@ class EnergyModel
 
   private:
     EnergyParams params_;
+    std::array<double, 10> energyByFu_{};  //!< indexed by FuClass
 };
 
 /** Accumulated energy breakdown (Fig. 12's stack components), in nJ. */

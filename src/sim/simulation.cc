@@ -54,6 +54,13 @@ Simulation::Simulation(const Program &prog, const SimParams &params,
     state_.loadProgram(prog);
     idqRing_.assign(28, 0);
 
+    // Predecoded-flow cache: on unless CSD_FLOW_CACHE=0 (host-side
+    // only; simulated timing/stats are identical either way). One
+    // slot per static instruction, indexed by position in code().
+    flowCache_.reset(prog.code().size());
+    if (const char *fc = std::getenv("CSD_FLOW_CACHE"))
+        flowCacheEnabled_ = !(*fc == '0' && fc[1] == '\0');
+
     // Touch the tracer so CSD_TRACE/CSD_TRACE_FILE take effect even if
     // no component recorded an event yet.
     TraceManager::instance();
@@ -157,6 +164,56 @@ void
 Simulation::setTranslator(Translator *translator)
 {
     translator_ = translator ? translator : &nativeTranslator_;
+    // Cached flows belong to the previous translator: drop them.
+    flowCache_.clear();
+}
+
+void
+Simulation::setFlowCacheEnabled(bool on)
+{
+    flowCacheEnabled_ = on;
+    if (!on)
+        flowCache_.clear();
+}
+
+/**
+ * Translate @p op, serving the flow from the predecoded-flow cache
+ * when the translator vouches that memoization is faithful. Returns a
+ * reference valid until the next step (cached entries are stable
+ * across steps; uncached flows live in scratchFlow_).
+ */
+const UopFlow &
+Simulation::translatedFlow(const MacroOp &op)
+{
+    // Cache slot = the op's position in the program's instruction
+    // stream (step() always fetches through Program::at, which hands
+    // out pointers into code()).
+    const std::size_t slot =
+        static_cast<std::size_t>(&op - prog_.code().data());
+    if (flowCacheEnabled_ && slot < flowCache_.slots() &&
+        translator_->translationStable(op)) {
+        const std::uint64_t epoch = translator_->translationEpoch();
+        if (const FlowCache::Entry *hit = flowCache_.lookup(slot, epoch)) {
+            translator_->noteCachedTranslation(op, hit->flow, hit->ctx);
+            curCtx_ = hit->ctx;
+            return hit->flow;
+        }
+        UopFlow flow = translator_->translate(op);
+        applyFusionConfig(flow, params_.frontend);
+        applySpTracking(flow, params_.frontend);
+        curCtx_ = translator_->contextId();
+        if (flow.cacheable)
+            return flowCache_.insert(slot, epoch, curCtx_,
+                                     std::move(flow));
+        scratchFlow_ = std::move(flow);
+        return scratchFlow_;
+    }
+    ++flowCache_.bypasses;
+    scratchFlow_ = translator_->translate(op);
+    applyFusionConfig(scratchFlow_, params_.frontend);
+    applySpTracking(scratchFlow_, params_.frontend);
+    curCtx_ = translator_->contextId();
+    return scratchFlow_;
 }
 
 void
@@ -218,17 +275,16 @@ Simulation::step()
         }
     }
 
-    // Decode (context-sensitive translation), with decode-time passes.
+    // Decode (context-sensitive translation), with decode-time passes,
+    // memoized per PC when architecturally faithful (translatedFlow).
     state_.cycleHint = cycles_;
     translator_->tick(cycles_);
-    UopFlow flow = translator_->translate(*op);
-    applyFusionConfig(flow, params_.frontend);
-    applySpTracking(flow, params_.frontend);
-    const unsigned ctx = translator_->contextId();
+    const UopFlow &flow = translatedFlow(*op);
 
-    // Functional execution with per-uop annotations.
-    const FlowResult result = executor_.execute(*op, flow);
-    curCtx_ = ctx;
+    // Functional execution with per-uop annotations (into a reused
+    // buffer: the DynUop vector's heap spill survives across steps).
+    executor_.executeInto(*op, flow, scratchResult_);
+    const FlowResult &result = scratchResult_;
 
     // DIFT propagation (program order, as the hardware would).
     if (taint_)
@@ -240,10 +296,10 @@ Simulation::step()
         stepCacheOnly(*op, flow, result);
 
     ++instructions_;
+    uopsSimulated_ += result.dynUops.size();
     if (statsDetailEnabled())
         flowLen_.sample(static_cast<double>(result.dynUops.size()));
-    havePrevMacro_ = true;
-    prevMacro_ = *op;
+    prevMacro_ = op;  // points into prog_.code(); stable for our lifetime
 
     if (sampleInterval_ != 0 && cycles_ >= nextSampleAt_)
         maybeSample();
@@ -300,8 +356,8 @@ Simulation::stepDetailed(const MacroOp &op, const UopFlow &flow,
 {
     // Macro-fusion: an eligible jcc rides its predecessor's slot.
     const bool macro_fused = params_.frontend.macroFusion &&
-                             havePrevMacro_ &&
-                             macroFusesWithPrev(prevMacro_, op) &&
+                             prevMacro_ != nullptr &&
+                             macroFusesWithPrev(*prevMacro_, op) &&
                              flow.uops.size() == 1 && !flow.loop;
     if (macro_fused)
         ++macroFusedPairs_;
@@ -379,7 +435,8 @@ Simulation::stepDetailed(const MacroOp &op, const UopFlow &flow,
 
         if (takes_slot) {
             idqRing_[idqIdx_] = timing.dispatch;
-            idqIdx_ = (idqIdx_ + 1) % idqRing_.size();
+            if (++idqIdx_ == idqRing_.size())
+                idqIdx_ = 0;
             if (idqCount_ < idqRing_.size())
                 ++idqCount_;
         }
@@ -482,7 +539,7 @@ Simulation::restart()
 {
     state_.pc = prog_.entry();
     state_.halted = false;
-    havePrevMacro_ = false;
+    prevMacro_ = nullptr;
 }
 
 EnergyBreakdown

@@ -28,6 +28,7 @@
 #include "cpu/cpi_stack.hh"
 #include "cpu/executor.hh"
 #include "cpu/lifecycle.hh"
+#include "decode/flow_cache.hh"
 #include "decode/frontend.hh"
 #include "decode/translator.hh"
 #include "dift/taint.hh"
@@ -96,6 +97,18 @@ class Simulation
 
     /** Drive VPU power gating. */
     void setPowerController(PowerGateController *power);
+
+    /**
+     * Toggle the host-side predecoded-flow cache (decode/flow_cache.hh).
+     * On by default; CSD_FLOW_CACHE=0 in the environment disables it.
+     * Purely a host optimization: simulated timing and statistics are
+     * bit-identical either way (tests/sim/test_flow_cache.cc).
+     */
+    void setFlowCacheEnabled(bool on);
+    bool flowCacheEnabled() const { return flowCacheEnabled_; }
+
+    /** Host-side hit/miss accounting for the predecoded-flow cache. */
+    const FlowCache &flowCache() const { return flowCache_; }
 
     /**
      * Sample the statistics named by @p stat_paths (dotted paths under
@@ -171,6 +184,13 @@ class Simulation
     Tick cycles() const { return cycles_; }
     std::uint64_t instructions() const { return instructions_.value(); }
     std::uint64_t uopsExecuted() const;
+
+    /**
+     * Dynamic uops processed in any fidelity mode (cache-only runs
+     * never drive the back end, so uopsExecuted() stays 0 there).
+     * Host-side bookkeeping, not part of the stat tree.
+     */
+    std::uint64_t uopsSimulated() const { return uopsSimulated_; }
     std::uint64_t slotsDelivered() const { return slotsDelivered_.value(); }
     double ipc() const;
 
@@ -193,6 +213,7 @@ class Simulation
 
   private:
     void maybeSample();
+    const UopFlow &translatedFlow(const MacroOp &op);
     void stepDetailed(const MacroOp &op, const UopFlow &flow,
                       const FlowResult &result);
     void stepCacheOnly(const MacroOp &op, const UopFlow &flow,
@@ -218,10 +239,17 @@ class Simulation
     Tick cycles_ = 0;
     Addr lastFetchBlock_ = invalidAddr;
     unsigned curCtx_ = 0;
+    std::uint64_t uopsSimulated_ = 0;
 
-    // Macro-fusion pairing state.
-    bool havePrevMacro_ = false;
-    MacroOp prevMacro_;
+    // Predecoded-flow cache (host optimization, see translatedFlow()).
+    FlowCache flowCache_;
+    bool flowCacheEnabled_ = true;
+    UopFlow scratchFlow_;  //!< holds the flow on the uncached path
+    FlowResult scratchResult_;  //!< reused across steps (executeInto)
+
+    // Macro-fusion pairing state (previous committed macro-op; points
+    // into prog_.code(), null right after restart()).
+    const MacroOp *prevMacro_ = nullptr;
     Tick lastSlotCycle_ = 0;
 
     // IDQ backpressure ring (fused slots).

@@ -15,12 +15,20 @@
 
 #include <cstdint>
 #include <optional>
-#include <vector>
 
+#include "common/small_vector.hh"
 #include "uop/uop.hh"
 
 namespace csd
 {
+
+/**
+ * Container for a flow's micro-ops. Most translations are 1-4 uops
+ * (the paper's Table 1 workloads average ~1.2 uops per macro-op), so
+ * four inline slots keep the common case allocation-free; only
+ * decoy-injected, devectorized, and microsequenced flows spill.
+ */
+using UopVec = SmallVector<Uop, 4>;
 
 /** A statically counted micro-loop within a flow. */
 struct MicroLoop
@@ -33,7 +41,7 @@ struct MicroLoop
 /** The translation of one macro-op into micro-ops. */
 struct UopFlow
 {
-    std::vector<Uop> uops;
+    UopVec uops;
     std::optional<MicroLoop> loop;
 
     /** Delivered by the MSROM microsequencer rather than a decoder. */

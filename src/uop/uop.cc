@@ -7,99 +7,6 @@
 namespace csd
 {
 
-FuClass
-fuClass(const Uop &uop)
-{
-    switch (uop.op) {
-      case MicroOpcode::Add: case MicroOpcode::Adc:
-      case MicroOpcode::Sub: case MicroOpcode::Sbb:
-      case MicroOpcode::And: case MicroOpcode::Or: case MicroOpcode::Xor:
-      case MicroOpcode::Shl: case MicroOpcode::Shr: case MicroOpcode::Sar:
-      case MicroOpcode::Rol: case MicroOpcode::Ror:
-      case MicroOpcode::Not: case MicroOpcode::Neg:
-      case MicroOpcode::Mov: case MicroOpcode::LoadImm:
-      case MicroOpcode::Lea:
-      case MicroOpcode::Cmp: case MicroOpcode::Test:
-      case MicroOpcode::VExtract: case MicroOpcode::VInsert:
-        return FuClass::IntAlu;
-      case MicroOpcode::Mul:
-        return FuClass::IntMul;
-      case MicroOpcode::Load: case MicroOpcode::LoadVec:
-        return FuClass::MemLoad;
-      case MicroOpcode::Store: case MicroOpcode::StoreImm:
-      case MicroOpcode::StoreVec:
-        return FuClass::MemStore;
-      case MicroOpcode::Br: case MicroOpcode::BrInd:
-        return FuClass::Branch;
-      case MicroOpcode::VAdd: case MicroOpcode::VSub:
-      case MicroOpcode::VAnd: case MicroOpcode::VOr: case MicroOpcode::VXor:
-      case MicroOpcode::VShlI: case MicroOpcode::VShrI:
-      case MicroOpcode::VMov:
-      case MicroOpcode::FAddPs: case MicroOpcode::FSubPs:
-      case MicroOpcode::FAddPd: case MicroOpcode::FSubPd:
-        return FuClass::VecAlu;
-      case MicroOpcode::VMulLo16:
-      case MicroOpcode::FMulPs: case MicroOpcode::FMulPd:
-        return FuClass::VecMul;
-      case MicroOpcode::FDivPs: case MicroOpcode::FSqrtPs:
-        return FuClass::VecFpDiv;
-      case MicroOpcode::FAddS: case MicroOpcode::FSubS:
-      case MicroOpcode::FMulS: case MicroOpcode::FDivS:
-      case MicroOpcode::FSqrtS:
-      case MicroOpcode::FAddSd: case MicroOpcode::FSubSd:
-      case MicroOpcode::FMulSd:
-        return FuClass::FpScalar;
-      case MicroOpcode::CacheFlush:
-        return FuClass::MemStore;
-      case MicroOpcode::ReadCycles:
-        return FuClass::IntAlu;
-      case MicroOpcode::Nop: case MicroOpcode::Halt:
-        return FuClass::None;
-      default:
-        csd_panic("fuClass: unhandled micro-opcode ",
-                  static_cast<int>(uop.op));
-    }
-}
-
-Cycles
-fuLatency(const Uop &uop)
-{
-    switch (fuClass(uop)) {
-      case FuClass::IntAlu:
-        return uop.op == MicroOpcode::ReadCycles ? 12 : 1;
-      case FuClass::IntMul:   return 3;
-      case FuClass::Branch:   return 1;
-      case FuClass::MemLoad:  return 0;   // memory system supplies latency
-      case FuClass::MemStore: return 0;
-      case FuClass::VecAlu:   return 1;
-      case FuClass::VecMul:   return 5;
-      case FuClass::VecFpDiv:
-        return uop.op == MicroOpcode::FSqrtPs ? 18 : 14;
-      case FuClass::FpScalar:
-        switch (uop.op) {
-          case MicroOpcode::FMulS: case MicroOpcode::FMulSd: return 5;
-          case MicroOpcode::FDivS:  return 14;
-          case MicroOpcode::FSqrtS: return 18;
-          default: return 3;
-        }
-      case FuClass::None:     return 1;
-    }
-    return 1;
-}
-
-bool
-onVpu(const Uop &uop)
-{
-    switch (fuClass(uop)) {
-      case FuClass::VecAlu:
-      case FuClass::VecMul:
-      case FuClass::VecFpDiv:
-        return true;
-      default:
-        return false;
-    }
-}
-
 std::string
 regName(const RegId &reg)
 {

@@ -13,6 +13,7 @@
 #ifndef CSD_UOP_UOP_HH
 #define CSD_UOP_UOP_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -240,14 +241,129 @@ struct Uop
     }
 };
 
+namespace detail
+{
+
+// fuClass/fuLatency run once per simulated uop; precomputing them
+// into per-opcode tables keeps the hot loop free of switch dispatch.
+constexpr std::size_t numMicroOpcodes =
+    static_cast<std::size_t>(MicroOpcode::NumOpcodes);
+
+constexpr FuClass
+fuClassOf(MicroOpcode op)
+{
+    switch (op) {
+      case MicroOpcode::Add: case MicroOpcode::Adc:
+      case MicroOpcode::Sub: case MicroOpcode::Sbb:
+      case MicroOpcode::And: case MicroOpcode::Or: case MicroOpcode::Xor:
+      case MicroOpcode::Shl: case MicroOpcode::Shr: case MicroOpcode::Sar:
+      case MicroOpcode::Rol: case MicroOpcode::Ror:
+      case MicroOpcode::Not: case MicroOpcode::Neg:
+      case MicroOpcode::Mov: case MicroOpcode::LoadImm:
+      case MicroOpcode::Lea:
+      case MicroOpcode::Cmp: case MicroOpcode::Test:
+      case MicroOpcode::VExtract: case MicroOpcode::VInsert:
+      case MicroOpcode::ReadCycles:
+        return FuClass::IntAlu;
+      case MicroOpcode::Mul:
+        return FuClass::IntMul;
+      case MicroOpcode::Load: case MicroOpcode::LoadVec:
+        return FuClass::MemLoad;
+      case MicroOpcode::Store: case MicroOpcode::StoreImm:
+      case MicroOpcode::StoreVec:
+      case MicroOpcode::CacheFlush:
+        return FuClass::MemStore;
+      case MicroOpcode::Br: case MicroOpcode::BrInd:
+        return FuClass::Branch;
+      case MicroOpcode::VAdd: case MicroOpcode::VSub:
+      case MicroOpcode::VAnd: case MicroOpcode::VOr: case MicroOpcode::VXor:
+      case MicroOpcode::VShlI: case MicroOpcode::VShrI:
+      case MicroOpcode::VMov:
+      case MicroOpcode::FAddPs: case MicroOpcode::FSubPs:
+      case MicroOpcode::FAddPd: case MicroOpcode::FSubPd:
+        return FuClass::VecAlu;
+      case MicroOpcode::VMulLo16:
+      case MicroOpcode::FMulPs: case MicroOpcode::FMulPd:
+        return FuClass::VecMul;
+      case MicroOpcode::FDivPs: case MicroOpcode::FSqrtPs:
+        return FuClass::VecFpDiv;
+      case MicroOpcode::FAddS: case MicroOpcode::FSubS:
+      case MicroOpcode::FMulS: case MicroOpcode::FDivS:
+      case MicroOpcode::FSqrtS:
+      case MicroOpcode::FAddSd: case MicroOpcode::FSubSd:
+      case MicroOpcode::FMulSd:
+        return FuClass::FpScalar;
+      case MicroOpcode::Nop: case MicroOpcode::Halt:
+      default:
+        return FuClass::None;
+    }
+}
+
+constexpr Cycles
+fuLatencyOf(MicroOpcode op)
+{
+    switch (fuClassOf(op)) {
+      case FuClass::IntAlu:
+        return op == MicroOpcode::ReadCycles ? 12 : 1;
+      case FuClass::IntMul:   return 3;
+      case FuClass::Branch:   return 1;
+      case FuClass::MemLoad:  return 0;   // memory system supplies latency
+      case FuClass::MemStore: return 0;
+      case FuClass::VecAlu:   return 1;
+      case FuClass::VecMul:   return 5;
+      case FuClass::VecFpDiv:
+        return op == MicroOpcode::FSqrtPs ? 18 : 14;
+      case FuClass::FpScalar:
+        switch (op) {
+          case MicroOpcode::FMulS: case MicroOpcode::FMulSd: return 5;
+          case MicroOpcode::FDivS:  return 14;
+          case MicroOpcode::FSqrtS: return 18;
+          default: return 3;
+        }
+      case FuClass::None:     return 1;
+    }
+    return 1;
+}
+
+template <typename T, T (*Fn)(MicroOpcode)>
+constexpr std::array<T, numMicroOpcodes>
+makeOpcodeTable()
+{
+    std::array<T, numMicroOpcodes> table{};
+    for (std::size_t i = 0; i < numMicroOpcodes; ++i)
+        table[i] = Fn(static_cast<MicroOpcode>(i));
+    return table;
+}
+
+inline constexpr auto fuClassTable =
+    makeOpcodeTable<FuClass, fuClassOf>();
+inline constexpr auto fuLatencyTable =
+    makeOpcodeTable<Cycles, fuLatencyOf>();
+
+} // namespace detail
+
 /** Functional unit class a uop issues to. */
-FuClass fuClass(const Uop &uop);
+inline FuClass
+fuClass(const Uop &uop)
+{
+    return detail::fuClassTable[static_cast<std::size_t>(uop.op)];
+}
 
 /** Execution latency in cycles (Sandy Bridge-like; memory excluded). */
-Cycles fuLatency(const Uop &uop);
+inline Cycles
+fuLatency(const Uop &uop)
+{
+    return detail::fuLatencyTable[static_cast<std::size_t>(uop.op)];
+}
 
 /** True iff the uop executes on the vector processing unit. */
-bool onVpu(const Uop &uop);
+inline bool
+onVpu(const Uop &uop)
+{
+    const FuClass fu = fuClass(uop);
+    return fu == FuClass::VecAlu || fu == FuClass::VecMul ||
+           fu == FuClass::VecFpDiv;
+}
 
 /** Printable form, e.g. "ld t0, [rax+rbx*4+0x10]". */
 std::string toString(const Uop &uop);

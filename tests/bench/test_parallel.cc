@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common/parallel.hh"
+
+namespace csd::bench
+{
+namespace
+{
+
+/** Restores the job request so tests don't leak into each other. */
+struct JobsGuard
+{
+    ~JobsGuard() { benchSetJobs(1); }
+};
+
+TEST(Parallel, JobsResolutionHonorsRequest)
+{
+    JobsGuard guard;
+    benchSetJobs(3);
+    EXPECT_EQ(benchJobs(), 3u);
+    benchSetJobs(1);
+    EXPECT_EQ(benchJobs(), 1u);
+    benchSetJobs(0);  // auto: one per hardware thread
+    EXPECT_GE(benchJobs(), 1u);
+}
+
+TEST(Parallel, MapReturnsResultsInIndexOrder)
+{
+    JobsGuard guard;
+    benchSetJobs(4);
+    const auto out = parallelMap<int>(
+        200, [](std::size_t i) { return static_cast<int>(i) * 3; });
+    ASSERT_EQ(out.size(), 200u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i) * 3);
+}
+
+TEST(Parallel, ForVisitsEveryIndexExactlyOnce)
+{
+    JobsGuard guard;
+    benchSetJobs(4);
+    std::vector<std::atomic<int>> visits(97);
+    parallelFor(visits.size(), [&](std::size_t i) {
+        visits[i].fetch_add(1, std::memory_order_relaxed);
+        // Jitter the schedule so a racy runner would actually misorder.
+        if (i % 7 == 0)
+            std::this_thread::yield();
+    });
+    for (const auto &count : visits)
+        EXPECT_EQ(count.load(), 1);
+}
+
+TEST(Parallel, ParallelAndSerialProduceIdenticalResults)
+{
+    // The determinism contract behind `--jobs N` byte-identical
+    // output: the result vector depends only on the index, never on
+    // worker scheduling.
+    JobsGuard guard;
+    const auto compute = [](std::size_t i) {
+        return "case-" + std::to_string(i * i % 89);
+    };
+    benchSetJobs(1);
+    const auto serial = parallelMap<std::string>(64, compute);
+    benchSetJobs(8);
+    const auto parallel = parallelMap<std::string>(64, compute);
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(Parallel, SingleElementRunsInline)
+{
+    JobsGuard guard;
+    benchSetJobs(8);
+    const std::thread::id main_id = std::this_thread::get_id();
+    std::thread::id seen{};
+    parallelFor(1, [&](std::size_t) {
+        seen = std::this_thread::get_id();
+        // n <= 1 stays on the calling thread, so emitting stats from
+        // here would be legal (and must not abort).
+        benchAssertSerialContext("test");
+    });
+    EXPECT_EQ(seen, main_id);
+}
+
+TEST(Parallel, SerialContextAssertPassesOnMainThread)
+{
+    benchAssertSerialContext("test");  // must not abort
+}
+
+} // namespace
+} // namespace csd::bench

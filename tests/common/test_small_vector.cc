@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/small_vector.hh"
+
+namespace csd
+{
+namespace
+{
+
+/** Counts constructions/destructions to catch lifetime bugs. */
+struct Probe
+{
+    static int live;
+    int value = 0;
+
+    Probe() { ++live; }
+    explicit Probe(int v) : value(v) { ++live; }
+    Probe(const Probe &other) : value(other.value) { ++live; }
+    Probe(Probe &&other) noexcept : value(other.value)
+    {
+        other.value = -1;
+        ++live;
+    }
+    Probe &operator=(const Probe &) = default;
+    Probe &operator=(Probe &&other) noexcept
+    {
+        value = other.value;
+        other.value = -1;
+        return *this;
+    }
+    ~Probe() { --live; }
+};
+
+int Probe::live = 0;
+
+TEST(SmallVector, StartsInline)
+{
+    SmallVector<int, 4> v;
+    EXPECT_TRUE(v.empty());
+    EXPECT_EQ(v.size(), 0u);
+    EXPECT_EQ(v.inlineCapacity(), 4u);
+    EXPECT_TRUE(v.usesInlineStorage());
+
+    v.push_back(1);
+    v.push_back(2);
+    v.push_back(3);
+    v.push_back(4);
+    EXPECT_TRUE(v.usesInlineStorage());
+    EXPECT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[0], 1);
+    EXPECT_EQ(v.back(), 4);
+}
+
+TEST(SmallVector, GrowsPastInlineCapacity)
+{
+    SmallVector<int, 4> v;
+    for (int i = 0; i < 100; ++i)
+        v.push_back(i);
+    EXPECT_FALSE(v.usesInlineStorage());
+    EXPECT_EQ(v.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVector, IteratorsInvalidateOnGrowth)
+{
+    // Documents the expectation callers must honor: like
+    // std::vector, any growth past capacity() reallocates, so data()
+    // changes once the inline buffer spills to the heap.
+    SmallVector<int, 2> v{1, 2};
+    const int *inline_ptr = v.data();
+    EXPECT_TRUE(v.usesInlineStorage());
+    v.push_back(3);  // spills
+    EXPECT_FALSE(v.usesInlineStorage());
+    EXPECT_NE(v.data(), inline_ptr);
+
+    // Below capacity, pointers are stable.
+    v.reserve(16);
+    const int *heap_ptr = v.data();
+    v.push_back(4);
+    v.push_back(5);
+    EXPECT_EQ(v.data(), heap_ptr);
+}
+
+TEST(SmallVector, CopySemantics)
+{
+    SmallVector<std::string, 2> a{"alpha", "beta", "gamma"};
+    SmallVector<std::string, 2> b(a);
+    EXPECT_EQ(a, b);
+    b[0] = "delta";
+    EXPECT_EQ(a[0], "alpha");
+
+    SmallVector<std::string, 2> c;
+    c = a;
+    EXPECT_EQ(c, a);
+    c = c;  // self-assignment
+    EXPECT_EQ(c, a);
+}
+
+TEST(SmallVector, MoveStealsHeapBuffer)
+{
+    SmallVector<int, 2> a;
+    for (int i = 0; i < 32; ++i)
+        a.push_back(i);
+    const int *buf = a.data();
+    SmallVector<int, 2> b(std::move(a));
+    EXPECT_EQ(b.data(), buf);  // heap buffer stolen, not copied
+    EXPECT_EQ(b.size(), 32u);
+    EXPECT_TRUE(a.empty());
+
+    SmallVector<int, 2> c;
+    c.push_back(99);
+    c = std::move(b);
+    EXPECT_EQ(c.data(), buf);
+    EXPECT_EQ(c.size(), 32u);
+}
+
+TEST(SmallVector, MoveOfInlineContentsMovesElements)
+{
+    SmallVector<std::unique_ptr<int>, 4> a;
+    a.push_back(std::make_unique<int>(7));
+    a.push_back(std::make_unique<int>(8));
+    SmallVector<std::unique_ptr<int>, 4> b(std::move(a));
+    ASSERT_EQ(b.size(), 2u);
+    EXPECT_EQ(*b[0], 7);
+    EXPECT_EQ(*b[1], 8);
+}
+
+TEST(SmallVector, InsertAndErase)
+{
+    SmallVector<int, 4> v{1, 2, 4, 5};
+    v.insert(v.begin() + 2, 3);  // forces growth past inline capacity
+    EXPECT_EQ(v, (SmallVector<int, 4>{1, 2, 3, 4, 5}));
+
+    const int extra[] = {6, 7};
+    v.insert(v.end(), extra, extra + 2);
+    EXPECT_EQ(v.size(), 7u);
+    EXPECT_EQ(v.back(), 7);
+
+    v.erase(v.begin());
+    EXPECT_EQ(v.front(), 2);
+    v.erase(v.begin() + 1, v.begin() + 3);
+    EXPECT_EQ(v, (SmallVector<int, 4>{2, 5, 6, 7}));
+}
+
+TEST(SmallVector, InsertSelfElementIsSafe)
+{
+    // Inserting a reference to one of the vector's own elements must
+    // not read through the shifted/reallocated storage.
+    SmallVector<int, 2> v{10, 20};
+    v.insert(v.begin(), v[1]);  // grows and self-references
+    EXPECT_EQ(v, (SmallVector<int, 2>{20, 10, 20}));
+}
+
+TEST(SmallVector, ResizeAndClearRunDestructors)
+{
+    ASSERT_EQ(Probe::live, 0);
+    {
+        SmallVector<Probe, 2> v;
+        for (int i = 0; i < 10; ++i)
+            v.emplace_back(i);
+        EXPECT_EQ(Probe::live, 10);
+        v.resize(3);
+        EXPECT_EQ(Probe::live, 3);
+        v.resize(6);
+        EXPECT_EQ(Probe::live, 6);
+        EXPECT_EQ(v[2].value, 2);
+        EXPECT_EQ(v[5].value, 0);  // default-constructed tail
+        v.pop_back();
+        EXPECT_EQ(Probe::live, 5);
+        v.clear();
+        EXPECT_EQ(Probe::live, 0);
+        v.assign(4, Probe(42));
+        EXPECT_EQ(v.size(), 4u);
+        EXPECT_EQ(v[3].value, 42);
+    }
+    EXPECT_EQ(Probe::live, 0);
+}
+
+TEST(SmallVector, WorksWithStdAlgorithms)
+{
+    SmallVector<int, 4> v{5, 3, 1, 4, 2};
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, (SmallVector<int, 4>{1, 2, 3, 4, 5}));
+    EXPECT_EQ(std::accumulate(v.cbegin(), v.cend(), 0), 15);
+
+    std::vector<int> copy(v.begin(), v.end());
+    EXPECT_EQ(copy.size(), 5u);
+}
+
+} // namespace
+} // namespace csd

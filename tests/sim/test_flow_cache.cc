@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+#include <string>
+
+#include "csd/csd.hh"
+#include "sim/simulation.hh"
+#include "workloads/aes.hh"
+#include "workloads/rsa.hh"
+
+namespace csd
+{
+namespace
+{
+
+/**
+ * The predecoded-flow cache (decode/flow_cache.hh) is a host-side
+ * memoization: with it on or off, the *simulated* machine must be
+ * bit-identical — cycles, uop-cache hit rates, CPI-stack buckets, and
+ * in fact the whole stat tree (the flow-cache's own hit/miss counters
+ * live outside the tree precisely so this holds). These tests run the
+ * paper's crypto victims and a CSD-trigger-toggling program both ways
+ * and diff everything.
+ */
+
+struct RunRecord
+{
+    Tick cycles = 0;
+    std::uint64_t uops = 0;
+    double uopCacheHitRate = 0;
+    std::array<Cycles, numCpiBuckets> cpi{};
+    std::string simStats;   //!< full dumpStatsJson text
+    std::string csdStats;   //!< the CSD's own stat tree
+    std::uint64_t fcHits = 0;
+    std::uint64_t fcMisses = 0;
+    std::uint64_t fcBypasses = 0;
+    std::uint64_t fcInvalidations = 0;
+};
+
+void
+expectIdentical(const RunRecord &on, const RunRecord &off)
+{
+    EXPECT_EQ(on.cycles, off.cycles);
+    EXPECT_EQ(on.uops, off.uops);
+    EXPECT_DOUBLE_EQ(on.uopCacheHitRate, off.uopCacheHitRate);
+    for (unsigned i = 0; i < numCpiBuckets; ++i)
+        EXPECT_EQ(on.cpi[i], off.cpi[i])
+            << "bucket " << cpiBucketName(static_cast<CpiBucket>(i));
+    EXPECT_EQ(on.simStats, off.simStats);
+    EXPECT_EQ(on.csdStats, off.csdStats);
+    // The disabled run must have taken the uncached path throughout.
+    EXPECT_EQ(off.fcHits, 0u);
+    EXPECT_GT(off.fcBypasses, 0u);
+}
+
+RunRecord
+finishRecord(Simulation &sim, ContextSensitiveDecoder &csd)
+{
+    RunRecord rec;
+    rec.cycles = sim.cycles();
+    rec.uops = sim.uopsExecuted();
+    rec.uopCacheHitRate = sim.frontend().uopCache().hitRate();
+    if (const CpiStack *cpi = sim.cpiStack())
+        rec.cpi = cpi->buckets();
+    std::ostringstream sim_os, csd_os;
+    sim.dumpStatsJson(sim_os);
+    csd.stats().dumpJson(csd_os);
+    rec.simStats = sim_os.str();
+    rec.csdStats = csd_os.str();
+    rec.fcHits = sim.flowCache().hits;
+    rec.fcMisses = sim.flowCache().misses;
+    rec.fcBypasses = sim.flowCache().bypasses;
+    rec.fcInvalidations = sim.flowCache().invalidations;
+    return rec;
+}
+
+RunRecord
+runAesStealth(bool cache_on)
+{
+    std::array<std::uint8_t, 16> key{};
+    for (unsigned i = 0; i < 16; ++i)
+        key[i] = static_cast<std::uint8_t>(0x20 + i);
+    const AesWorkload workload = AesWorkload::build(key);
+
+    SimParams params;
+    params.mem.extraL2Latency = 4;
+    Simulation sim(workload.program, params);
+    sim.setFlowCacheEnabled(cache_on);
+    sim.enableCpiStack();
+
+    MsrFile msrs;
+    TaintTracker taint;
+    ContextSensitiveDecoder csd(msrs, &taint);
+    taint.addTaintSource(workload.keyRange);
+    // The AES victim is nearly straight-line per block (~700 PCs per
+    // ~3200-cycle block), so the watchdog period must outlive a block
+    // for memoized flows to be revisited before the epoch moves on.
+    msrs.setWatchdogPeriod(5000);
+    msrs.setDecoyDRange(0, workload.tTableRange);
+    msrs.setControl(ctrlStealthEnable | ctrlDiftTrigger);
+    sim.setTaintTracker(&taint);
+    sim.setCsd(&csd);
+
+    for (int block = 0; block < 6; ++block) {
+        AesReference::Block plain{};
+        for (unsigned i = 0; i < 16; ++i)
+            plain[i] = static_cast<std::uint8_t>(block * 16 + i);
+        workload.setInput(sim.state().mem, plain);
+        sim.restart();
+        sim.runToHalt();
+    }
+    return finishRecord(sim, csd);
+}
+
+RunRecord
+runRsaStealth(bool cache_on)
+{
+    const RsaWorkload workload = RsaWorkload::build(
+        {0x12345678u, 0x9abcdef0u}, {0xfffffff1u, 0xdeadbeefu},
+        0xb1e5, 16);
+
+    Simulation sim(workload.program);
+    sim.setFlowCacheEnabled(cache_on);
+    sim.enableCpiStack();
+
+    MsrFile msrs;
+    TaintTracker taint;
+    ContextSensitiveDecoder csd(msrs, &taint);
+    taint.addTaintSource(workload.exponentRange);
+    msrs.setWatchdogPeriod(1000);
+    msrs.setDecoyIRange(0, workload.multiplyRange);
+    msrs.setControl(ctrlStealthEnable | ctrlDiftTrigger);
+    sim.setTaintTracker(&taint);
+    sim.setCsd(&csd);
+
+    sim.runToHalt();
+    return finishRecord(sim, csd);
+}
+
+/**
+ * The adversarial case for memoization: CSD trigger state toggles
+ * between (and during) invocations — stealth off/on, devectorization
+ * off/on, timing noise off/on — so cached flows go stale repeatedly.
+ * Every toggle is an MSR write, which bumps the translation epoch.
+ */
+RunRecord
+runTriggerToggling(bool cache_on)
+{
+    std::array<std::uint8_t, 16> key{};
+    for (unsigned i = 0; i < 16; ++i)
+        key[i] = static_cast<std::uint8_t>(0x40 + i);
+    const AesWorkload workload = AesWorkload::build(key);
+
+    Simulation sim(workload.program);
+    sim.setFlowCacheEnabled(cache_on);
+    sim.enableCpiStack();
+
+    MsrFile msrs;
+    TaintTracker taint;
+    ContextSensitiveDecoder csd(msrs, &taint);
+    taint.addTaintSource(workload.keyRange);
+    msrs.setWatchdogPeriod(700);
+    msrs.setDecoyDRange(0, workload.tTableRange);
+    sim.setTaintTracker(&taint);
+    sim.setCsd(&csd);
+
+    // Three blocks per phase: the MSR writes at each phase entry bump
+    // the epoch (stale entries must re-translate), while the repeat
+    // blocks inside a phase run with a settled epoch (entries hit).
+    for (int block = 0; block < 12; ++block) {
+        if (block % 3 == 0) {
+            switch ((block / 3) % 4) {
+              case 0:
+                msrs.setControl(0);
+                csd.setDevectorize(false);
+                break;
+              case 1:
+                msrs.setControl(ctrlStealthEnable | ctrlDiftTrigger);
+                break;
+              case 2:
+                msrs.setControl(0);
+                csd.setDevectorize(true);
+                break;
+              case 3:
+                csd.seedNoise(0x5eed);
+                msrs.setControl(ctrlTimingNoise);
+                break;
+            }
+        }
+        AesReference::Block plain{};
+        for (unsigned i = 0; i < 16; ++i)
+            plain[i] = static_cast<std::uint8_t>(block * 3 + i);
+        workload.setInput(sim.state().mem, plain);
+        sim.restart();
+        sim.runToHalt();
+    }
+    return finishRecord(sim, csd);
+}
+
+TEST(FlowCache, AesStealthBitIdentical)
+{
+    const RunRecord on = runAesStealth(true);
+    expectIdentical(on, runAesStealth(false));
+    EXPECT_GT(on.fcHits, 0u);
+}
+
+TEST(FlowCache, RsaStealthBitIdentical)
+{
+    const RunRecord on = runRsaStealth(true);
+    expectIdentical(on, runRsaStealth(false));
+    EXPECT_GT(on.fcHits, 0u);
+}
+
+TEST(FlowCache, TriggerTogglingBitIdentical)
+{
+    const RunRecord on = runTriggerToggling(true);
+    const RunRecord off = runTriggerToggling(false);
+    expectIdentical(on, off);
+    // The settled blocks inside each phase replay cached flows ...
+    EXPECT_GT(on.fcHits, 0u);
+    // ... the MSR toggles at phase entry show up as stale lookups ...
+    EXPECT_GT(on.fcInvalidations, 0u);
+    // ... and timing-noise phases force the uncached path throughout.
+    EXPECT_GT(on.fcBypasses, 0u);
+}
+
+TEST(FlowCache, NativeRunsAreFullyCachedAfterWarmup)
+{
+    std::array<std::uint8_t, 16> key{};
+    const AesWorkload workload = AesWorkload::build(key);
+    Simulation sim(workload.program);
+    ASSERT_TRUE(sim.flowCacheEnabled());
+
+    sim.runToHalt();
+    const std::uint64_t misses_first = sim.flowCache().misses;
+    EXPECT_GT(misses_first, 0u);
+    EXPECT_EQ(sim.flowCache().bypasses, 0u);
+
+    // restart() keeps the cache: the second invocation of the same
+    // (static) program misses nothing.
+    sim.restart();
+    sim.runToHalt();
+    EXPECT_EQ(sim.flowCache().misses, misses_first);
+    EXPECT_GT(sim.flowCache().hits, 0u);
+    EXPECT_EQ(sim.flowCache().invalidations, 0u);
+}
+
+TEST(FlowCache, DisablingClearsAndBypasses)
+{
+    std::array<std::uint8_t, 16> key{};
+    const AesWorkload workload = AesWorkload::build(key);
+    Simulation sim(workload.program);
+    sim.runToHalt();
+    EXPECT_GT(sim.flowCache().size(), 0u);
+
+    sim.setFlowCacheEnabled(false);
+    EXPECT_EQ(sim.flowCache().size(), 0u);
+    sim.restart();
+    sim.runToHalt();
+    EXPECT_GT(sim.flowCache().bypasses, 0u);
+    EXPECT_EQ(sim.flowCache().size(), 0u);
+}
+
+} // namespace
+} // namespace csd
