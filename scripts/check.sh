@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 gate: configure, build, and run the full test suite, then
-# rebuild the common/sim tests under ASan+UBSan and run those.
+# Tier-1 gate: configure, build, and run the full test suite, run the
+# csd-lint static analyser over every shipped workload (plus clang-tidy
+# when it is installed), then rebuild the common/sim tests under
+# ASan+UBSan and run those.
 #
 # Usage: scripts/check.sh [--no-sanitize]
 #   CSD_CHECK_JOBS=N   parallelism (default: nproc)
@@ -21,6 +23,18 @@ cmake --build build -j"$jobs"
 
 echo "== tier-1: ctest =="
 ctest --test-dir build --output-on-failure -j"$jobs"
+
+echo "== static analysis: csd-lint =="
+cmake --build build -j"$jobs" --target csd-lint
+./build/src/verify/csd-lint all
+
+if command -v clang-tidy >/dev/null 2>&1; then
+    echo "== static analysis: clang-tidy =="
+    mapfile -t tidy_srcs < <(git ls-files 'src/*.cc')
+    clang-tidy -p build --warnings-as-errors='*' "${tidy_srcs[@]}"
+else
+    echo "== static analysis: clang-tidy not installed, skipping =="
+fi
 
 if [[ "$sanitize" == 1 ]]; then
     echo "== sanitize: ASan+UBSan build of common/sim tests =="

@@ -76,16 +76,18 @@ class BackEnd
 
     StatGroup &stats() { return stats_; }
 
-  private:
-    static constexpr unsigned numPorts = 6;
-
     /** Candidate issue ports for a functional-unit class. */
     struct PortSet
     {
         std::uint8_t count = 0;
         std::uint8_t ports[3] = {};
     };
+
+    /** Issue-port binding table (exposed for the csd-verify audit). */
     static const PortSet &portsFor(FuClass fu);
+
+  private:
+    static constexpr unsigned numPorts = 6;
 
     BackEndParams params_;
     MemHierarchy *mem_;

@@ -1,5 +1,7 @@
 #include "isa/program.hh"
 
+#include <cstdlib>
+
 #include "common/bitutils.hh"
 #include "common/logging.hh"
 
@@ -495,7 +497,38 @@ ProgramBuilder::build()
                     static_cast<std::int32_t>(i);
         }
     }
+    verifyStructure(prog);
     return prog;
+}
+
+void
+ProgramBuilder::verifyStructure(const Program &prog) const
+{
+    // The cheap structural subset of csd-verify (verify/verify.hh);
+    // the full dataflow/leak analysis is opt-in via csd-lint. Gated by
+    // setVerify(false) per builder or CSD_VERIFY=0 globally so
+    // deliberately broken programs (verifier self-tests) can still be
+    // assembled.
+    static const bool envEnabled = [] {
+        const char *env = std::getenv("CSD_VERIFY");
+        return !(env && env[0] == '0' && env[1] == '\0');
+    }();
+    if (!verify_ || !envEnabled || prog.code_.empty())
+        return;
+
+    for (const MacroOp &op : prog.code_) {
+        if (!isDirectBranch(op.opcode) && !isCall(op.opcode))
+            continue;
+        if (!prog.at(op.target)) {
+            csd_fatal("ProgramBuilder::build: ", disassemble(op),
+                      " at pc 0x", std::hex, op.pc,
+                      " targets an address where no instruction starts");
+        }
+    }
+    if (!prog.at(prog.entry_)) {
+        csd_fatal("ProgramBuilder::build: entry pc 0x", std::hex,
+                  prog.entry_, " does not start an instruction");
+    }
 }
 
 } // namespace csd

@@ -231,11 +231,25 @@ class ProgramBuilder
 
     // ------------------------------------------------------------------
 
+    /**
+     * Enable/disable the structural verification build() runs after
+     * linking (on by default; also disabled globally by CSD_VERIFY=0
+     * in the environment). The checks are the cheap subset of
+     * csd-verify (verify/verify.hh): every direct branch or call
+     * target must start an instruction, and the entry PC must be
+     * executable. Violations are fatal — they would make the
+     * simulator wander into undefined fetch behavior.
+     */
+    void setVerify(bool on) { verify_ = on; }
+
     /** Resolve all labels and produce the Program. */
     Program build();
 
   private:
     void place(MacroOp &op);
+    void verifyStructure(const Program &prog) const;
+
+    bool verify_ = true;
 
     Addr cursor_;
     Addr dataCursor_;

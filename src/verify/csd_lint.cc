@@ -1,0 +1,218 @@
+/**
+ * @file
+ * csd-lint: the standalone static-analysis driver.
+ *
+ * Runs verifyProgram() over every shipped workload and (with --tables,
+ * or always under `all`) the translation-consistency/micro-table
+ * audit. Known-leaky crypto victims are registered with expectLeak:
+ * their leak.* findings are consumed as confirmations and reported as
+ * a summary line instead of failures — a victim whose leak lint comes
+ * back EMPTY is itself an error (leak.expected-miss), since it means
+ * the taint configuration has a hole.
+ *
+ * Exit status: 0 iff no errors remain. --json FILE additionally emits
+ * the machine-readable findings report for CI.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "verify/verify.hh"
+#include "workloads/aes.hh"
+#include "workloads/blowfish.hh"
+#include "workloads/rijndael.hh"
+#include "workloads/rsa.hh"
+#include "workloads/spec.hh"
+
+namespace csd
+{
+namespace
+{
+
+struct LintTarget
+{
+    std::string name;
+    std::function<Program(VerifyOptions &)> build;
+};
+
+std::vector<LintTarget>
+targets()
+{
+    std::vector<LintTarget> list;
+
+    list.push_back({"rsa", [](VerifyOptions &opt) {
+        const RsaWorkload w = RsaWorkload::build(
+            {0x12345678u, 0x9abcdef0u}, {0xfffffff1u, 0xdeadbeefu},
+            0xb1e55ed, 24);
+        opt.taintSources = {w.exponentRange};
+        opt.expectLeak = true;
+        return w.program;
+    }});
+
+    list.push_back({"aes", [](VerifyOptions &opt) {
+        const AesWorkload w = AesWorkload::build(
+            {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7,
+             0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c});
+        opt.taintSources = {w.keyRange};
+        opt.expectLeak = true;
+        return w.program;
+    }});
+
+    list.push_back({"aes-dec", [](VerifyOptions &opt) {
+        const AesWorkload w = AesWorkload::build(
+            {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7,
+             0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}, /*decrypt=*/true);
+        opt.taintSources = {w.keyRange};
+        opt.expectLeak = true;
+        return w.program;
+    }});
+
+    list.push_back({"blowfish", [](VerifyOptions &opt) {
+        const BlowfishWorkload w = BlowfishWorkload::build(
+            {0x13, 0x37, 0xc0, 0xde, 0xfa, 0xce, 0xb0, 0x0c});
+        opt.taintSources = {w.keyRange};
+        opt.expectLeak = true;
+        return w.program;
+    }});
+
+    list.push_back({"rijndael", [](VerifyOptions &opt) {
+        const RijndaelWorkload w = RijndaelWorkload::build(
+            {0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09,
+             0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f});
+        opt.taintSources = {w.keyRange};
+        opt.expectLeak = true;
+        return w.program;
+    }});
+
+    for (const SpecPreset &preset : specPresets()) {
+        list.push_back({"spec-" + preset.name, [preset](VerifyOptions &) {
+            return SpecWorkload::build(preset, /*phase_pairs=*/2).program;
+        }});
+    }
+
+    return list;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--json FILE] [--tables] [--list] "
+                 "[TARGET...|all]\n"
+                 "  --json FILE  write the findings report as JSON\n"
+                 "  --tables     also audit translations + uop tables\n"
+                 "  --list       print the known targets and exit\n"
+                 "Default: lint every target and audit the tables.\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+} // namespace csd
+
+int
+main(int argc, char **argv)
+{
+    using namespace csd;
+
+    std::string jsonPath;
+    bool tablesOnly = false;
+    bool listOnly = false;
+    std::vector<std::string> wanted;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            jsonPath = argv[++i];
+        } else if (arg == "--tables") {
+            tablesOnly = true;
+        } else if (arg == "--list") {
+            listOnly = true;
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(argv[0]);
+        } else if (arg == "all") {
+            wanted.clear();
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(argv[0]);
+        } else {
+            wanted.push_back(arg);
+        }
+    }
+
+    const std::vector<LintTarget> all = targets();
+    if (listOnly) {
+        for (const LintTarget &target : all)
+            std::printf("%s\n", target.name.c_str());
+        return 0;
+    }
+
+    VerifyReport combined;
+    std::size_t confirmedLeaks = 0;
+
+    if (!tablesOnly) {
+        for (const LintTarget &target : all) {
+            if (!wanted.empty() &&
+                std::find(wanted.begin(), wanted.end(), target.name) ==
+                    wanted.end())
+                continue;
+
+            VerifyOptions options;
+            const Program program = target.build(options);
+            VerifyReport report = verifyProgram(program, options);
+
+            if (options.expectLeak) {
+                const std::size_t hits =
+                    resolveExpectedLeaks(report, options, target.name);
+                if (hits > 0) {
+                    confirmedLeaks += hits;
+                    std::printf("%-14s %zu secret-dependent site(s) "
+                                "confirmed by the leak lint\n",
+                                target.name.c_str(), hits);
+                }
+            }
+
+            if (report.empty()) {
+                std::printf("%-14s clean (%zu instructions)\n",
+                            target.name.c_str(), program.size());
+            } else {
+                std::printf("%s", report.text().c_str());
+            }
+            combined.merge(std::move(report));
+        }
+    }
+
+    // The table audit runs for `all`/default invocations and --tables.
+    if (tablesOnly || wanted.empty()) {
+        VerifyReport tables = verifyTranslation();
+        if (tables.empty()) {
+            std::printf("%-14s all %u macro-opcodes consistent across "
+                        "decode paths; tables covered\n",
+                        "translation",
+                        static_cast<unsigned>(MacroOpcode::NumOpcodes));
+        } else {
+            std::printf("%s", tables.text().c_str());
+        }
+        combined.merge(std::move(tables));
+    }
+
+    if (!jsonPath.empty()) {
+        std::ofstream out(jsonPath);
+        if (!out) {
+            std::fprintf(stderr, "csd-lint: cannot write %s\n",
+                         jsonPath.c_str());
+            return 2;
+        }
+        out << combined.json() << "\n";
+    }
+
+    std::printf("csd-lint: %zu error(s), %zu warning(s), %zu confirmed "
+                "leak site(s)\n",
+                combined.errorCount(), combined.warningCount(),
+                confirmedLeaks);
+    return combined.hasErrors() ? 1 : 0;
+}

@@ -1,0 +1,170 @@
+#include "verify/finding.hh"
+
+#include <sstream>
+
+namespace csd
+{
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Error:   return "error";
+      case Severity::Warning: return "warning";
+      case Severity::Note:    return "note";
+    }
+    return "unknown";
+}
+
+std::string
+Finding::location() const
+{
+    if (pc == invalidAddr)
+        return "<program>";
+    std::ostringstream os;
+    os << "0x" << std::hex << pc;
+    if (!symbol.empty())
+        os << " <" << symbol << ">";
+    return os.str();
+}
+
+std::string
+Finding::toString() const
+{
+    std::ostringstream os;
+    os << location() << ": " << severityName(severity) << " " << checkId
+       << ": " << message;
+    return os.str();
+}
+
+void
+VerifyReport::add(Finding finding)
+{
+    if (suppressed_.count(finding.checkId))
+        return;
+    if (finding.severity == Severity::Error)
+        ++errors_;
+    else if (finding.severity == Severity::Warning)
+        ++warnings_;
+    findings_.push_back(std::move(finding));
+}
+
+void
+VerifyReport::add(const std::string &check_id, Severity severity, Addr pc,
+                  const std::string &symbol, const std::string &message)
+{
+    Finding finding;
+    finding.checkId = check_id;
+    finding.severity = severity;
+    finding.pc = pc;
+    finding.symbol = symbol;
+    finding.message = message;
+    add(std::move(finding));
+}
+
+bool
+VerifyReport::hasCheck(const std::string &prefix) const
+{
+    for (const Finding &finding : findings_)
+        if (finding.checkId.compare(0, prefix.size(), prefix) == 0)
+            return true;
+    return false;
+}
+
+void
+VerifyReport::merge(VerifyReport other)
+{
+    for (Finding &finding : other.findings_)
+        add(std::move(finding));
+}
+
+std::size_t
+VerifyReport::consume(const std::string &prefix)
+{
+    std::size_t removed = 0;
+    std::vector<Finding> kept;
+    kept.reserve(findings_.size());
+    for (Finding &finding : findings_) {
+        if (finding.checkId.compare(0, prefix.size(), prefix) == 0) {
+            if (finding.severity == Severity::Error)
+                --errors_;
+            else if (finding.severity == Severity::Warning)
+                --warnings_;
+            ++removed;
+        } else {
+            kept.push_back(std::move(finding));
+        }
+    }
+    findings_ = std::move(kept);
+    return removed;
+}
+
+std::string
+VerifyReport::text() const
+{
+    std::ostringstream os;
+    for (const Finding &finding : findings_)
+        os << finding.toString() << "\n";
+    os << errors_ << " error(s), " << warnings_ << " warning(s)\n";
+    return os.str();
+}
+
+namespace
+{
+
+void
+jsonEscape(std::ostringstream &os, const std::string &str)
+{
+    os << '"';
+    for (char c : str) {
+        switch (c) {
+          case '"':  os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+std::string
+VerifyReport::json() const
+{
+    std::ostringstream os;
+    os << "{\n  \"errors\": " << errors_
+       << ",\n  \"warnings\": " << warnings_
+       << ",\n  \"findings\": [";
+    bool first = true;
+    for (const Finding &finding : findings_) {
+        os << (first ? "\n" : ",\n") << "    {\"check\": ";
+        jsonEscape(os, finding.checkId);
+        os << ", \"severity\": \"" << severityName(finding.severity)
+           << "\", \"pc\": ";
+        if (finding.pc == invalidAddr)
+            os << "null";
+        else
+            os << finding.pc;
+        os << ", \"symbol\": ";
+        jsonEscape(os, finding.symbol);
+        os << ", \"location\": ";
+        jsonEscape(os, finding.location());
+        os << ", \"message\": ";
+        jsonEscape(os, finding.message);
+        os << "}";
+        first = false;
+    }
+    os << (first ? "]" : "\n  ]") << "\n}\n";
+    return os.str();
+}
+
+} // namespace csd

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Configuration for the program verifier (see verify/verify.hh).
+ */
+
+#ifndef CSD_VERIFY_OPTIONS_HH
+#define CSD_VERIFY_OPTIONS_HH
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/addr_range.hh"
+#include "isa/registers.hh"
+
+namespace csd
+{
+
+/** Knobs for verifyProgram(). Defaults match the shipped workloads. */
+struct VerifyOptions
+{
+    /**
+     * Secret memory ranges (e.g. the RSA exponent, AES round keys).
+     * The static leak lint only runs when at least one is given.
+     */
+    std::vector<AddrRange> taintSources;
+
+    /**
+     * Memory regions outside the program's own data/stack that it may
+     * legitimately touch (e.g. a spy probing a victim's addresses).
+     */
+    std::vector<AddrRange> extraRegions;
+
+    /** GPRs holding defined values at entry (Rsp always counts). */
+    std::vector<Gpr> entryDefined;
+
+    /** Flag statically resolvable accesses outside declared regions. */
+    bool checkMemRegions = true;
+
+    /** Flag reads of never-written GPRs (may-analysis). */
+    bool checkUseBeforeDef = true;
+
+    /**
+     * Also flag reads of never-written XMM registers. Off by default:
+     * architectural registers are zero-initialized in ArchState, and
+     * the synthetic SPEC generators rely on that for vector seeds.
+     */
+    bool checkVecUseBeforeDef = false;
+
+    /** Run the secret-dependent branch/index lint (needs sources). */
+    bool leakLint = true;
+
+    /**
+     * The program is a known-leaky victim: csd-lint consumes its
+     * leak.* findings as confirmations and reports leak.expected-miss
+     * if the lint found nothing (a hole in the taint configuration).
+     */
+    bool expectLeak = false;
+
+    /** Stack extent: [stackBase - stackBytes, stackBase + 4 KiB). */
+    Addr stackBase = 0x7ffff000;
+    std::uint64_t stackBytes = 1 << 20;
+
+    /** Check ids to suppress entirely. */
+    std::set<std::string> suppress;
+
+    /** Path-walk state budget before giving up with cfg.state-limit. */
+    std::size_t maxWalkStates = 1 << 20;
+};
+
+} // namespace csd
+
+#endif // CSD_VERIFY_OPTIONS_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Dataflow checks over a Program's CFG.
+ *
+ * Two passes (see DESIGN.md "Verification layer"):
+ *
+ *  - Path walk: a memoized DFS over execution paths carrying the
+ *    call/return stack and the push/pop depth. Finds unbalanced
+ *    stacks, pop/ret underflows, ret-without-call, halting with live
+ *    stack values, and falling off the end of the code. It also marks
+ *    reachable blocks (unreachable ones are reported) and discovers
+ *    the concrete Ret -> return-site edges the dataflow pass needs.
+ *
+ *  - Dataflow: an iterative forward analysis (may-undefined, constant
+ *    propagation, taint) that reports use-before-def registers,
+ *    branches on undefined flags, statically resolvable memory
+ *    accesses outside declared regions, stores into code, and the
+ *    leak lint: secret-tainted branches and tainted-index accesses.
+ */
+
+#ifndef CSD_VERIFY_PROGRAM_VERIFIER_HH
+#define CSD_VERIFY_PROGRAM_VERIFIER_HH
+
+#include "verify/cfg.hh"
+#include "verify/finding.hh"
+#include "verify/options.hh"
+
+namespace csd
+{
+
+/**
+ * Walk execution paths from the entry: stack-balance checks,
+ * reachability marking, and Ret return-site edge discovery.
+ */
+void runPathWalk(Cfg &cfg, const VerifyOptions &options,
+                 VerifyReport &report);
+
+/**
+ * Iterative dataflow over the (path-walked) CFG: use-before-def,
+ * memory-region checks, and the leak lint. Expects runPathWalk() to
+ * have marked reachability and added return edges.
+ */
+void runDataflow(const Cfg &cfg, const VerifyOptions &options,
+                 VerifyReport &report);
+
+} // namespace csd
+
+#endif // CSD_VERIFY_PROGRAM_VERIFIER_HH

@@ -1,0 +1,48 @@
+#include "verify/verify.hh"
+
+#include "verify/cfg.hh"
+#include "verify/program_verifier.hh"
+
+namespace csd
+{
+
+VerifyReport
+verifyProgram(const Program &prog, const VerifyOptions &options)
+{
+    VerifyReport report;
+    report.suppress(options.suppress);
+
+    Cfg cfg = Cfg::build(prog, report);
+    if (prog.code().empty())
+        return report;
+    runPathWalk(cfg, options, report);
+    runDataflow(cfg, options, report);
+    return report;
+}
+
+VerifyReport
+verifyTranslation()
+{
+    VerifyReport report;
+    checkTranslations(report);
+    auditMicroTables(report);
+    return report;
+}
+
+std::size_t
+resolveExpectedLeaks(VerifyReport &report, const VerifyOptions &options,
+                     const std::string &name)
+{
+    if (!options.expectLeak)
+        return 0;
+    const std::size_t hits = report.consume("leak.");
+    if (hits == 0) {
+        report.add("leak.expected-miss", Severity::Error, invalidAddr,
+                   name,
+                   "known-leaky victim produced no leak.* findings; "
+                   "the taint configuration has a hole");
+    }
+    return hits;
+}
+
+} // namespace csd

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "verify/cfg.hh"
+#include "verify/verify.hh"
+
+namespace csd
+{
+namespace
+{
+
+TEST(Cfg, CarvesBlocksAtBranchesAndTargets)
+{
+    ProgramBuilder b;
+    auto loop = b.newLabel();
+    b.movri(Gpr::Rcx, 4);          // block 0
+    b.bind(loop);
+    b.subi(Gpr::Rcx, 1);           // block 1 (leader: branch target)
+    b.jcc(Cond::Ne, loop);
+    b.halt();                      // block 2 (leader: post-branch)
+    const Program prog = b.build();
+
+    VerifyReport report;
+    const Cfg cfg = Cfg::build(prog, report);
+    EXPECT_TRUE(report.empty());
+    ASSERT_EQ(cfg.blocks().size(), 3u);
+    EXPECT_EQ(cfg.entryBlock(), 0u);
+
+    // Block 0 falls through to 1; block 1 branches to itself or falls
+    // through to 2.
+    EXPECT_EQ(cfg.blocks()[0].succs, (std::vector<std::size_t>{1}));
+    EXPECT_EQ(cfg.blocks()[1].succs, (std::vector<std::size_t>{1, 2}));
+    EXPECT_TRUE(cfg.blocks()[2].succs.empty());
+}
+
+TEST(Cfg, CallEdgeGoesToCalleeEntry)
+{
+    ProgramBuilder b;
+    auto fn = b.newLabel();
+    auto over = b.newLabel();
+    b.jmp(over);
+    b.bind(fn);
+    b.movri(Gpr::Rax, 1);
+    b.ret();
+    b.bind(over);
+    b.call(fn);
+    b.halt();
+    const Program prog = b.build();
+
+    VerifyReport report;
+    const Cfg cfg = Cfg::build(prog, report);
+    EXPECT_TRUE(report.empty());
+
+    // The block ending in the call must have the callee's block as its
+    // successor (the fall-through comes later via the ret edge).
+    bool found = false;
+    const auto &code = prog.code();
+    for (const BasicBlock &blk : cfg.blocks()) {
+        if (code[blk.last].opcode != MacroOpcode::Call)
+            continue;
+        ASSERT_EQ(blk.succs.size(), 1u);
+        const BasicBlock &callee = cfg.blocks()[blk.succs[0]];
+        EXPECT_EQ(code[callee.first].opcode, MacroOpcode::MovRI);
+        found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Cfg, SymbolAtPrefersInnermost)
+{
+    ProgramBuilder b;
+    b.beginSymbol("outer");
+    b.movri(Gpr::Rax, 1);
+    b.beginSymbol("inner");
+    b.movri(Gpr::Rbx, 2);
+    b.endSymbol("inner");
+    b.endSymbol("outer");
+    b.halt();
+    const Program prog = b.build();
+
+    VerifyReport report;
+    const Cfg cfg = Cfg::build(prog, report);
+    EXPECT_EQ(cfg.symbolAt(prog.code()[0].pc), "outer");
+    EXPECT_EQ(cfg.symbolAt(prog.code()[1].pc), "inner");
+}
+
+TEST(Cfg, DanglingTargetReported)
+{
+    // A direct jump into the middle of a multi-byte instruction: bind
+    // a label, then emit a raw MacroOp whose target is label+1.
+    ProgramBuilder b;
+    b.setVerify(false);  // the build() hook would reject this program
+    b.movri(Gpr::Rax, 1);
+    MacroOp op;
+    op.opcode = MacroOpcode::Jmp;
+    op.target = 0x400001;  // inside the MovRI encoding
+    b.emit(op);
+    b.halt();
+    const Program prog = b.build();
+
+    VerifyReport report;
+    Cfg::build(prog, report);
+    ASSERT_TRUE(report.hasCheck("cfg.dangling-target"));
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_EQ(report.findings()[0].pc, prog.code()[1].pc);
+}
+
+TEST(BuildHook, RejectsDanglingTargetByDefault)
+{
+    ProgramBuilder b;
+    b.movri(Gpr::Rax, 1);
+    MacroOp op;
+    op.opcode = MacroOpcode::Call;
+    op.target = 0xdead0000;
+    b.emit(op);
+    b.halt();
+    EXPECT_THROW(b.build(), std::runtime_error);
+}
+
+TEST(BuildHook, SetVerifyFalseDisablesTheCheck)
+{
+    ProgramBuilder b;
+    b.setVerify(false);
+    MacroOp op;
+    op.opcode = MacroOpcode::Jmp;
+    op.target = 0xdead0000;
+    b.emit(op);
+    EXPECT_NO_THROW(b.build());
+}
+
+TEST(BuildHook, CleanProgramsStillBuild)
+{
+    ProgramBuilder b;
+    auto fn = b.newLabel();
+    auto over = b.newLabel();
+    b.jmp(over);
+    b.bind(fn);
+    b.ret();
+    b.bind(over);
+    b.call(fn);
+    b.halt();
+    EXPECT_NO_THROW(b.build());
+}
+
+} // namespace
+} // namespace csd

@@ -1,0 +1,364 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "verify/verify.hh"
+
+namespace csd
+{
+namespace
+{
+
+/** True iff @p report contains a finding with exactly @p check at @p pc. */
+bool
+hasFindingAt(const VerifyReport &report, const std::string &check, Addr pc)
+{
+    for (const Finding &finding : report.findings())
+        if (finding.checkId == check && finding.pc == pc)
+            return true;
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// Seeded defects: each check class must fire with precise provenance.
+// ---------------------------------------------------------------------
+
+TEST(ProgramVerifier, UndefinedRegisterRead)
+{
+    ProgramBuilder b;
+    b.movri(Gpr::Rax, 1);
+    b.add(Gpr::Rax, Gpr::Rbx);  // Rbx never written
+    b.halt();
+    const Program prog = b.build();
+
+    const VerifyReport report = verifyProgram(prog);
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_TRUE(hasFindingAt(report, "df.use-before-def",
+                             prog.code()[1].pc));
+}
+
+TEST(ProgramVerifier, BranchOnUndefinedFlags)
+{
+    ProgramBuilder b;
+    auto out = b.newLabel();
+    b.jcc(Cond::Eq, out);  // no compare before it
+    b.bind(out);
+    b.halt();
+    const Program prog = b.build();
+
+    const VerifyReport report = verifyProgram(prog);
+    EXPECT_TRUE(hasFindingAt(report, "df.undef-flags",
+                             prog.code()[0].pc));
+}
+
+TEST(ProgramVerifier, DanglingJumpTarget)
+{
+    ProgramBuilder b;
+    b.setVerify(false);
+    b.movri(Gpr::Rax, 1);
+    MacroOp op;
+    op.opcode = MacroOpcode::Jmp;
+    op.target = 0x412345;
+    b.emit(op);
+    b.halt();
+    const Program prog = b.build();
+
+    const VerifyReport report = verifyProgram(prog);
+    EXPECT_TRUE(hasFindingAt(report, "cfg.dangling-target",
+                             prog.code()[1].pc));
+}
+
+TEST(ProgramVerifier, UnbalancedStackInFunction)
+{
+    ProgramBuilder b;
+    auto fn = b.newLabel();
+    auto over = b.newLabel();
+    b.jmp(over);
+    b.bind(fn);
+    b.movri(Gpr::Rdx, 9);
+    b.push(Gpr::Rdx);   // pushed, never popped
+    b.ret();            // would "return" to the pushed value
+    b.bind(over);
+    b.call(fn);
+    b.halt();
+    const Program prog = b.build();
+
+    const VerifyReport report = verifyProgram(prog);
+    const Addr retPc = prog.code()[3].pc;
+    EXPECT_TRUE(hasFindingAt(report, "stack.imbalance", retPc));
+}
+
+TEST(ProgramVerifier, StackUnderflow)
+{
+    ProgramBuilder b;
+    b.pop(Gpr::Rax);  // nothing was pushed
+    b.halt();
+    const Program prog = b.build();
+
+    const VerifyReport report = verifyProgram(prog);
+    EXPECT_TRUE(hasFindingAt(report, "stack.underflow",
+                             prog.code()[0].pc));
+}
+
+TEST(ProgramVerifier, RetWithoutCall)
+{
+    ProgramBuilder b;
+    b.movri(Gpr::Rax, 1);
+    b.ret();
+    const Program prog = b.build();
+
+    const VerifyReport report = verifyProgram(prog);
+    EXPECT_TRUE(hasFindingAt(report, "cfg.ret-without-call",
+                             prog.code()[1].pc));
+}
+
+TEST(ProgramVerifier, HaltWithLiveStackIsWarning)
+{
+    ProgramBuilder b;
+    b.movri(Gpr::Rax, 1);
+    b.push(Gpr::Rax);
+    b.halt();
+    const Program prog = b.build();
+
+    const VerifyReport report = verifyProgram(prog);
+    EXPECT_TRUE(hasFindingAt(report, "stack.leak", prog.code()[2].pc));
+    EXPECT_FALSE(report.hasErrors());
+}
+
+TEST(ProgramVerifier, OutOfRegionStore)
+{
+    ProgramBuilder b;
+    b.reserveData("buf", 64);
+    b.movri(Gpr::Rax, 7);
+    b.store(memAbs(0x900000), Gpr::Rax);  // no region there
+    b.halt();
+    const Program prog = b.build();
+
+    const VerifyReport report = verifyProgram(prog);
+    EXPECT_TRUE(hasFindingAt(report, "mem.out-of-region",
+                             prog.code()[1].pc));
+}
+
+TEST(ProgramVerifier, InRegionAndStackAccessesAreClean)
+{
+    ProgramBuilder b;
+    const Addr buf = b.reserveData("buf", 64);
+    b.movri(Gpr::Rax, 7);
+    b.store(memAbs(buf), Gpr::Rax);
+    b.movri(Gpr::Rbx, static_cast<std::int64_t>(buf));
+    b.store(memAt(Gpr::Rbx, 8), Gpr::Rax);   // via const-propagated base
+    b.load(Gpr::Rcx, memAbs(buf + 8));
+    b.push(Gpr::Rcx);
+    b.pop(Gpr::Rdx);
+    b.halt();
+    const Program prog = b.build();
+
+    const VerifyReport report = verifyProgram(prog);
+    EXPECT_TRUE(report.empty()) << report.text();
+}
+
+TEST(ProgramVerifier, RepStosOutsideRegions)
+{
+    ProgramBuilder b;
+    b.repStos(0x900000, 2);
+    b.halt();
+    const Program prog = b.build();
+
+    const VerifyReport report = verifyProgram(prog);
+    EXPECT_TRUE(hasFindingAt(report, "mem.out-of-region",
+                             prog.code()[0].pc));
+}
+
+TEST(ProgramVerifier, UnreachableBlockReported)
+{
+    ProgramBuilder b;
+    auto over = b.newLabel();
+    b.jmp(over);
+    b.movri(Gpr::Rax, 1);  // skipped by everyone
+    b.bind(over);
+    b.halt();
+    const Program prog = b.build();
+
+    const VerifyReport report = verifyProgram(prog);
+    EXPECT_TRUE(hasFindingAt(report, "cfg.unreachable",
+                             prog.code()[1].pc));
+}
+
+// ---------------------------------------------------------------------
+// Leak lint: secret-dependent control flow and data access.
+// ---------------------------------------------------------------------
+
+TEST(LeakLint, FlagsTaintedBranchFlagged)
+{
+    ProgramBuilder b;
+    const Addr secret = b.reserveData("secret", 8);
+    auto skip = b.newLabel();
+    b.load(Gpr::Rax, memAbs(secret));
+    b.testi(Gpr::Rax, 1);
+    b.jcc(Cond::Eq, skip);   // key-dependent direction
+    b.movri(Gpr::Rbx, 1);
+    b.bind(skip);
+    b.halt();
+    const Program prog = b.build();
+
+    VerifyOptions options;
+    options.taintSources = {prog.symbol("secret")};
+    const VerifyReport report = verifyProgram(prog, options);
+    EXPECT_TRUE(hasFindingAt(report, "leak.tainted-branch",
+                             prog.code()[2].pc));
+}
+
+TEST(LeakLint, TaintedIndexLoadFlagged)
+{
+    ProgramBuilder b;
+    const Addr secret = b.reserveData("secret", 8);
+    const Addr table = b.reserveData("table", 1024);
+    b.load(Gpr::Rbx, memAbs(secret));
+    b.andi(Gpr::Rbx, 0xff);
+    b.load(Gpr::Rax, memTable(table, Gpr::Rbx, 4));  // key-indexed
+    b.halt();
+    const Program prog = b.build();
+
+    VerifyOptions options;
+    options.taintSources = {prog.symbol("secret")};
+    const VerifyReport report = verifyProgram(prog, options);
+    EXPECT_TRUE(hasFindingAt(report, "leak.tainted-index",
+                             prog.code()[2].pc));
+}
+
+TEST(LeakLint, TaintPropagatesThroughMemory)
+{
+    ProgramBuilder b;
+    const Addr secret = b.reserveData("secret", 8);
+    const Addr spill = b.reserveData("spill", 8);
+    auto skip = b.newLabel();
+    b.load(Gpr::Rax, memAbs(secret));
+    b.store(memAbs(spill), Gpr::Rax);   // taint follows the store
+    b.load(Gpr::Rcx, memAbs(spill));
+    b.testi(Gpr::Rcx, 1);
+    b.jcc(Cond::Eq, skip);
+    b.bind(skip);
+    b.halt();
+    const Program prog = b.build();
+
+    VerifyOptions options;
+    options.taintSources = {prog.symbol("secret")};
+    const VerifyReport report = verifyProgram(prog, options);
+    EXPECT_TRUE(report.hasCheck("leak.tainted-branch"));
+}
+
+TEST(LeakLint, ConstantTimeProgramNotFlagged)
+{
+    // Branchless select: mask = -(bit); result = (a & mask) | (b & ~mask).
+    ProgramBuilder b;
+    const Addr secret = b.reserveData("secret", 8);
+    const Addr out = b.reserveData("out", 8);
+    b.load(Gpr::Rax, memAbs(secret));
+    b.andi(Gpr::Rax, 1);
+    b.alu(MacroOpcode::Neg, Gpr::Rax, Gpr::Invalid);  // mask
+    b.movri(Gpr::Rbx, 0x1111);
+    b.movri(Gpr::Rcx, 0x2222);
+    b.and_(Gpr::Rbx, Gpr::Rax);
+    b.alu(MacroOpcode::Not, Gpr::Rax, Gpr::Invalid);
+    b.and_(Gpr::Rcx, Gpr::Rax);
+    b.or_(Gpr::Rbx, Gpr::Rcx);
+    b.store(memAbs(out), Gpr::Rbx);  // fixed address: fine
+    b.halt();
+    const Program prog = b.build();
+
+    VerifyOptions options;
+    options.taintSources = {prog.symbol("secret")};
+    const VerifyReport report = verifyProgram(prog, options);
+    EXPECT_FALSE(report.hasCheck("leak.")) << report.text();
+}
+
+TEST(LeakLint, UntaintedKeyProducesNoLeaksAndMissFires)
+{
+    // The classic configuration hole: the victim leaks, but the taint
+    // source points at the wrong object, so the lint stays silent.
+    // resolveExpectedLeaks() must convert that silence into an error.
+    ProgramBuilder b;
+    const Addr secret = b.reserveData("secret", 8);
+    b.reserveData("decoy", 8);
+    auto skip = b.newLabel();
+    b.load(Gpr::Rax, memAbs(secret));
+    b.testi(Gpr::Rax, 1);
+    b.jcc(Cond::Eq, skip);
+    b.bind(skip);
+    b.halt();
+    const Program prog = b.build();
+
+    VerifyOptions options;
+    options.taintSources = {prog.symbol("decoy")};  // wrong object
+    options.expectLeak = true;
+    VerifyReport report = verifyProgram(prog, options);
+    EXPECT_FALSE(report.hasCheck("leak."));
+
+    const std::size_t confirmed =
+        resolveExpectedLeaks(report, options, "test-victim");
+    EXPECT_EQ(confirmed, 0u);
+    EXPECT_TRUE(report.hasCheck("leak.expected-miss"));
+    EXPECT_TRUE(report.hasErrors());
+}
+
+TEST(LeakLint, ExpectedLeaksAreConsumed)
+{
+    ProgramBuilder b;
+    const Addr secret = b.reserveData("secret", 8);
+    auto skip = b.newLabel();
+    b.load(Gpr::Rax, memAbs(secret));
+    b.testi(Gpr::Rax, 1);
+    b.jcc(Cond::Eq, skip);
+    b.bind(skip);
+    b.halt();
+    const Program prog = b.build();
+
+    VerifyOptions options;
+    options.taintSources = {prog.symbol("secret")};
+    options.expectLeak = true;
+    VerifyReport report = verifyProgram(prog, options);
+
+    const std::size_t confirmed =
+        resolveExpectedLeaks(report, options, "test-victim");
+    EXPECT_EQ(confirmed, 1u);
+    EXPECT_TRUE(report.empty()) << report.text();
+}
+
+// ---------------------------------------------------------------------
+// Report plumbing.
+// ---------------------------------------------------------------------
+
+TEST(VerifyReport, SuppressionDropsFindings)
+{
+    ProgramBuilder b;
+    b.movri(Gpr::Rax, 1);
+    b.add(Gpr::Rax, Gpr::Rbx);
+    b.halt();
+    const Program prog = b.build();
+
+    VerifyOptions options;
+    options.suppress = {"df.use-before-def"};
+    const VerifyReport report = verifyProgram(prog, options);
+    EXPECT_FALSE(report.hasCheck("df.use-before-def"));
+}
+
+TEST(VerifyReport, JsonIsWellFormedAndCarriesProvenance)
+{
+    ProgramBuilder b;
+    b.beginSymbol("f");
+    b.movri(Gpr::Rax, 1);
+    b.add(Gpr::Rax, Gpr::Rbx);
+    b.endSymbol("f");
+    b.halt();
+    const Program prog = b.build();
+
+    const VerifyReport report = verifyProgram(prog);
+    const std::string json = report.json();
+    EXPECT_NE(json.find("\"check\": \"df.use-before-def\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"symbol\": \"f\""), std::string::npos);
+    EXPECT_NE(json.find("\"errors\": "), std::string::npos);
+}
+
+} // namespace
+} // namespace csd

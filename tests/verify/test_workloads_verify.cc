@@ -1,0 +1,98 @@
+/**
+ * Every shipped workload must come out of csd-verify clean: zero
+ * findings after expected-leak consumption. This is the in-tree
+ * mirror of what `csd-lint all` gates in CI.
+ */
+
+#include <gtest/gtest.h>
+
+#include "verify/verify.hh"
+#include "workloads/aes.hh"
+#include "workloads/blowfish.hh"
+#include "workloads/rijndael.hh"
+#include "workloads/rsa.hh"
+#include "workloads/spec.hh"
+
+namespace csd
+{
+namespace
+{
+
+void
+expectClean(const Program &prog, VerifyOptions options,
+            const std::string &name, std::size_t min_leaks)
+{
+    VerifyReport report = verifyProgram(prog, options);
+    const std::size_t confirmed =
+        resolveExpectedLeaks(report, options, name);
+    EXPECT_TRUE(report.empty()) << name << ":\n" << report.text();
+    EXPECT_GE(confirmed, min_leaks) << name;
+}
+
+TEST(WorkloadsVerify, RsaIsCleanAndLeakIsCaught)
+{
+    const RsaWorkload w = RsaWorkload::build(
+        {0x12345678u, 0x9abcdef0u}, {0xfffffff1u, 0xdeadbeefu},
+        0xb1e55ed, 24);
+    VerifyOptions options;
+    options.taintSources = {w.exponentRange};
+    options.expectLeak = true;
+    // RSA leaks through one key-dependent branch (the multiply call).
+    expectClean(w.program, options, "rsa", 1);
+}
+
+TEST(WorkloadsVerify, AesIsCleanAndLeaksAreCaught)
+{
+    const AesWorkload w = AesWorkload::build(
+        {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7,
+         0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c});
+    VerifyOptions options;
+    options.taintSources = {w.keyRange};
+    options.expectLeak = true;
+    // 10 rounds x 16 key-indexed T-table loads.
+    expectClean(w.program, options, "aes", 100);
+}
+
+TEST(WorkloadsVerify, AesDecryptIsClean)
+{
+    const AesWorkload w = AesWorkload::build(
+        {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7,
+         0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}, /*decrypt=*/true);
+    VerifyOptions options;
+    options.taintSources = {w.keyRange};
+    options.expectLeak = true;
+    expectClean(w.program, options, "aes-dec", 100);
+}
+
+TEST(WorkloadsVerify, BlowfishIsCleanAndLeaksAreCaught)
+{
+    const BlowfishWorkload w = BlowfishWorkload::build(
+        {0x13, 0x37, 0xc0, 0xde, 0xfa, 0xce, 0xb0, 0x0c});
+    VerifyOptions options;
+    options.taintSources = {w.keyRange};
+    options.expectLeak = true;
+    // 16 rounds x 4 key-dependent S-box lookups.
+    expectClean(w.program, options, "blowfish", 64);
+}
+
+TEST(WorkloadsVerify, RijndaelIsCleanAndLeaksAreCaught)
+{
+    const RijndaelWorkload w = RijndaelWorkload::build(
+        {0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09,
+         0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f});
+    VerifyOptions options;
+    options.taintSources = {w.keyRange};
+    options.expectLeak = true;
+    expectClean(w.program, options, "rijndael", 100);
+}
+
+TEST(WorkloadsVerify, AllSpecPresetsAreClean)
+{
+    for (const SpecPreset &preset : specPresets()) {
+        const SpecWorkload w = SpecWorkload::build(preset, 2);
+        expectClean(w.program, VerifyOptions{}, "spec-" + preset.name, 0);
+    }
+}
+
+} // namespace
+} // namespace csd

@@ -59,8 +59,9 @@ TEST_P(RsaWidth, CodeGrowsWithWidth)
     // The unrolled bignum multiply grows quadratically; the multiply
     // symbol must always span at least one I-cache block.
     EXPECT_GE(workload.multiplyRange.blockCount(), 1u);
-    if (limbs >= 4)
+    if (limbs >= 4) {
         EXPECT_GE(workload.multiplyRange.blockCount(), 4u);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Widths, RsaWidth,
