@@ -14,6 +14,7 @@
 #include "bench/common/bench_util.hh"
 #include "bench/common/parallel.hh"
 #include "sec/aes_attack.hh"
+#include "verify/leak_prover.hh"
 
 using namespace csd;
 using namespace csd::bench;
@@ -65,6 +66,37 @@ report(const char *label, const AesAttackResult &result)
     table.print();
 }
 
+/**
+ * Publish the static prover's claim for the same victim + defense the
+ * dynamic attack runs against: the undefended leakage bound and the
+ * residual bound (must be 0 bits / all-closed) under the defense.
+ */
+void
+reportStaticBound()
+{
+    const AesWorkload workload = AesWorkload::build(key);
+    VerifyOptions options;
+    options.taintSources = {workload.keyRange};
+    DefenseModel model;
+    model.enabled = true;
+    model.decoyDRange = workload.tTableRange;
+    model.taintSources = {workload.keyRange};
+    const LeakProof proof =
+        proveLeaks(workload.program, options, model, {});
+
+    std::printf("\nstatic model: %zu leak site(s), %.1f bits/run "
+                "undefended, %.1f bits/run defended (%s)\n",
+                proof.sites.size(), proof.totalBits,
+                proof.residualTotalBits,
+                proof.allClosed() ? "all closed" : "NOT closed");
+    benchStat("static_leak.sites", static_cast<double>(proof.sites.size()));
+    benchStat("static_leak.total_bits", proof.totalBits);
+    benchStat("static_leak.residual_bits_defended",
+              proof.residualTotalBits);
+    benchStat("static_leak.verdict",
+              proof.allClosed() ? "closed" : "open");
+}
+
 } // namespace
 
 int
@@ -75,6 +107,7 @@ main(int argc, char **argv)
                 "PRIME+PROBE attack on OpenSSL-style T-table AES",
                 "Chosen plaintexts; D-cache side channel; scaled sample"
                 " counts (see DESIGN.md).");
+    reportStaticBound();
 
     const std::vector<AesAttackResult> runs =
         parallelMap<AesAttackResult>(

@@ -15,6 +15,7 @@
 #include "bench/common/bench_util.hh"
 #include "bench/common/parallel.hh"
 #include "sec/rsa_attack.hh"
+#include "verify/leak_prover.hh"
 
 using namespace csd;
 using namespace csd::bench;
@@ -65,6 +66,38 @@ report(const char *label, const RsaWorkload &,
                 result.totalBits);
 }
 
+/**
+ * Publish the static prover's claim for the same victim + defense:
+ * one bit per exponent bit through the multiply I-cache lines
+ * undefended, 0 bits (closed) under the decoy configuration.
+ */
+void
+reportStaticBound(const RsaWorkload &workload)
+{
+    VerifyOptions options;
+    options.taintSources = {workload.exponentRange};
+    DefenseModel model;
+    model.enabled = true;
+    model.decoyIRange = workload.multiplyRange;
+    model.taintSources = {workload.exponentRange, workload.resultRange};
+    ProveOptions prove;
+    prove.keyLoopIterations = workload.expBits;
+    const LeakProof proof =
+        proveLeaks(workload.program, options, model, prove);
+
+    std::printf("static model: %zu leak site(s), %.1f bits/run "
+                "undefended, %.1f bits/run defended (%s)\n",
+                proof.sites.size(), proof.totalBits,
+                proof.residualTotalBits,
+                proof.allClosed() ? "all closed" : "NOT closed");
+    benchStat("static_leak.sites", static_cast<double>(proof.sites.size()));
+    benchStat("static_leak.total_bits", proof.totalBits);
+    benchStat("static_leak.residual_bits_defended",
+              proof.residualTotalBits);
+    benchStat("static_leak.verdict",
+              proof.allClosed() ? "closed" : "open");
+}
+
 } // namespace
 
 int
@@ -77,6 +110,7 @@ main(int argc, char **argv)
                 "16-bit exponent (scaled, per-bit leak).");
 
     const RsaWorkload workload = makeVictim();
+    reportStaticBound(workload);
     std::printf("exponent (truth): ");
     for (unsigned i = workload.expBits; i-- > 0;)
         std::printf("%d",

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Ratchet gate for csd-lint findings.
+
+Diffs a csd-lint --json report against the committed baseline
+(verify/baseline_findings.json) and fails only on *new* findings, so
+the lint can gain checks (which may fire on old code) without a
+flag-day fixup: pre-existing findings stay visible in the baseline
+until someone fixes them, but nothing new may be introduced.
+
+Usage:
+  check_lint_baseline.py REPORT.json BASELINE.json
+  check_lint_baseline.py REPORT.json BASELINE.json --update-baseline
+
+A finding's identity is (check, pc, symbol) — the message is excluded
+so rewording a diagnostic does not churn the baseline. Exit status: 0
+when no new findings (resolved ones are reported as a hint to
+--update-baseline), 1 on new findings, 2 on usage/schema errors.
+"""
+
+import argparse
+import json
+import sys
+
+
+def finding_key(finding):
+    return (finding.get("check", ""), finding.get("pc", -1),
+            finding.get("symbol", ""))
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"check_lint_baseline: cannot read {path}: {err}",
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="fail when a csd-lint report has findings "
+                    "missing from the committed baseline")
+    parser.add_argument("report", help="csd-lint --json output")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from the report")
+    args = parser.parse_args()
+
+    report = load(args.report)
+    schema = report.get("schema_version")
+    findings = report.get("findings")
+    if schema is None or findings is None:
+        print("check_lint_baseline: report is missing schema_version/"
+              "findings (old csd-lint?)", file=sys.stderr)
+        sys.exit(2)
+
+    if args.update_baseline:
+        baseline = {
+            "schema_version": schema,
+            "findings": sorted(
+                ({"check": f.get("check", ""), "pc": f.get("pc", -1),
+                  "symbol": f.get("symbol", ""),
+                  "severity": f.get("severity", ""),
+                  "message": f.get("message", "")} for f in findings),
+                key=finding_key),
+        }
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle, indent=2)
+            handle.write("\n")
+        print(f"check_lint_baseline: wrote {len(findings)} finding(s) "
+              f"to {args.baseline}")
+        return 0
+
+    baseline = load(args.baseline)
+    base_schema = baseline.get("schema_version")
+    if base_schema != schema:
+        print(f"check_lint_baseline: schema mismatch (report "
+              f"{schema}, baseline {base_schema}); re-run with "
+              f"--update-baseline after auditing the diff",
+              file=sys.stderr)
+        sys.exit(2)
+
+    base_keys = {finding_key(f) for f in baseline.get("findings", [])}
+    new = [f for f in findings if finding_key(f) not in base_keys]
+    current_keys = {finding_key(f) for f in findings}
+    resolved = [f for f in baseline.get("findings", [])
+                if finding_key(f) not in current_keys]
+
+    for finding in resolved:
+        print(f"check_lint_baseline: resolved since baseline: "
+              f"{finding['check']} at pc={finding['pc']} "
+              f"<{finding['symbol']}> (--update-baseline to ratchet)")
+
+    if new:
+        for finding in new:
+            print(f"check_lint_baseline: NEW finding: "
+                  f"[{finding.get('severity', '?')}] "
+                  f"{finding.get('check', '?')} at "
+                  f"pc={finding.get('pc')} <{finding.get('symbol', '')}>"
+                  f": {finding.get('message', '')}", file=sys.stderr)
+        print(f"check_lint_baseline: {len(new)} new finding(s) not in "
+              f"{args.baseline}; fix them or --update-baseline after "
+              f"review", file=sys.stderr)
+        return 1
+
+    print(f"check_lint_baseline: clean ({len(findings)} finding(s), "
+          f"all baselined; {len(resolved)} resolved)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

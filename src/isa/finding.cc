@@ -1,5 +1,8 @@
-#include "verify/finding.hh"
+#include "isa/finding.hh"
 
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
 #include <sstream>
 
 namespace csd
@@ -109,11 +112,8 @@ VerifyReport::text() const
     return os.str();
 }
 
-namespace
-{
-
 void
-jsonEscape(std::ostringstream &os, const std::string &str)
+jsonEscape(std::ostream &os, const std::string &str)
 {
     os << '"';
     for (char c : str) {
@@ -135,31 +135,48 @@ jsonEscape(std::ostringstream &os, const std::string &str)
     os << '"';
 }
 
-} // namespace
-
 std::string
-VerifyReport::json() const
+VerifyReport::json(const std::string &extra_members) const
 {
+    // Sort a view by (pc, check id, message) so the report is
+    // byte-stable regardless of the order the passes discovered the
+    // findings in (pc-less findings sort last via invalidAddr).
+    std::vector<const Finding *> ordered;
+    ordered.reserve(findings_.size());
+    for (const Finding &finding : findings_)
+        ordered.push_back(&finding);
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const Finding *a, const Finding *b) {
+                         if (a->pc != b->pc)
+                             return a->pc < b->pc;
+                         if (a->checkId != b->checkId)
+                             return a->checkId < b->checkId;
+                         return a->message < b->message;
+                     });
+
     std::ostringstream os;
-    os << "{\n  \"errors\": " << errors_
-       << ",\n  \"warnings\": " << warnings_
-       << ",\n  \"findings\": [";
+    os << "{\n  \"schema_version\": " << findingsSchemaVersion
+       << ",\n  \"errors\": " << errors_
+       << ",\n  \"warnings\": " << warnings_;
+    if (!extra_members.empty())
+        os << ",\n  " << extra_members;
+    os << ",\n  \"findings\": [";
     bool first = true;
-    for (const Finding &finding : findings_) {
+    for (const Finding *finding : ordered) {
         os << (first ? "\n" : ",\n") << "    {\"check\": ";
-        jsonEscape(os, finding.checkId);
-        os << ", \"severity\": \"" << severityName(finding.severity)
+        jsonEscape(os, finding->checkId);
+        os << ", \"severity\": \"" << severityName(finding->severity)
            << "\", \"pc\": ";
-        if (finding.pc == invalidAddr)
+        if (finding->pc == invalidAddr)
             os << "null";
         else
-            os << finding.pc;
+            os << finding->pc;
         os << ", \"symbol\": ";
-        jsonEscape(os, finding.symbol);
+        jsonEscape(os, finding->symbol);
         os << ", \"location\": ";
-        jsonEscape(os, finding.location());
+        jsonEscape(os, finding->location());
         os << ", \"message\": ";
-        jsonEscape(os, finding.message);
+        jsonEscape(os, finding->message);
         os << "}";
         first = false;
     }

@@ -1,9 +1,11 @@
 #include "isa/program.hh"
 
 #include <cstdlib>
+#include <sstream>
 
 #include "common/bitutils.hh"
 #include "common/logging.hh"
+#include "isa/finding.hh"
 
 namespace csd
 {
@@ -30,6 +32,23 @@ bool
 Program::hasSymbol(const std::string &name) const
 {
     return symbols_.count(name) != 0;
+}
+
+std::string
+innermostSymbol(const Program &prog, Addr pc)
+{
+    // Innermost = smallest covering range (symbols may nest).
+    const std::string *best = nullptr;
+    Addr best_size = 0;
+    for (const auto &[name, range] : prog.symbols()) {
+        if (!range.valid() || !range.contains(pc))
+            continue;
+        if (!best || range.size() < best_size) {
+            best = &name;
+            best_size = range.size();
+        }
+    }
+    return best ? *best : std::string();
 }
 
 AddrRange
@@ -516,19 +535,33 @@ ProgramBuilder::verifyStructure(const Program &prog) const
     if (!verify_ || !envEnabled || prog.code_.empty())
         return;
 
+    // Unified with the csd-verify diagnostic path: structural errors
+    // are reported as verify::Finding records carrying the innermost
+    // enclosing symbol, then escalated to a fatal error (a program
+    // that fails them would make the simulator wander into undefined
+    // fetch behavior).
+    VerifyReport report;
     for (const MacroOp &op : prog.code_) {
         if (!isDirectBranch(op.opcode) && !isCall(op.opcode))
             continue;
         if (!prog.at(op.target)) {
-            csd_fatal("ProgramBuilder::build: ", disassemble(op),
-                      " at pc 0x", std::hex, op.pc,
-                      " targets an address where no instruction starts");
+            report.add("cfg.dangling-target", Severity::Error, op.pc,
+                       innermostSymbol(prog, op.pc),
+                       disassemble(op) +
+                           " targets an address where no instruction "
+                           "starts");
         }
     }
     if (!prog.at(prog.entry_)) {
-        csd_fatal("ProgramBuilder::build: entry pc 0x", std::hex,
-                  prog.entry_, " does not start an instruction");
+        std::ostringstream entry_pc;
+        entry_pc << "0x" << std::hex << prog.entry_;
+        report.add("cfg.bad-entry", Severity::Error, prog.entry_,
+                   innermostSymbol(prog, prog.entry_),
+                   "entry PC " + entry_pc.str() +
+                       " does not start an instruction");
     }
+    if (report.hasErrors())
+        csd_fatal("ProgramBuilder::build:\n", report.text());
 }
 
 } // namespace csd

@@ -95,6 +95,13 @@ class Program
     std::map<std::string, AddrRange> symbols_;
 };
 
+/**
+ * Innermost (smallest covering) symbol containing @p pc, or "" if no
+ * symbol covers it. Shared provenance helper for build-time structural
+ * findings and the csd-verify passes.
+ */
+std::string innermostSymbol(const Program &prog, Addr pc);
+
 /** Convenience constructors for memory operands. */
 MemOperand memAt(Gpr base, std::int64_t disp = 0,
                  MemSize size = MemSize::B8);

@@ -1,5 +1,7 @@
 #include "sec/rsa_attack.hh"
 
+#include <cstdint>
+
 #include "sec/attacker.hh"
 
 namespace csd
@@ -47,7 +49,7 @@ runRsaAttack(Victim &victim, const RsaWorkload &workload,
     // Parse: an episode starts when a line goes hot after being cold.
     // Each square episode is one bit; the bit is 1 iff a multiply
     // episode occurs before the next square episode.
-    enum class Event { Square, Multiply };
+    enum class Event : std::uint8_t { Square, Multiply };
     std::vector<Event> events;
     bool prev_square = false, prev_multiply = false;
     for (const auto &[sq, mul] : result.timeline) {

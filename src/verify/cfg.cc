@@ -23,18 +23,7 @@ hexPc(Addr pc)
 std::string
 Cfg::symbolAt(Addr pc) const
 {
-    // Innermost = smallest covering range.
-    const std::string *best = nullptr;
-    Addr best_size = 0;
-    for (const auto &[name, range] : prog_->symbols()) {
-        if (!range.valid() || !range.contains(pc))
-            continue;
-        if (!best || range.size() < best_size) {
-            best = &name;
-            best_size = range.size();
-        }
-    }
-    return best ? *best : std::string();
+    return innermostSymbol(*prog_, pc);
 }
 
 std::size_t

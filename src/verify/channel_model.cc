@@ -1,0 +1,132 @@
+#include "verify/channel_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "memory/cache.hh"
+
+namespace csd
+{
+
+const char *
+channelName(Channel channel)
+{
+    switch (channel) {
+      case Channel::L1IFetch:  return "l1i-fetch";
+      case Channel::L1DAccess: return "l1d-access";
+    }
+    return "unknown";
+}
+
+ChannelGeometry
+ChannelGeometry::fromSimulator(const MemHierarchyParams &mem,
+                               const FrontEndParams &fe)
+{
+    ChannelGeometry geometry;
+    geometry.blockBytes = cacheBlockSize;
+    // Instantiate the real cache model so the set counts (and their
+    // divisibility/power-of-two invariants) are the simulator's own.
+    const Cache l1i(mem.l1i);
+    const Cache l1d(mem.l1d);
+    geometry.l1iSets = l1i.numSets();
+    geometry.l1iAssoc = l1i.assoc();
+    geometry.l1dSets = l1d.numSets();
+    geometry.l1dAssoc = l1d.assoc();
+    geometry.uopCacheSets = fe.uopCacheSets;
+    geometry.uopCacheWindowBytes = fe.uopCacheWindowBytes;
+    return geometry;
+}
+
+unsigned
+ChannelGeometry::setIndexOf(Channel channel, Addr addr) const
+{
+    // Same computation as Cache::setIndex (block number modulo the
+    // power-of-two set count).
+    const unsigned sets = numSets(channel);
+    return static_cast<unsigned>(blockNumber(addr)) & (sets - 1);
+}
+
+unsigned
+ChannelGeometry::uopSetOf(Addr pc) const
+{
+    // Same computation as UopCache::setIndex on windowOf(pc).
+    if (uopCacheSets == 0 || uopCacheWindowBytes == 0)
+        return 0;
+    return static_cast<unsigned>(pc / uopCacheWindowBytes) &
+           (uopCacheSets - 1);
+}
+
+double
+ChannelFootprint::lineBits() const
+{
+    return lines.size() <= 1 ? 0.0
+                             : std::log2(static_cast<double>(lines.size()));
+}
+
+double
+ChannelFootprint::setBits() const
+{
+    return sets.size() <= 1 ? 0.0
+                            : std::log2(static_cast<double>(sets.size()));
+}
+
+namespace
+{
+
+void
+finalize(ChannelFootprint &footprint, const ChannelGeometry &geometry)
+{
+    std::sort(footprint.lines.begin(), footprint.lines.end());
+    footprint.lines.erase(
+        std::unique(footprint.lines.begin(), footprint.lines.end()),
+        footprint.lines.end());
+
+    footprint.sets.clear();
+    footprint.uopSets.clear();
+    for (Addr line : footprint.lines) {
+        footprint.sets.push_back(
+            geometry.setIndexOf(footprint.channel, line));
+        if (footprint.channel == Channel::L1IFetch)
+            footprint.uopSets.push_back(geometry.uopSetOf(line));
+    }
+    std::sort(footprint.sets.begin(), footprint.sets.end());
+    footprint.sets.erase(
+        std::unique(footprint.sets.begin(), footprint.sets.end()),
+        footprint.sets.end());
+    std::sort(footprint.uopSets.begin(), footprint.uopSets.end());
+    footprint.uopSets.erase(
+        std::unique(footprint.uopSets.begin(), footprint.uopSets.end()),
+        footprint.uopSets.end());
+}
+
+} // namespace
+
+ChannelFootprint
+footprintOfRange(Channel channel, const AddrRange &range,
+                 const ChannelGeometry &geometry)
+{
+    ChannelFootprint footprint;
+    footprint.channel = channel;
+    if (range.valid()) {
+        for (Addr line = blockAlign(range.start); line < range.end;
+             line += geometry.blockBytes)
+            footprint.lines.push_back(line);
+    }
+    finalize(footprint, geometry);
+    return footprint;
+}
+
+ChannelFootprint
+footprintOfLines(Channel channel, const std::vector<Addr> &addrs,
+                 const ChannelGeometry &geometry)
+{
+    ChannelFootprint footprint;
+    footprint.channel = channel;
+    footprint.lines.reserve(addrs.size());
+    for (Addr addr : addrs)
+        footprint.lines.push_back(blockAlign(addr));
+    finalize(footprint, geometry);
+    return footprint;
+}
+
+} // namespace csd

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Static microarchitectural channel model (see DESIGN.md
+ * "Verification layer").
+ *
+ * Maps an address footprint onto the concrete hardware coordinates an
+ * attacker can observe: L1I or L1D cache lines and set indices, plus
+ * micro-op-cache set indices for instruction-side footprints. The
+ * geometry is taken from the same parameter structs the simulator is
+ * built from (memory/hierarchy.hh, decode/params.hh) and resolved
+ * through the real Cache set-index computation — not re-derived
+ * constants — so the static model and the dynamic PRIME+PROBE /
+ * FLUSH+RELOAD harnesses name the same sets by construction.
+ */
+
+#ifndef CSD_VERIFY_CHANNEL_MODEL_HH
+#define CSD_VERIFY_CHANNEL_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/addr_range.hh"
+#include "common/types.hh"
+#include "decode/params.hh"
+#include "memory/hierarchy.hh"
+
+namespace csd
+{
+
+/** Which hardware structure carries the observation. */
+enum class Channel : std::uint8_t
+{
+    L1IFetch,   //!< key-dependent fetch (I-cache lines/sets)
+    L1DAccess,  //!< key-dependent data access (D-cache lines/sets)
+};
+
+/** Printable channel name ("l1i-fetch" / "l1d-access"). */
+const char *channelName(Channel channel);
+
+/** Cache/uop-cache geometry used to resolve footprints. */
+struct ChannelGeometry
+{
+    unsigned blockBytes = cacheBlockSize;
+    unsigned l1iSets = 0;
+    unsigned l1iAssoc = 0;
+    unsigned l1dSets = 0;
+    unsigned l1dAssoc = 0;
+    unsigned uopCacheSets = 0;
+    unsigned uopCacheWindowBytes = 0;
+
+    /**
+     * Resolve the geometry from the simulator's own parameter structs
+     * (defaults = the paper's Table I configuration). Set counts come
+     * from instantiating the real Cache model, so any change to its
+     * indexing math is picked up here automatically.
+     */
+    static ChannelGeometry fromSimulator(const MemHierarchyParams &mem = {},
+                                         const FrontEndParams &fe = {});
+
+    /** Number of sets of @p channel's L1 structure. */
+    unsigned numSets(Channel channel) const
+    {
+        return channel == Channel::L1IFetch ? l1iSets : l1dSets;
+    }
+
+    /** L1 set index of @p addr in @p channel's structure. */
+    unsigned setIndexOf(Channel channel, Addr addr) const;
+
+    /** Micro-op-cache set index of the window containing @p pc. */
+    unsigned uopSetOf(Addr pc) const;
+};
+
+/**
+ * The hardware coordinates one secret-dependent footprint resolves
+ * to: the candidate cache lines (block base addresses) the secret
+ * selects among, and the L1 / uop-cache sets they occupy.
+ */
+struct ChannelFootprint
+{
+    Channel channel = Channel::L1DAccess;
+    std::vector<Addr> lines;        //!< sorted unique block bases
+    std::vector<unsigned> sets;     //!< sorted unique L1 set indices
+    std::vector<unsigned> uopSets;  //!< I-side only: uop-cache sets
+
+    /** log2(#candidate lines): FLUSH+RELOAD bits per observation. */
+    double lineBits() const;
+
+    /** log2(#candidate sets): PRIME+PROBE bits per observation. */
+    double setBits() const;
+};
+
+/** Footprint of every block of @p range on @p channel. */
+ChannelFootprint footprintOfRange(Channel channel, const AddrRange &range,
+                                  const ChannelGeometry &geometry);
+
+/** Footprint of an explicit line list (already block-aligned or not). */
+ChannelFootprint footprintOfLines(Channel channel,
+                                  const std::vector<Addr> &addrs,
+                                  const ChannelGeometry &geometry);
+
+} // namespace csd
+
+#endif // CSD_VERIFY_CHANNEL_MODEL_HH

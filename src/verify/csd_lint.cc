@@ -10,8 +10,14 @@
  * back EMPTY is itself an error (leak.expected-miss), since it means
  * the taint configuration has a hole.
  *
- * Exit status: 0 iff no errors remain. --json FILE additionally emits
- * the machine-readable findings report for CI.
+ * --channels additionally runs the static side-channel prover
+ * (verify/leak_prover.hh) over every confirmed site: channel, cache
+ * sets, leakage bound, and the verdict under the victim's canonical
+ * CSD defense configuration (the same ranges the Fig. 7 benches
+ * program into the simulator).
+ *
+ * Exit status: 0 clean, 1 findings remain, 2 usage or internal error.
+ * --json FILE additionally emits the machine-readable report for CI.
  */
 
 #include <algorithm>
@@ -22,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "verify/leak_prover.hh"
 #include "verify/verify.hh"
 #include "workloads/aes.hh"
 #include "workloads/blowfish.hh"
@@ -37,60 +44,82 @@ namespace
 struct LintTarget
 {
     std::string name;
-    std::function<Program(VerifyOptions &)> build;
+    /** Builds the program, the lint options, and (for victims) the
+     *  canonical defense model + prover knobs for --channels. */
+    std::function<Program(VerifyOptions &, DefenseModel &, ProveOptions &)>
+        build;
 };
+
+constexpr unsigned rsaExponentBits = 24;
 
 std::vector<LintTarget>
 targets()
 {
     std::vector<LintTarget> list;
 
-    list.push_back({"rsa", [](VerifyOptions &opt) {
+    list.push_back({"rsa", [](VerifyOptions &opt, DefenseModel &defense,
+                              ProveOptions &prove) {
         const RsaWorkload w = RsaWorkload::build(
             {0x12345678u, 0x9abcdef0u}, {0xfffffff1u, 0xdeadbeefu},
-            0xb1e55ed, 24);
+            0xb1e55ed, rsaExponentBits);
         opt.taintSources = {w.exponentRange};
         opt.expectLeak = true;
+        // Canonical Fig. 7b defense: decoy fetches over rsa_multiply,
+        // DIFT sources on the exponent and the running result.
+        defense.enabled = true;
+        defense.decoyIRange = w.multiplyRange;
+        defense.taintSources = {w.exponentRange, w.resultRange};
+        prove.keyLoopIterations = rsaExponentBits;
         return w.program;
     }});
 
-    list.push_back({"aes", [](VerifyOptions &opt) {
-        const AesWorkload w = AesWorkload::build(
-            {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7,
-             0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c});
-        opt.taintSources = {w.keyRange};
-        opt.expectLeak = true;
-        return w.program;
-    }});
+    const auto aesTarget = [](bool decrypt) {
+        return [decrypt](VerifyOptions &opt, DefenseModel &defense,
+                         ProveOptions &) {
+            const AesWorkload w = AesWorkload::build(
+                {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab,
+                 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}, decrypt);
+            opt.taintSources = {w.keyRange};
+            opt.expectLeak = true;
+            // Canonical Fig. 7a defense: decoy loads over the T-tables.
+            defense.enabled = true;
+            defense.decoyDRange = w.tTableRange;
+            defense.taintSources = {w.keyRange};
+            return w.program;
+        };
+    };
+    list.push_back({"aes", aesTarget(/*decrypt=*/false)});
+    list.push_back({"aes-dec", aesTarget(/*decrypt=*/true)});
 
-    list.push_back({"aes-dec", [](VerifyOptions &opt) {
-        const AesWorkload w = AesWorkload::build(
-            {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7,
-             0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}, /*decrypt=*/true);
-        opt.taintSources = {w.keyRange};
-        opt.expectLeak = true;
-        return w.program;
-    }});
-
-    list.push_back({"blowfish", [](VerifyOptions &opt) {
+    list.push_back({"blowfish", [](VerifyOptions &opt,
+                                   DefenseModel &defense, ProveOptions &) {
         const BlowfishWorkload w = BlowfishWorkload::build(
             {0x13, 0x37, 0xc0, 0xde, 0xfa, 0xce, 0xb0, 0x0c});
         opt.taintSources = {w.keyRange};
         opt.expectLeak = true;
+        defense.enabled = true;
+        defense.decoyDRange = w.sboxRange;
+        defense.taintSources = {w.keyRange};
         return w.program;
     }});
 
-    list.push_back({"rijndael", [](VerifyOptions &opt) {
+    list.push_back({"rijndael", [](VerifyOptions &opt,
+                                   DefenseModel &defense, ProveOptions &) {
         const RijndaelWorkload w = RijndaelWorkload::build(
             {0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09,
              0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f});
         opt.taintSources = {w.keyRange};
         opt.expectLeak = true;
+        defense.enabled = true;
+        defense.decoyDRange = w.tTableRange;
+        defense.taintSources = {w.keyRange};
         return w.program;
     }});
 
     for (const SpecPreset &preset : specPresets()) {
-        list.push_back({"spec-" + preset.name, [preset](VerifyOptions &) {
+        list.push_back({"spec-" + preset.name,
+                        [preset](VerifyOptions &, DefenseModel &,
+                                 ProveOptions &) {
             return SpecWorkload::build(preset, /*phase_pairs=*/2).program;
         }});
     }
@@ -98,18 +127,20 @@ targets()
     return list;
 }
 
-int
-usage(const char *argv0)
+void
+usage(const char *argv0, std::FILE *out)
 {
-    std::fprintf(stderr,
-                 "usage: %s [--json FILE] [--tables] [--list] "
-                 "[TARGET...|all]\n"
+    std::fprintf(out,
+                 "usage: %s [--json FILE] [--channels] [--tables] "
+                 "[--list] [TARGET...|all]\n"
                  "  --json FILE  write the findings report as JSON\n"
+                 "  --channels   prove channel/leakage bounds per site\n"
                  "  --tables     also audit translations + uop tables\n"
                  "  --list       print the known targets and exit\n"
-                 "Default: lint every target and audit the tables.\n",
+                 "Default: lint every target and audit the tables.\n"
+                 "Exit status: 0 clean, 1 findings, 2 usage/internal "
+                 "error.\n",
                  argv0);
-    return 2;
 }
 
 } // namespace
@@ -123,6 +154,7 @@ main(int argc, char **argv)
     std::string jsonPath;
     bool tablesOnly = false;
     bool listOnly = false;
+    bool channels = false;
     std::vector<std::string> wanted;
 
     for (int i = 1; i < argc; ++i) {
@@ -131,14 +163,18 @@ main(int argc, char **argv)
             jsonPath = argv[++i];
         } else if (arg == "--tables") {
             tablesOnly = true;
+        } else if (arg == "--channels") {
+            channels = true;
         } else if (arg == "--list") {
             listOnly = true;
         } else if (arg == "--help" || arg == "-h") {
-            return usage(argv[0]);
+            usage(argv[0], stdout);
+            return 0;
         } else if (arg == "all") {
             wanted.clear();
         } else if (!arg.empty() && arg[0] == '-') {
-            return usage(argv[0]);
+            usage(argv[0], stderr);
+            return 2;
         } else {
             wanted.push_back(arg);
         }
@@ -151,8 +187,21 @@ main(int argc, char **argv)
         return 0;
     }
 
+    // Reject unknown target names up front (usage error, not "clean").
+    for (const std::string &name : wanted) {
+        const bool known =
+            std::any_of(all.begin(), all.end(),
+                        [&](const LintTarget &t) { return t.name == name; });
+        if (!known) {
+            std::fprintf(stderr, "csd-lint: unknown target '%s' "
+                         "(--list shows the known ones)\n", name.c_str());
+            return 2;
+        }
+    }
+
     VerifyReport combined;
     std::size_t confirmedLeaks = 0;
+    std::string channelsJson;
 
     if (!tablesOnly) {
         for (const LintTarget &target : all) {
@@ -162,7 +211,9 @@ main(int argc, char **argv)
                 continue;
 
             VerifyOptions options;
-            const Program program = target.build(options);
+            DefenseModel defense;
+            ProveOptions prove;
+            const Program program = target.build(options, defense, prove);
             VerifyReport report = verifyProgram(program, options);
 
             if (options.expectLeak) {
@@ -183,6 +234,25 @@ main(int argc, char **argv)
                 std::printf("%s", report.text().c_str());
             }
             combined.merge(std::move(report));
+
+            if (channels && options.expectLeak) {
+                const LeakProof proof =
+                    proveLeaks(program, options, defense, prove);
+                std::printf("%s", proof.text().c_str());
+                if (!proof.allClosed()) {
+                    Finding finding;
+                    finding.checkId = "leak.unclosed-channel";
+                    finding.severity = Severity::Error;
+                    finding.message =
+                        target.name + ": " +
+                        std::to_string(proof.openSites) + " open / " +
+                        std::to_string(proof.narrowedSites) +
+                        " narrowed site(s) under the canonical defense";
+                    combined.add(std::move(finding));
+                }
+                channelsJson += (channelsJson.empty() ? "" : ", ") +
+                                proof.json(target.name);
+            }
         }
     }
 
@@ -207,7 +277,15 @@ main(int argc, char **argv)
                          jsonPath.c_str());
             return 2;
         }
-        out << combined.json() << "\n";
+        std::string extra;
+        if (channels)
+            extra = "\"channels\": [" + channelsJson + "]";
+        out << combined.json(extra) << "\n";
+        if (!out) {
+            std::fprintf(stderr, "csd-lint: write to %s failed\n",
+                         jsonPath.c_str());
+            return 2;
+        }
     }
 
     std::printf("csd-lint: %zu error(s), %zu warning(s), %zu confirmed "

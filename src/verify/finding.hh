@@ -1,105 +1,14 @@
 /**
  * @file
- * Findings produced by the static-analysis passes (verify/).
- *
- * Every check emits Finding records tagged with a stable check id
- * (e.g. "df.use-before-def"), a severity, and Program provenance: the
- * PC of the offending instruction plus the enclosing symbol, printed
- * in a file:line-like "0x400010 <rsa_multiply+0x10>" form so findings
- * are actionable against the ProgramBuilder source.
+ * Forwarding header: Finding/VerifyReport moved down to isa/finding.hh
+ * so ProgramBuilder::build()'s structural verify reports through the
+ * same symbol-attributed diagnostic type as the csd-verify passes.
+ * Existing verify-layer includes keep working through this header.
  */
 
 #ifndef CSD_VERIFY_FINDING_HH
 #define CSD_VERIFY_FINDING_HH
 
-#include <cstdint>
-#include <set>
-#include <string>
-#include <vector>
-
-#include "common/types.hh"
-
-namespace csd
-{
-
-/** How bad a finding is. */
-enum class Severity : std::uint8_t
-{
-    Error,    //!< the program/table is wrong; gates fail
-    Warning,  //!< suspicious but not certainly wrong
-    Note,     //!< informational (e.g. confirmed expected leak sites)
-};
-
-/** Printable severity name ("error"/"warning"/"note"). */
-const char *severityName(Severity severity);
-
-/** One diagnostic from a verification pass. */
-struct Finding
-{
-    std::string checkId;        //!< stable id, e.g. "cfg.dangling-target"
-    Severity severity = Severity::Error;
-    Addr pc = invalidAddr;      //!< offending PC; invalidAddr = global
-    std::string symbol;         //!< enclosing symbol name, may be empty
-    std::string message;
-
-    /** "0x400010 <rsa_multiply+0x10>" (or "<program>" if pc-less). */
-    std::string location() const;
-
-    /** Full one-line rendering: location, severity, id, message. */
-    std::string toString() const;
-};
-
-/** Collected findings of one or more passes. */
-class VerifyReport
-{
-  public:
-    /** Drop findings with these check ids (lint suppressions). */
-    void suppress(const std::set<std::string> &ids) { suppressed_ = ids; }
-
-    /** Record a finding unless its check id is suppressed. */
-    void add(Finding finding);
-
-    /** Convenience add. */
-    void add(const std::string &check_id, Severity severity, Addr pc,
-             const std::string &symbol, const std::string &message);
-
-    const std::vector<Finding> &findings() const { return findings_; }
-
-    std::size_t errorCount() const { return errors_; }
-    std::size_t warningCount() const { return warnings_; }
-    bool hasErrors() const { return errors_ > 0; }
-    bool empty() const { return findings_.empty(); }
-
-    /** True iff any finding's check id starts with @p prefix. */
-    bool hasCheck(const std::string &prefix) const;
-
-    /** Move all findings of @p other into this report. */
-    void merge(VerifyReport other);
-
-    /**
-     * Remove all findings whose check id starts with @p prefix and
-     * return how many were removed (csd-lint uses this to consume
-     * expected leak-lint hits on known-leaky victims).
-     */
-    std::size_t consume(const std::string &prefix);
-
-    /** Human-readable rendering, one finding per line. */
-    std::string text() const;
-
-    /**
-     * Machine-readable JSON:
-     * {"errors":N,"warnings":N,"findings":[{check,severity,pc,symbol,
-     * message,location}, ...]}.
-     */
-    std::string json() const;
-
-  private:
-    std::vector<Finding> findings_;
-    std::set<std::string> suppressed_;
-    std::size_t errors_ = 0;
-    std::size_t warnings_ = 0;
-};
-
-} // namespace csd
+#include "isa/finding.hh"
 
 #endif // CSD_VERIFY_FINDING_HH

@@ -459,9 +459,10 @@ class Dataflow
 {
   public:
     Dataflow(const Cfg &cfg, const VerifyOptions &options,
-             VerifyReport &report)
+             VerifyReport &report, std::vector<LeakSite> *leak_sites)
         : cfg_(cfg), options_(options), report_(report),
-          code_(cfg.program().code()), regions_(cfg.program(), options)
+          leakSites_(leak_sites), code_(cfg.program().code()),
+          regions_(cfg.program(), options)
     {
     }
 
@@ -494,13 +495,27 @@ class Dataflow
     bool memTainted(const FlowState &state, Addr addr,
                     unsigned size) const;
 
+    void recordLeak(LeakSite site);
+
     const Cfg &cfg_;
     const VerifyOptions &options_;
     VerifyReport &report_;
+    std::vector<LeakSite> *leakSites_;
     const std::vector<MacroOp> &code_;
     Regions regions_;
     std::set<std::pair<Addr, std::string>> reported_;
+    std::set<std::pair<Addr, LeakKind>> recordedSites_;
 };
+
+void
+Dataflow::recordLeak(LeakSite site)
+{
+    if (!leakSites_)
+        return;
+    if (!recordedSites_.emplace(site.pc, site.kind).second)
+        return;
+    leakSites_->push_back(std::move(site));
+}
 
 void
 Dataflow::finding(const std::string &check, Severity severity, Addr pc,
@@ -583,6 +598,13 @@ Dataflow::readFlags(const MacroOp &op, const FlowState &state, bool emit,
         finding("leak.tainted-branch", Severity::Error, op.pc,
                 "conditional branch depends on secret-tainted flags "
                 "(key-dependent control flow)");
+        LeakSite site;
+        site.kind = LeakKind::TaintedBranch;
+        site.pc = op.pc;
+        site.symbol = cfg_.symbolAt(op.pc);
+        site.instrIndex = static_cast<std::size_t>(&op - code_.data());
+        site.targetPc = op.target;
+        recordLeak(std::move(site));
     }
 }
 
@@ -625,6 +647,16 @@ Dataflow::accessMem(const MacroOp &op, const MemOperand &mem,
                 std::string(is_store ? "store" : "load") +
                     " address depends on a secret-tainted register "
                     "(key-dependent data access)");
+        LeakSite site;
+        site.kind = LeakKind::TaintedIndex;
+        site.pc = op.pc;
+        site.symbol = cfg_.symbolAt(op.pc);
+        site.instrIndex = static_cast<std::size_t>(&op - code_.data());
+        site.isStore = is_store;
+        site.baseKnown = ref.resolved || ref.baseKnown;
+        site.baseAddr = ref.addr;
+        site.accessBytes = size;
+        recordLeak(std::move(site));
     }
 
     if (emit && options_.checkMemRegions) {
@@ -893,6 +925,13 @@ Dataflow::transfer(const MacroOp &op, FlowState &state, bool emit)
             !options_.taintSources.empty()) {
             finding("leak.tainted-branch", Severity::Error, op.pc,
                     "indirect jump through a secret-tainted register");
+            LeakSite site;
+            site.kind = LeakKind::TaintedIndirect;
+            site.pc = op.pc;
+            site.symbol = cfg_.symbolAt(op.pc);
+            site.instrIndex =
+                static_cast<std::size_t>(&op - code_.data());
+            recordLeak(std::move(site));
         }
         return;
       }
@@ -1031,11 +1070,22 @@ Dataflow::run()
 
 } // namespace
 
+const char *
+leakKindName(LeakKind kind)
+{
+    switch (kind) {
+      case LeakKind::TaintedBranch:   return "tainted-branch";
+      case LeakKind::TaintedIndirect: return "tainted-indirect";
+      case LeakKind::TaintedIndex:    return "tainted-index";
+    }
+    return "unknown";
+}
+
 void
 runDataflow(const Cfg &cfg, const VerifyOptions &options,
-            VerifyReport &report)
+            VerifyReport &report, std::vector<LeakSite> *leak_sites)
 {
-    Dataflow flow(cfg, options, report);
+    Dataflow flow(cfg, options, report, leak_sites);
     flow.run();
 }
 

@@ -21,12 +21,49 @@
 #ifndef CSD_VERIFY_PROGRAM_VERIFIER_HH
 #define CSD_VERIFY_PROGRAM_VERIFIER_HH
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "verify/cfg.hh"
 #include "verify/finding.hh"
 #include "verify/options.hh"
 
 namespace csd
 {
+
+/** How a leak site leaks (mirrors the leak.* check ids). */
+enum class LeakKind : std::uint8_t
+{
+    TaintedBranch,    //!< leak.tainted-branch on a conditional branch
+    TaintedIndirect,  //!< leak.tainted-branch on an indirect jump
+    TaintedIndex,     //!< leak.tainted-index on a load/store address
+};
+
+/** Printable kind name ("tainted-branch"/...). */
+const char *leakKindName(LeakKind kind);
+
+/**
+ * One confirmed leak site, with the dataflow facts the channel model
+ * needs to resolve its secret-dependent footprint into concrete
+ * hardware coordinates (verify/channel_model.hh).
+ */
+struct LeakSite
+{
+    LeakKind kind = LeakKind::TaintedBranch;
+    Addr pc = invalidAddr;
+    std::string symbol;
+    std::size_t instrIndex = 0;  //!< index into Program::code()
+
+    // TaintedIndex facts
+    bool isStore = false;
+    bool baseKnown = false;   //!< base+disp statically resolved
+    Addr baseAddr = 0;        //!< resolved base (table start)
+    unsigned accessBytes = 0;
+
+    // TaintedBranch facts
+    Addr targetPc = invalidAddr;  //!< direct branch target
+};
 
 /**
  * Walk execution paths from the entry: stack-balance checks,
@@ -38,10 +75,13 @@ void runPathWalk(Cfg &cfg, const VerifyOptions &options,
 /**
  * Iterative dataflow over the (path-walked) CFG: use-before-def,
  * memory-region checks, and the leak lint. Expects runPathWalk() to
- * have marked reachability and added return edges.
+ * have marked reachability and added return edges. When @p leak_sites
+ * is non-null, every leak.* finding also records a LeakSite with the
+ * dataflow facts the channel model consumes.
  */
 void runDataflow(const Cfg &cfg, const VerifyOptions &options,
-                 VerifyReport &report);
+                 VerifyReport &report,
+                 std::vector<LeakSite> *leak_sites = nullptr);
 
 } // namespace csd
 

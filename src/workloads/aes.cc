@@ -473,8 +473,11 @@ AesWorkload::build(const std::array<std::uint8_t, 16> &key, bool decrypt)
     workload.program = b.build();
     workload.ptAddr = pt_addr;
     workload.ctAddr = ct_addr;
-    workload.tTableRange =
-        AddrRange(table_addr[0], table_addr[3] + 1024);
+    // Decryption's last round indexes Td4; it must be inside the
+    // decoy-covered range or those 16 accesses stay observable (the
+    // static prover flags exactly this as an open channel).
+    workload.tTableRange = AddrRange(
+        table_addr[0], (decrypt ? last_table : table_addr[3]) + 1024);
     workload.keyRange = AddrRange(rk_addr, rk_addr + 44 * 4);
     return workload;
 }

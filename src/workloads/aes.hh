@@ -57,7 +57,7 @@ struct AesWorkload
 
     Addr ptAddr = 0;          //!< 16-byte input block
     Addr ctAddr = 0;          //!< 16-byte output block
-    AddrRange tTableRange;    //!< Te0..Te3 (or Td0..Td3): 4 KiB
+    AddrRange tTableRange;    //!< Te0..Te3 (4 KiB) or Td0..Td4 (5 KiB)
     AddrRange keyRange;       //!< round keys (the DIFT taint source)
     bool decryptMode = false;
 

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "memory/cache.hh"
+#include "verify/channel_model.hh"
+
+namespace csd
+{
+namespace
+{
+
+TEST(ChannelGeometry, MatchesSimulatorParameters)
+{
+    const MemHierarchyParams mem;
+    const FrontEndParams fe;
+    const ChannelGeometry g = ChannelGeometry::fromSimulator(mem, fe);
+
+    const Cache l1i(mem.l1i);
+    const Cache l1d(mem.l1d);
+    EXPECT_EQ(g.blockBytes, cacheBlockSize);
+    EXPECT_EQ(g.l1iSets, l1i.numSets());
+    EXPECT_EQ(g.l1iAssoc, l1i.assoc());
+    EXPECT_EQ(g.l1dSets, l1d.numSets());
+    EXPECT_EQ(g.l1dAssoc, l1d.assoc());
+    EXPECT_EQ(g.uopCacheSets, fe.uopCacheSets);
+    EXPECT_EQ(g.uopCacheWindowBytes, fe.uopCacheWindowBytes);
+    EXPECT_EQ(g.numSets(Channel::L1IFetch), g.l1iSets);
+    EXPECT_EQ(g.numSets(Channel::L1DAccess), g.l1dSets);
+}
+
+TEST(ChannelGeometry, SetIndexMatchesCacheModel)
+{
+    // The whole point of the model: the static set index must be the
+    // simulator's own, for any address, not a re-derived constant.
+    const MemHierarchyParams mem;
+    const Cache l1i(mem.l1i);
+    const Cache l1d(mem.l1d);
+    const ChannelGeometry g = ChannelGeometry::fromSimulator();
+
+    for (Addr addr = 0x400000; addr < 0x420000; addr += 4093) {
+        EXPECT_EQ(g.setIndexOf(Channel::L1IFetch, addr),
+                  l1i.setIndex(addr)) << std::hex << addr;
+        EXPECT_EQ(g.setIndexOf(Channel::L1DAccess, addr),
+                  l1d.setIndex(addr)) << std::hex << addr;
+    }
+}
+
+TEST(ChannelGeometry, UopSetFollowsWindowing)
+{
+    const ChannelGeometry g = ChannelGeometry::fromSimulator();
+    // Two PCs in the same uop-cache window map to the same set; PCs
+    // one window apart map to adjacent sets (modulo the set count).
+    const Addr pc = 0x400000;
+    EXPECT_EQ(g.uopSetOf(pc), g.uopSetOf(pc + g.uopCacheWindowBytes - 1));
+    EXPECT_EQ((g.uopSetOf(pc) + 1) % g.uopCacheSets,
+              g.uopSetOf(pc + g.uopCacheWindowBytes));
+}
+
+TEST(ChannelFootprint, RangeResolvesToLinesAndSets)
+{
+    const ChannelGeometry g = ChannelGeometry::fromSimulator();
+    // A 1 KiB block-aligned table: 16 lines, 16 distinct sets (it is
+    // far smaller than one way of the cache), 4 bits at line grain.
+    const AddrRange table(0x500000, 0x500000 + 1024);
+    const ChannelFootprint fp =
+        footprintOfRange(Channel::L1DAccess, table, g);
+    EXPECT_EQ(fp.lines.size(), 16u);
+    EXPECT_EQ(fp.sets.size(), 16u);
+    EXPECT_DOUBLE_EQ(fp.lineBits(), 4.0);
+    EXPECT_DOUBLE_EQ(fp.setBits(), 4.0);
+    for (Addr line : fp.lines)
+        EXPECT_EQ(line % cacheBlockSize, 0u);
+}
+
+TEST(ChannelFootprint, LargeRangeAliasesAcrossSets)
+{
+    const ChannelGeometry g = ChannelGeometry::fromSimulator();
+    // A range larger than sets*block wraps: every set is a candidate,
+    // so PRIME+PROBE resolution saturates at log2(numSets) while line
+    // granularity keeps growing.
+    const std::uint64_t span =
+        2ull * g.l1dSets * g.blockBytes;
+    const ChannelFootprint fp = footprintOfRange(
+        Channel::L1DAccess, AddrRange(0x600000, 0x600000 + span), g);
+    EXPECT_EQ(fp.sets.size(), g.l1dSets);
+    EXPECT_EQ(fp.lines.size(), 2u * g.l1dSets);
+    EXPECT_GT(fp.lineBits(), fp.setBits());
+}
+
+TEST(ChannelFootprint, LinesDedupAndCarryUopSets)
+{
+    const ChannelGeometry g = ChannelGeometry::fromSimulator();
+    // Unaligned addresses in the same block collapse to one line; an
+    // I-side footprint also names micro-op-cache sets.
+    const ChannelFootprint fp = footprintOfLines(
+        Channel::L1IFetch, {0x400010, 0x400020, 0x400043}, g);
+    EXPECT_EQ(fp.lines.size(), 2u);
+    EXPECT_EQ(fp.lines[0], 0x400000u);
+    EXPECT_EQ(fp.lines[1], 0x400040u);
+    EXPECT_FALSE(fp.uopSets.empty());
+    EXPECT_DOUBLE_EQ(fp.lineBits(), 1.0);
+
+    // D-side footprints have no uop-cache component.
+    const ChannelFootprint dfp =
+        footprintOfLines(Channel::L1DAccess, {0x400010}, g);
+    EXPECT_TRUE(dfp.uopSets.empty());
+    EXPECT_DOUBLE_EQ(dfp.lineBits(), 0.0);
+}
+
+} // namespace
+} // namespace csd
