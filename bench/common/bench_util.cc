@@ -4,11 +4,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <utility>
 
 #include "bench/common/parallel.hh"
+#include "common/env.hh"
 #include "common/stats.hh"
+#include "obs/context.hh"
+#include "obs/manifest.hh"
 
 namespace csd::bench
 {
@@ -40,6 +44,9 @@ struct Sidecar
     std::string title;
     std::vector<SidecarTable> tables;
     std::vector<SidecarStat> stats;
+    /** Arguments that define the run's inputs (not --jobs/--json). */
+    std::vector<std::string> hashedArgs;
+    obs::Manifest manifest;
     bool atexitArmed = false;
     bool written = false;
 };
@@ -50,6 +57,19 @@ sidecar()
     static Sidecar s;
     return s;
 }
+
+/**
+ * Guards all sidecar mutation. Harnesses are asked to record results
+ * from the main thread in case order (for deterministic sidecars),
+ * but a stray benchStat() from a worker must corrupt nothing.
+ */
+std::mutex &
+sidecarMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
 
 void
 armSidecar(std::string path)
@@ -89,6 +109,7 @@ jsonCell(std::ostream &os, const std::string &cell)
 void
 benchInit(int argc, char **argv)
 {
+    std::lock_guard<std::mutex> lock(sidecarMutex());
     std::string path;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -97,11 +118,11 @@ benchInit(int argc, char **argv)
         else if (arg.rfind("--json=", 0) == 0)
             path = arg.substr(7);
         else if (arg == "--jobs" && i + 1 < argc)
-            benchSetJobs(static_cast<unsigned>(
-                std::strtoul(argv[++i], nullptr, 10)));
+            benchSetJobs(parseNonNegativeSetting("--jobs", argv[++i]));
         else if (arg.rfind("--jobs=", 0) == 0)
-            benchSetJobs(static_cast<unsigned>(
-                std::strtoul(arg.c_str() + 7, nullptr, 10)));
+            benchSetJobs(parseNonNegativeSetting("--jobs", arg.c_str() + 7));
+        else
+            sidecar().hashedArgs.push_back(arg);
     }
     if (path.empty()) {
         if (const char *env = std::getenv("CSD_BENCH_JSON"))
@@ -114,13 +135,16 @@ void
 benchHeader(const std::string &artifact, const std::string &title,
             const std::string &notes)
 {
-    Sidecar &s = sidecar();
-    s.artifact = artifact;
-    s.title = title;
-    // benchInit() may have been skipped; honor the environment anyway.
-    if (s.path.empty()) {
-        if (const char *env = std::getenv("CSD_BENCH_JSON"))
-            armSidecar(env);
+    {
+        std::lock_guard<std::mutex> lock(sidecarMutex());
+        Sidecar &s = sidecar();
+        s.artifact = artifact;
+        s.title = title;
+        // benchInit() may have been skipped; honor the environment anyway.
+        if (s.path.empty()) {
+            if (const char *env = std::getenv("CSD_BENCH_JSON"))
+                armSidecar(env);
+        }
     }
 
     std::printf("================================================================\n");
@@ -139,27 +163,49 @@ benchJsonEnabled()
 void
 benchStat(const std::string &key, double value)
 {
-    benchAssertSerialContext("benchStat");
     SidecarStat stat;
     stat.key = key;
     stat.numeric = true;
     stat.number = value;
+    std::lock_guard<std::mutex> lock(sidecarMutex());
     sidecar().stats.push_back(std::move(stat));
 }
 
 void
 benchStat(const std::string &key, const std::string &value)
 {
-    benchAssertSerialContext("benchStat");
     SidecarStat stat;
     stat.key = key;
     stat.text = value;
+    std::lock_guard<std::mutex> lock(sidecarMutex());
     sidecar().stats.push_back(std::move(stat));
+}
+
+void
+benchManifestNote(const std::string &key, const std::string &value)
+{
+    std::lock_guard<std::mutex> lock(sidecarMutex());
+    sidecar().manifest.note(key, value);
+}
+
+void
+benchManifestNote(const std::string &key, double value)
+{
+    std::lock_guard<std::mutex> lock(sidecarMutex());
+    sidecar().manifest.note(key, value);
+}
+
+void
+benchManifestNote(const std::string &key, std::uint64_t value)
+{
+    std::lock_guard<std::mutex> lock(sidecarMutex());
+    sidecar().manifest.note(key, value);
 }
 
 void
 benchWriteJson()
 {
+    std::lock_guard<std::mutex> lock(sidecarMutex());
     Sidecar &s = sidecar();
     if (s.path.empty() || s.written)
         return;
@@ -172,9 +218,28 @@ benchWriteJson()
         return;
     }
 
+    // Hash the run's *inputs*: what was benchmarked and under which
+    // knobs — never --jobs, output paths, or wall time — so a parallel
+    // run's sidecar hashes (and serializes) identically to a serial
+    // run's.
+    obs::ConfigHasher hasher;
+    hasher.add("artifact", s.artifact);
+    hasher.add("title", s.title);
+    for (const std::string &arg : s.hashedArgs)
+        hasher.add("arg", arg);
+    for (const char *name :
+         {"CSD_FLOW_CACHE", "CSD_STATS_DETAIL", "CSD_CPI_STACK"}) {
+        const char *env = std::getenv(name);
+        hasher.add(name, env ? std::string_view(env) : "<unset>");
+    }
+    for (const auto &[key, rendered] : s.manifest.extras)
+        hasher.add(key, rendered);
+    s.manifest.configHash = hasher.hex();
+
     os << "{\n  \"artifact\": \"" << jsonEscape(s.artifact)
-       << "\",\n  \"title\": \"" << jsonEscape(s.title)
-       << "\",\n  \"stats\": {";
+       << "\",\n  \"title\": \"" << jsonEscape(s.title) << "\",\n";
+    s.manifest.write(os, "  ", &ObservabilityContext::process().profiler());
+    os << ",\n  \"stats\": {";
     for (std::size_t i = 0; i < s.stats.size(); ++i) {
         const SidecarStat &stat = s.stats[i];
         os << (i ? ",\n    " : "\n    ") << "\"" << jsonEscape(stat.key)
@@ -227,7 +292,6 @@ Table::addRow(std::vector<std::string> cells)
 void
 Table::print() const
 {
-    benchAssertSerialContext("Table::print");
     std::vector<std::size_t> widths(headers_.size(), 0);
     for (std::size_t c = 0; c < headers_.size(); ++c)
         widths[c] = headers_[c].size();
@@ -258,6 +322,7 @@ Table::print() const
         print_row(row);
 
     // Every printed table lands in the sidecar, named by print order.
+    std::lock_guard<std::mutex> lock(sidecarMutex());
     Sidecar &s = sidecar();
     if (!s.path.empty()) {
         SidecarTable copy;

@@ -9,12 +9,18 @@
  * CSD_BENCH_JSON environment variable names a path, every printed
  * table plus any benchStat() key/values are written there as JSON at
  * process exit, so the perf trajectory of each figure harness can be
- * tracked by tooling instead of scraping stdout.
+ * tracked by tooling instead of scraping stdout. Every sidecar also
+ * carries a "manifest" member (obs/manifest.hh): config hash over the
+ * artifact, result-relevant arguments (--jobs/--json excluded, so
+ * parallel and serial runs hash identically), and environment, plus
+ * build/host provenance and wall-time phases. Diff two sidecars with
+ * the csd-report tool.
  */
 
 #ifndef CSD_BENCH_COMMON_BENCH_UTIL_HH
 #define CSD_BENCH_COMMON_BENCH_UTIL_HH
 
+#include <cstdint>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -61,9 +67,21 @@ class Table
     std::vector<std::vector<std::string>> rows_;
 };
 
-/** Record a key run statistic into the JSON sidecar. */
+/** Record a key run statistic into the JSON sidecar (thread safe). */
 void benchStat(const std::string &key, double value);
 void benchStat(const std::string &key, const std::string &value);
+
+/**
+ * Record a harness-specific provenance extra (seed, workload variant,
+ * sweep axis) into the sidecar's "manifest" member. Unlike
+ * benchStat(), these are *inputs*, not results: they also feed the
+ * manifest's config_hash, so two sidecars are comparable iff their
+ * artifact, arguments, relevant environment, and manifest notes all
+ * match. Thread safe.
+ */
+void benchManifestNote(const std::string &key, const std::string &value);
+void benchManifestNote(const std::string &key, double value);
+void benchManifestNote(const std::string &key, std::uint64_t value);
 
 /** True iff a sidecar path is armed (--json or CSD_BENCH_JSON). */
 bool benchJsonEnabled();

@@ -1,9 +1,10 @@
 #include "bench/common/parallel.hh"
 
 #include <atomic>
-#include <cstdio>
 #include <cstdlib>
 #include <thread>
+
+#include "common/env.hh"
 
 namespace csd::bench
 {
@@ -15,16 +16,6 @@ namespace
 unsigned requestedJobs = 0;
 bool jobsRequested = false;
 
-std::atomic<bool> inParallelRegion{false};
-std::thread::id mainThread = std::this_thread::get_id();
-
-bool
-envArmed(const char *name)
-{
-    const char *value = std::getenv(name);
-    return value && *value && !(*value == '0' && value[1] == '\0');
-}
-
 unsigned
 resolveJobs()
 {
@@ -32,29 +23,12 @@ resolveJobs()
     if (jobsRequested) {
         jobs = requestedJobs;
     } else if (const char *env = std::getenv("CSD_BENCH_JOBS")) {
-        jobs = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+        jobs = parseNonNegativeSetting("CSD_BENCH_JOBS", env);
     }
     if (jobs == 0) {
         jobs = std::thread::hardware_concurrency();
         if (jobs == 0)
             jobs = 1;
-    }
-
-    // The event tracer and lifecycle exporter are process-wide
-    // singletons and explicitly not thread safe (common/trace.hh);
-    // tracing runs stay serial so the trace remains coherent.
-    if (jobs > 1 && (envArmed("CSD_TRACE") ||
-                     std::getenv("CSD_TRACE_FILE") ||
-                     envArmed("CSD_LIFECYCLE") ||
-                     std::getenv("CSD_LIFECYCLE_FILE"))) {
-        static bool warned = false;
-        if (!warned) {
-            std::fprintf(stderr,
-                         "bench: tracing armed; forcing --jobs 1 (the "
-                         "tracer is a process-wide singleton)\n");
-            warned = true;
-        }
-        return 1;
     }
     return jobs;
 }
@@ -74,20 +48,6 @@ benchSetJobs(unsigned jobs)
     jobsRequested = true;
 }
 
-void
-benchAssertSerialContext(const char *what)
-{
-    if (inParallelRegion.load(std::memory_order_relaxed) ||
-        std::this_thread::get_id() != mainThread) {
-        std::fprintf(stderr,
-                     "bench: %s called from a parallel worker; tables "
-                     "and stats must be emitted from the main thread "
-                     "after the parallel section (see parallel.hh)\n",
-                     what);
-        std::abort();
-    }
-}
-
 namespace detail
 {
 
@@ -98,7 +58,6 @@ runIndexed(std::size_t n, unsigned jobs,
     if (jobs > n)
         jobs = static_cast<unsigned>(n);
 
-    inParallelRegion.store(true, std::memory_order_relaxed);
     std::atomic<std::size_t> next{0};
     std::vector<std::thread> pool;
     pool.reserve(jobs);
@@ -115,7 +74,6 @@ runIndexed(std::size_t n, unsigned jobs,
     }
     for (std::thread &worker : pool)
         worker.join();
-    inParallelRegion.store(false, std::memory_order_relaxed);
 }
 
 } // namespace detail

@@ -3,19 +3,22 @@
  * Thread-pool runner for the figure harnesses.
  *
  * Every data point in a figure is an independent simulation (each
- * `Simulation` owns its architectural state, caches, translator, and
- * `StatGroup` tree), so the per-case loops parallelize trivially. The
- * runner keeps output deterministic by construction: worker threads
- * only *compute* — they fill a result slot indexed by case — and all
- * printing, `Table` building, and `benchStat()` calls happen on the
- * main thread afterwards, in case order. A `--jobs N` run therefore
- * produces byte-identical stdout and JSON sidecars to `--jobs 1`.
+ * `Simulation` owns its architectural state, caches, translator,
+ * `StatGroup` tree, and — since the obs/ subsystem — its own
+ * ObservabilityContext with a private event tracer and lifecycle
+ * ring), so the per-case loops parallelize trivially, tracing
+ * included. The runner keeps output deterministic by construction:
+ * worker threads only *compute* — they fill a result slot indexed by
+ * case — and all printing and `Table` building happen on the main
+ * thread afterwards, in case order. A `--jobs N` run therefore
+ * produces byte-identical stdout and JSON sidecars to `--jobs 1`,
+ * with or without CSD_TRACE / CSD_LIFECYCLE armed (use "%c" in the
+ * export paths for one file per simulation context).
  *
  * Job count resolution: `--jobs N` / `--jobs=N` (parsed by
  * benchInit()), else the CSD_BENCH_JOBS environment variable, else 1.
- * `--jobs 0` means one job per hardware thread. When the process-wide
- * trace singletons are armed (CSD_TRACE / CSD_LIFECYCLE — explicitly
- * not thread safe), the runner clamps to 1 job and says so on stderr.
+ * `--jobs 0` means one job per hardware thread. Malformed values are
+ * fatal rather than silently serialized.
  */
 
 #ifndef CSD_BENCH_COMMON_PARALLEL_HH
@@ -35,14 +38,6 @@ unsigned benchJobs();
 /** Record the `--jobs` request (0 = one per hardware thread). */
 void benchSetJobs(unsigned jobs);
 
-/**
- * Abort with a diagnostic if called from a runner worker thread. The
- * sidecar and stdout are single-writer by design; bench_util's
- * mutating entry points use this to turn a latent data race into a
- * deterministic failure.
- */
-void benchAssertSerialContext(const char *what);
-
 namespace detail
 {
 
@@ -54,8 +49,8 @@ void runIndexed(std::size_t n, unsigned jobs,
 
 /**
  * Invoke fn(i) for i in [0, n), across benchJobs() threads. Blocks
- * until all indices completed. fn must not print or touch the sidecar;
- * return results through captured per-index slots.
+ * until all indices completed. fn must not print; return results
+ * through captured per-index slots.
  */
 template <typename Fn>
 void

@@ -3,7 +3,10 @@
 
 Runs the given bench binary with --json <tmp>, captures stdout, and
 checks that:
-  - the sidecar parses as JSON with artifact/title/stats/tables keys,
+  - the sidecar parses as JSON with artifact/title/manifest/stats/tables
+    keys,
+  - the manifest carries the provenance schema (schema_version,
+    config_hash as 0x + 16 hex digits, phases with a finite total),
   - every table cell in the sidecar also appears in the stdout text
     (the sidecar mirrors what was printed, not a second computation),
   - every numeric stat is finite,
@@ -67,11 +70,32 @@ def main():
         except (OSError, json.JSONDecodeError) as e:
             fail(f"sidecar unreadable or invalid JSON: {e}")
 
-        for key in ("artifact", "title", "stats", "tables"):
+        for key in ("artifact", "title", "manifest", "stats", "tables"):
             if key not in doc:
                 fail(f"sidecar missing key '{key}'")
         if not doc["tables"]:
             fail("sidecar holds no tables")
+
+        manifest = doc["manifest"]
+        for key in ("schema_version", "config_hash", "phases"):
+            if key not in manifest:
+                fail(f"manifest missing key '{key}'")
+        if manifest["schema_version"] != 1:
+            fail(f"manifest schema_version {manifest['schema_version']} != 1")
+        chash = manifest["config_hash"]
+        if (
+            not isinstance(chash, str)
+            or len(chash) != 18
+            or not chash.startswith("0x")
+            or any(c not in "0123456789abcdef" for c in chash[2:])
+        ):
+            fail(f"manifest config_hash '{chash}' is not 0x + 16 hex digits")
+        phases = manifest["phases"]
+        if not isinstance(phases, dict) or "total" not in phases:
+            fail("manifest phases missing 'total'")
+        for key, value in phases.items():
+            if not isinstance(value, (int, float)) or not math.isfinite(value):
+                fail(f"manifest phase '{key}' is not a finite number")
 
         cells = 0
         for table in doc["tables"]:
@@ -105,7 +129,8 @@ def main():
         print(
             f"check_bench_json: OK: {os.path.basename(bench)}: "
             f"{len(doc['tables'])} table(s), {cells} cells, "
-            f"{len(doc['stats'])} stat(s) match stdout"
+            f"{len(doc['stats'])} stat(s) match stdout, "
+            f"manifest {chash}"
         )
     finally:
         os.unlink(path)

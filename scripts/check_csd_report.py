@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Acceptance check for the csd-report diff tool.
+
+Fabricates two stats JSONs that differ in a controlled way — one
+CPI-stack bucket regresses by far more than any other stat moves — and
+asserts that csd-report:
+  - exits 1 (files differ) and 0 when diffing a file against itself,
+  - ranks the injected regression first,
+  - reports its absolute delta and percentage,
+  - honors --kind cpi filtering.
+
+Usage: check_csd_report.py <csd-report-binary>
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def fail(msg):
+    print(f"check_csd_report: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def stats_doc(decoy_cycles):
+    return {
+        "name": "sim",
+        "manifest": {
+            "schema_version": 1,
+            "config_hash": "0x0123456789abcdef",
+            "phases": {"total": 1.0},
+        },
+        "groups": [
+            {
+                "name": "cpi_stack",
+                "cpi_base": {"value": 0.91, "desc": "base CPI"},
+                "cpi_csd_decoy": {
+                    "value": decoy_cycles,
+                    "desc": "decoy bucket",
+                },
+            },
+            {
+                "name": "energy",
+                "core_nj": {"value": 1520.0, "desc": "core energy"},
+            },
+        ],
+        "instructions": 100000,
+    }
+
+
+def run(tool, args):
+    return subprocess.run(
+        [tool] + args,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        timeout=60,
+    )
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_csd_report.py <csd-report-binary>")
+    tool = sys.argv[1]
+
+    with tempfile.TemporaryDirectory(prefix="csd_report_") as tmpdir:
+        old = os.path.join(tmpdir, "old.json")
+        new = os.path.join(tmpdir, "new.json")
+        with open(old, "w") as f:
+            json.dump(stats_doc(0.05), f)
+        with open(new, "w") as f:
+            # Injected regression: the decoy CPI bucket quadruples
+            # (+0.15 absolute) while energy drifts by only +0.04, so
+            # impact ordering must put the CPI bucket first.
+            doc = stats_doc(0.20)
+            doc["groups"][1]["core_nj"]["value"] = 1520.04
+            json.dump(doc, f)
+
+        proc = run(tool, [old, old])
+        if proc.returncode != 0:
+            fail(f"self-diff should exit 0, got {proc.returncode}:\n{proc.stdout}")
+
+        proc = run(tool, [old, new])
+        if proc.returncode != 1:
+            fail(f"diff should exit 1, got {proc.returncode}:\n{proc.stdout}")
+        rows = [
+            line
+            for line in proc.stdout.splitlines()
+            if "cpi_stack" in line or "core_nj" in line
+        ]
+        if not rows:
+            fail(f"no diff rows in output:\n{proc.stdout}")
+        if "cpi_csd_decoy" not in rows[0]:
+            fail(
+                "injected CPI regression not ranked first:\n" + proc.stdout
+            )
+        if "0.15" not in rows[0] or "%" not in rows[0]:
+            fail(f"first row lacks delta/pct:\n{rows[0]}")
+
+        proc = run(tool, [old, new, "--kind", "cpi"])
+        if proc.returncode != 1:
+            fail(f"--kind cpi diff should exit 1, got {proc.returncode}")
+        if "core_nj" in proc.stdout:
+            fail(f"--kind cpi leaked an energy row:\n{proc.stdout}")
+        if "cpi_csd_decoy" not in proc.stdout:
+            fail(f"--kind cpi dropped the CPI row:\n{proc.stdout}")
+
+        proc = run(tool, [old])
+        if proc.returncode != 2:
+            fail(f"bad usage should exit 2, got {proc.returncode}")
+
+    print("check_csd_report: OK: injected CPI regression ranked first")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Strict parsing for integer environment/CLI settings.
+ *
+ * Every numeric knob (CSD_TRACE_CAPACITY, CSD_LIFECYCLE_CAPACITY,
+ * CSD_BENCH_JOBS, --jobs) goes through these helpers so a typo'd
+ * value fails loudly — csd_fatal, which throws std::runtime_error —
+ * instead of silently falling back to a default and producing a run
+ * that looks configured but isn't.
+ */
+
+#ifndef CSD_COMMON_ENV_HH
+#define CSD_COMMON_ENV_HH
+
+#include <cstddef>
+#include <string_view>
+
+namespace csd
+{
+
+/**
+ * Parse @p value as a strictly positive integer. @p name labels the
+ * setting in the error ("CSD_TRACE_CAPACITY='x' is not a positive
+ * integer"). Fatal (throws) on empty, trailing junk, zero, negative,
+ * or overflow.
+ */
+std::size_t parsePositiveSetting(std::string_view name, const char *value);
+
+/**
+ * Parse @p value as a non-negative integer (settings where 0 means
+ * "auto", e.g. jobs counts). Fatal (throws) on malformed input.
+ */
+unsigned parseNonNegativeSetting(std::string_view name, const char *value);
+
+} // namespace csd
+
+#endif // CSD_COMMON_ENV_HH

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * A deliberately tiny recursive-descent JSON parser.
+ *
+ * Originally a test-support helper; promoted into src/ so tools that
+ * consume the simulator's own JSON artifacts (stats dumps, bench
+ * sidecars — see obs/report.hh) can load them without an external
+ * dependency. Strict enough to reject malformed output; not intended
+ * as a general-purpose JSON library.
+ */
+
+#ifndef CSD_COMMON_JSON_HH
+#define CSD_COMMON_JSON_HH
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace csd::minijson
+{
+
+class JsonValue;
+using JsonPtr = std::shared_ptr<JsonValue>;
+
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonPtr> items;
+    std::map<std::string, JsonPtr> fields;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    bool has(const std::string &key) const
+    {
+        return kind == Kind::Object && fields.count(key) != 0;
+    }
+
+    /** Object member access; throws if missing or not an object. */
+    const JsonValue &at(const std::string &key) const
+    {
+        if (kind != Kind::Object)
+            throw std::runtime_error("json: not an object");
+        auto it = fields.find(key);
+        if (it == fields.end())
+            throw std::runtime_error("json: missing key '" + key + "'");
+        return *it->second;
+    }
+
+    /** Array element access; throws if out of range or not an array. */
+    const JsonValue &at(std::size_t idx) const
+    {
+        if (kind != Kind::Array)
+            throw std::runtime_error("json: not an array");
+        if (idx >= items.size())
+            throw std::runtime_error("json: index out of range");
+        return *items[idx];
+    }
+
+    std::size_t size() const
+    {
+        return kind == Kind::Array ? items.size() : fields.size();
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonPtr parse()
+    {
+        JsonPtr v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after top-level value");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &why) const
+    {
+        throw std::runtime_error("json parse error at offset " +
+                                 std::to_string(pos_) + ": " + why);
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consumeLiteral(const std::string &lit)
+    {
+        if (text_.compare(pos_, lit.size(), lit) != 0)
+            return false;
+        pos_ += lit.size();
+        return true;
+    }
+
+    JsonPtr parseValue()
+    {
+        skipWs();
+        auto v = std::make_shared<JsonValue>();
+        const char c = peek();
+        if (c == '{') {
+            parseObject(*v);
+        } else if (c == '[') {
+            parseArray(*v);
+        } else if (c == '"') {
+            v->kind = JsonValue::Kind::String;
+            v->str = parseString();
+        } else if (c == 't') {
+            if (!consumeLiteral("true"))
+                fail("bad literal");
+            v->kind = JsonValue::Kind::Bool;
+            v->boolean = true;
+        } else if (c == 'f') {
+            if (!consumeLiteral("false"))
+                fail("bad literal");
+            v->kind = JsonValue::Kind::Bool;
+        } else if (c == 'n') {
+            if (!consumeLiteral("null"))
+                fail("bad literal");
+        } else {
+            v->kind = JsonValue::Kind::Number;
+            v->number = parseNumber();
+        }
+        return v;
+    }
+
+    void parseObject(JsonValue &v)
+    {
+        v.kind = JsonValue::Kind::Object;
+        expect('{');
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return;
+        }
+        while (true) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            v.fields[key] = parseValue();
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return;
+        }
+    }
+
+    void parseArray(JsonValue &v)
+    {
+        v.kind = JsonValue::Kind::Array;
+        expect('[');
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return;
+        }
+        while (true) {
+            v.items.push_back(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return;
+        }
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    fail("unterminated escape");
+                char e = text_[pos_++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        fail("short \\u escape");
+                    // The simulator only emits ASCII; keep the raw
+                    // escape text rather than decoding code points.
+                    out += "\\u" + text_.substr(pos_, 4);
+                    pos_ += 4;
+                    break;
+                  }
+                  default: fail("bad escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+    }
+
+    double parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        auto digits = [&] {
+            std::size_t n = 0;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+                ++n;
+            }
+            return n;
+        };
+        if (digits() == 0)
+            fail("bad number");
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (digits() == 0)
+                fail("bad fraction");
+        }
+        if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (digits() == 0)
+                fail("bad exponent");
+        }
+        return std::strtod(text_.substr(start, pos_ - start).c_str(),
+                           nullptr);
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+/** Parse @p text, throwing std::runtime_error on malformed JSON. */
+inline JsonPtr
+parseJson(const std::string &text)
+{
+    return JsonParser(text).parse();
+}
+
+} // namespace csd::minijson
+
+#endif // CSD_COMMON_JSON_HH

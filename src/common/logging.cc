@@ -11,7 +11,21 @@ namespace logging_detail
 namespace
 {
 bool verboseFlag = true;
+
+thread_local LogSink *tlsSink = nullptr;
 } // namespace
+
+void
+bindThreadSink(LogSink *sink)
+{
+    tlsSink = sink;
+}
+
+LogSink *
+threadSink()
+{
+    return tlsSink;
+}
 
 void
 setVerbose(bool verbose)
@@ -46,6 +60,16 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
+    if (LogSink *sink = tlsSink) {
+        ++sink->warnings;
+        if (sink->quiet || !verboseFlag)
+            return;
+        if (!sink->label.empty()) {
+            std::fprintf(stderr, "warn: [%s] %s\n", sink->label.c_str(),
+                         msg.c_str());
+            return;
+        }
+    }
     if (verboseFlag)
         std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
@@ -53,6 +77,16 @@ warnImpl(const std::string &msg)
 void
 informImpl(const std::string &msg)
 {
+    if (LogSink *sink = tlsSink) {
+        ++sink->informs;
+        if (sink->quiet || !verboseFlag)
+            return;
+        if (!sink->label.empty()) {
+            std::fprintf(stderr, "info: [%s] %s\n", sink->label.c_str(),
+                         msg.c_str());
+            return;
+        }
+    }
     if (verboseFlag)
         std::fprintf(stderr, "info: %s\n", msg.c_str());
 }

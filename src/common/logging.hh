@@ -11,6 +11,7 @@
 #ifndef CSD_COMMON_LOGGING_HH
 #define CSD_COMMON_LOGGING_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -22,6 +23,28 @@ namespace csd
 
 namespace logging_detail
 {
+
+/**
+ * A per-context log sink. An ObservabilityContext (obs/context.hh)
+ * installs its sink on the thread it is bound to; warn()/inform()
+ * then count messages per context, prefix them with the context label
+ * so interleaved multi-simulation output stays attributable, and can
+ * be silenced per context without touching the process-wide verbose
+ * flag. A null thread sink means legacy process-wide behavior.
+ */
+struct LogSink
+{
+    std::string label;           //!< prefix, e.g. "ctx3" (empty = none)
+    bool quiet = false;          //!< drop warn/inform entirely
+    std::uint64_t warnings = 0;  //!< messages seen (even when quiet)
+    std::uint64_t informs = 0;
+};
+
+/** Install @p sink for this thread (nullptr restores legacy output). */
+void bindThreadSink(LogSink *sink);
+
+/** The sink bound to this thread, or nullptr. */
+LogSink *threadSink();
 
 /** Build a message from streamable parts. */
 template <typename... Args>

@@ -12,17 +12,19 @@ namespace csd
 namespace stats_detail
 {
 
-bool enabled = [] {
+bool processDefault = [] {
     const char *env = std::getenv("CSD_STATS_DETAIL");
     return env && *env && *env != '0';
 }();
+
+thread_local bool *enabled = &processDefault;
 
 } // namespace stats_detail
 
 void
 setStatsDetail(bool on)
 {
-    stats_detail::enabled = on;
+    *stats_detail::enabled = on;
 }
 
 // --- Distribution ----------------------------------------------------------
@@ -333,11 +335,26 @@ StatGroup::dump(std::ostream &os) const
 void
 StatGroup::dumpJson(std::ostream &os, int indent) const
 {
+    dumpJson(os, indent, ExtraWriter());
+}
+
+void
+StatGroup::dumpJson(std::ostream &os, int indent,
+                    const ExtraWriter &extra) const
+{
     const std::string p0 = pad(indent);
     const std::string p1 = pad(indent + 1);
     const std::string p2 = pad(indent + 2);
 
     os << p0 << "{\n";
+    // Extra members (e.g. the run-provenance manifest) are written
+    // first so readers that only care about them need not scan the
+    // whole document; the writer emits complete `"key": value` members
+    // given the member indentation prefix.
+    if (extra) {
+        extra(os, p1);
+        os << ",\n";
+    }
     os << p1 << "\"name\": \"" << jsonEscape(name_) << "\",\n";
 
     // One {"name": {"value": ..., "desc": ...}} section per stat kind.

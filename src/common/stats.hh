@@ -38,22 +38,31 @@ class StatGroup;
 
 namespace stats_detail
 {
-/** Set from CSD_STATS_DETAIL at startup; raw bool for a cheap check. */
-extern bool enabled;
+/**
+ * The flag lives in whichever ObservabilityContext is bound to this
+ * thread (obs/context.hh); unbound threads point at a process-wide
+ * default initialized from CSD_STATS_DETAIL. A pointer (rather than a
+ * plain thread-local bool) so setStatsDetail() writes through to the
+ * owning context and survives rebinds.
+ */
+extern bool processDefault;
+extern thread_local bool *enabled;
 } // namespace stats_detail
 
 /**
  * Gate for statistics on per-macro-op / per-load paths (histogram
- * samples). One load and branch when off; enable via CSD_STATS_DETAIL=1
- * or setStatsDetail(). Counters and formulas are always live — only
- * call sites hot enough to show up in wall time hide behind this.
+ * samples). One thread-local load and a dereference when off; enable
+ * via CSD_STATS_DETAIL=1 or setStatsDetail(). Counters and formulas
+ * are always live — only call sites hot enough to show up in wall
+ * time hide behind this.
  */
 inline bool
 statsDetailEnabled()
 {
-    return stats_detail::enabled;
+    return *stats_detail::enabled;
 }
 
+/** Set the flag of the context bound to this thread. */
 void setStatsDetail(bool on);
 
 /** A monotonically increasing event counter. */
@@ -283,6 +292,20 @@ class StatGroup
      * "formulas":{...}, "distributions":{...}, "groups":[...]}.
      */
     void dumpJson(std::ostream &os, int indent = 0) const;
+
+    /**
+     * Writer for extra JSON members injected into the root object of a
+     * dump (e.g. the run-provenance manifest). Called with the output
+     * stream and the member indentation prefix; must emit one or more
+     * complete `"key": value` members (comma-separated, no trailing
+     * comma — the dumper appends it).
+     */
+    using ExtraWriter =
+        std::function<void(std::ostream &, const std::string &)>;
+
+    /** As dumpJson() but with @p extra members leading the root object. */
+    void dumpJson(std::ostream &os, int indent,
+                  const ExtraWriter &extra) const;
 
     const std::string &name() const { return name_; }
 

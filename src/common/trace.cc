@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 
@@ -12,13 +13,12 @@ namespace csd
 
 namespace trace_detail
 {
-std::uint32_t mask = 0;
+thread_local std::uint32_t mask = 0;
+thread_local TraceManager *current = nullptr;
 } // namespace trace_detail
 
 namespace
 {
-
-constexpr std::size_t defaultCapacity = 1u << 16;
 
 const char *const flagNames[static_cast<unsigned>(TraceFlag::NumFlags)] = {
     "Frontend", "UopCache", "Csd", "Decoy", "Gating", "Cache", "Dift",
@@ -62,9 +62,10 @@ TraceManager::parseFlag(const std::string &name)
     return std::nullopt;
 }
 
-TraceManager::TraceManager()
+TraceManager::TraceManager(std::size_t capacity) : capacity_(capacity)
 {
-    ring_.resize(defaultCapacity);
+    if (capacity_ == 0)
+        csd_panic("TraceManager: capacity must be positive");
 }
 
 TraceManager &
@@ -77,20 +78,23 @@ TraceManager::instance()
         m->initFromEnv();
         return m;
     }();
+    if (!trace_detail::current)
+        manager->bindToThread();
     return *manager;
+}
+
+void
+TraceManager::bindToThread()
+{
+    trace_detail::current = this;
+    trace_detail::mask = mask_;
 }
 
 void
 TraceManager::initFromEnv()
 {
-    if (const char *cap = std::getenv("CSD_TRACE_CAPACITY")) {
-        const long n = std::atol(cap);
-        if (n > 0)
-            setCapacity(static_cast<std::size_t>(n));
-        else
-            warn("CSD_TRACE_CAPACITY='", cap, "' ignored (not a positive ",
-                 "integer)");
-    }
+    if (const char *cap = std::getenv("CSD_TRACE_CAPACITY"))
+        setCapacity(parsePositiveSetting("CSD_TRACE_CAPACITY", cap));
     if (const char *flags = std::getenv("CSD_TRACE"))
         configure(flags);
     if (std::getenv("CSD_TRACE_FILE"))
@@ -117,7 +121,13 @@ TraceManager::configure(const std::string &csv)
             token.pop_back();
         if (token.empty())
             continue;
-        if (auto flag = parseFlag(token)) {
+        if (lower(token) == "all") {
+            for (unsigned i = 0;
+                 i < static_cast<unsigned>(TraceFlag::NumFlags); ++i) {
+                enable(static_cast<TraceFlag>(i));
+                ++enabled_count;
+            }
+        } else if (auto flag = parseFlag(token)) {
             enable(*flag);
             ++enabled_count;
         } else {
@@ -135,21 +145,38 @@ TraceManager::configure(const std::string &csv)
 }
 
 void
+TraceManager::syncThreadMask()
+{
+    if (trace_detail::current == this)
+        trace_detail::mask = mask_;
+}
+
+void
 TraceManager::enable(TraceFlag flag)
 {
-    trace_detail::mask |= 1u << static_cast<unsigned>(flag);
+    mask_ |= 1u << static_cast<unsigned>(flag);
+    syncThreadMask();
 }
 
 void
 TraceManager::disable(TraceFlag flag)
 {
-    trace_detail::mask &= ~(1u << static_cast<unsigned>(flag));
+    mask_ &= ~(1u << static_cast<unsigned>(flag));
+    syncThreadMask();
 }
 
 void
 TraceManager::disableAll()
 {
-    trace_detail::mask = 0;
+    mask_ = 0;
+    syncThreadMask();
+}
+
+void
+TraceManager::setMask(std::uint32_t mask)
+{
+    mask_ = mask;
+    syncThreadMask();
 }
 
 void
@@ -157,7 +184,9 @@ TraceManager::setCapacity(std::size_t capacity)
 {
     if (capacity == 0)
         csd_panic("TraceManager: capacity must be positive");
-    ring_.assign(capacity, TraceEvent{});
+    capacity_ = capacity;
+    ring_.clear();
+    ring_.shrink_to_fit();
     start_ = 0;
     count_ = 0;
     dropped_ = 0;
@@ -175,6 +204,10 @@ void
 TraceManager::record(TraceFlag flag, const char *name, Tick tick, char phase,
                      const char *arg_name, double arg)
 {
+    // Lazy allocation: per-simulation tracers exist whether or not
+    // tracing is on, so don't pay for the ring until an event lands.
+    if (ring_.empty())
+        ring_.resize(capacity_);
     TraceEvent &slot = ring_[(start_ + count_) % ring_.size()];
     if (count_ == ring_.size()) {
         // Full: overwrite the oldest event.

@@ -11,10 +11,20 @@
  *
  * Runtime control:
  *  - CSD_TRACE=UopCache,Gating   enable flags at startup (CSV of names)
- *  - CSD_TRACE_FILE=out.json     write the Chrome trace at process exit
+ *  - CSD_TRACE_FILE=out.json     write the Chrome trace at exit; a "%c"
+ *                                in the path expands to the owning
+ *                                observability-context id so parallel
+ *                                simulations write distinct files
  *  - CSD_TRACE_CAPACITY=N        ring-buffer size (default 65536 events)
  *
- * The simulator is single-threaded; the tracer is not thread safe.
+ * TraceManager is instantiable: each ObservabilityContext
+ * (obs/context.hh) owns one, and binding a context to a thread points
+ * the thread-local fast path (trace_detail::mask / ::current) at that
+ * context's tracer. Trace points therefore record into whichever
+ * simulation is executing on the current thread, which is what lets N
+ * simulations trace concurrently without sharing a ring. A single
+ * tracer must not be driven from two threads at once; distinct tracers
+ * on distinct threads are independent.
  */
 
 #ifndef CSD_COMMON_TRACE_HH
@@ -44,10 +54,22 @@ enum class TraceFlag : unsigned
     NumFlags,
 };
 
+class TraceManager;
+
 namespace trace_detail
 {
-/** Bitmask of enabled flags; raw global so the fast path is one load. */
-extern std::uint32_t mask;
+/**
+ * Cached copy of the bound tracer's flag mask so the fast path stays
+ * one thread-local load; kept in sync by enable/disable/bindToThread.
+ */
+extern thread_local std::uint32_t mask;
+
+/**
+ * The tracer bound to this thread. Null until a TraceManager (usually
+ * via an ObservabilityContext) is bound; `mask` is 0 whenever this is
+ * null, so CSD_TRACE never dereferences a null tracer.
+ */
+extern thread_local TraceManager *current;
 } // namespace trace_detail
 
 /** Fast-path check compiled into every trace point. */
@@ -57,7 +79,7 @@ traceEnabled(TraceFlag flag)
     return trace_detail::mask & (1u << static_cast<unsigned>(flag));
 }
 
-/** True iff any flag is enabled. */
+/** True iff any flag is enabled on the tracer bound to this thread. */
 inline bool
 traceAnyEnabled()
 {
@@ -75,30 +97,71 @@ struct TraceEvent
     double arg = 0.0;
 };
 
-/** The process-wide tracer. */
+/**
+ * A bounded-ring event tracer. The process-wide default lives behind
+ * instance(); per-simulation tracers are owned by ObservabilityContext.
+ */
 class TraceManager
 {
   public:
-    /** The singleton (never destroyed; first call reads CSD_TRACE*). */
+    /** Default ring capacity (events) when none is configured. */
+    static constexpr std::size_t defaultCapacity = 1u << 16;
+
+    /**
+     * A tracer with all flags disabled. The ring is allocated lazily on
+     * the first record(), so idle tracers (one per simulation) cost a
+     * few words, not capacity * sizeof(TraceEvent).
+     */
+    explicit TraceManager(std::size_t capacity = defaultCapacity);
+
+    TraceManager(const TraceManager &) = delete;
+    TraceManager &operator=(const TraceManager &) = delete;
+
+    /**
+     * The process-default tracer (never destroyed; first call reads
+     * CSD_TRACE*). Binds itself to the calling thread if no tracer is
+     * bound yet, preserving the historical global-tracer behavior for
+     * code that predates observability contexts.
+     */
     static TraceManager &instance();
+
+    // --- thread binding ---------------------------------------------------
+
+    /**
+     * Make this tracer the recording target of CSD_TRACE on the
+     * calling thread (installs the mask cache and current pointer).
+     */
+    void bindToThread();
+
+    /** The tracer bound to the calling thread, or null. */
+    static TraceManager *boundToThread() { return trace_detail::current; }
 
     // --- configuration ----------------------------------------------------
 
     /**
      * Enable the flags named in a comma-separated list ("UopCache,
-     * Gating"); names are case-insensitive and unknown names warn.
-     * Returns the number of flags enabled.
+     * Gating"); names are case-insensitive, "all" enables every flag,
+     * and unknown names warn. Returns the number of flags enabled.
      */
     unsigned configure(const std::string &csv);
 
     void enable(TraceFlag flag);
     void disable(TraceFlag flag);
     void disableAll();
-    bool enabled(TraceFlag flag) const { return traceEnabled(flag); }
+    bool enabled(TraceFlag flag) const
+    {
+        return mask_ & (1u << static_cast<unsigned>(flag));
+    }
+
+    /** Bitmask of enabled flags (bit i = TraceFlag(i)). */
+    std::uint32_t mask() const { return mask_; }
+
+    /** Replace the whole flag mask (used for context inheritance). */
+    void setMask(std::uint32_t mask);
 
     /** Resize the ring buffer (drops recorded events). */
     void setCapacity(std::size_t capacity);
-    std::size_t capacity() const { return ring_.size(); }
+    std::size_t capacity() const { return capacity_; }
 
     // --- recording --------------------------------------------------------
 
@@ -148,26 +211,29 @@ class TraceManager
     static std::optional<TraceFlag> parseFlag(const std::string &name);
 
   private:
-    TraceManager();
-
     void initFromEnv();
 
-    std::vector<TraceEvent> ring_;
-    std::size_t start_ = 0;  //!< index of the oldest event
+    /** Push mask_ into the thread-local cache iff bound to this thread. */
+    void syncThreadMask();
+
+    std::uint32_t mask_ = 0;
+    std::size_t capacity_;
+    std::vector<TraceEvent> ring_;  //!< empty until the first record()
+    std::size_t start_ = 0;         //!< index of the oldest event
     std::size_t count_ = 0;
     std::uint64_t dropped_ = 0;
     Tick timeHint_ = 0;
 };
 
 /**
- * Record a trace event iff @p flag is enabled.
+ * Record a trace event iff @p flag is enabled on this thread's tracer.
  * Usage: CSD_TRACE(UopCache, "window_hit", cycle);
  *        CSD_TRACE(Decoy, "inject", cycle, 'i', "uops", n);
  */
 #define CSD_TRACE(flag, ...)                                                 \
     do {                                                                     \
         if (::csd::traceEnabled(::csd::TraceFlag::flag))                     \
-            ::csd::TraceManager::instance().record(                          \
+            ::csd::trace_detail::current->record(                            \
                 ::csd::TraceFlag::flag, __VA_ARGS__);                        \
     } while (0)
 
@@ -175,7 +241,7 @@ class TraceManager
 #define CSD_TRACE_NOW(flag, ...)                                             \
     do {                                                                     \
         if (::csd::traceEnabled(::csd::TraceFlag::flag))                     \
-            ::csd::TraceManager::instance().recordNow(                       \
+            ::csd::trace_detail::current->recordNow(                         \
                 ::csd::TraceFlag::flag, __VA_ARGS__);                        \
     } while (0)
 

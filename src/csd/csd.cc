@@ -304,9 +304,8 @@ ContextSensitiveDecoder::traceContextSwitch()
     };
     const char *name = lastCtx_ < std::size(names) ? names[lastCtx_]
                                                    : "ctx_?";
-    TraceManager::instance().record(TraceFlag::Csd, name, now_, 'i',
-                                    "from",
-                                    static_cast<double>(tracedCtx_));
+    trace_detail::current->record(TraceFlag::Csd, name, now_, 'i', "from",
+                                  static_cast<double>(tracedCtx_));
     tracedCtx_ = lastCtx_;
 }
 

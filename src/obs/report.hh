@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A/B diffing of stats dumps and bench JSON sidecars (the csd-report
+ * CLI's engine, kept as a library so tests can drive it directly).
+ *
+ * Both artifact kinds flatten to dotted numeric-leaf paths:
+ *   - stat trees: child groups splice their "name" into the path and
+ *     {"value": ..., "desc": ...} leaves collapse to the value, so a
+ *     counter reads "frontend.slots_legacy", not
+ *     "groups[0].counters.slots_legacy.value";
+ *   - sidecars: "stats.<key>" plus table cells by index.
+ * The "manifest" member is provenance, not results, and is excluded.
+ *
+ * diffStats() pairs the two flat maps and ranks rows by absolute
+ * delta (ties by percentage), so the biggest mover — the injected
+ * regression, the optimization win — is always row one. Keys are
+ * classified (cpi / energy / channel / other) for filtering.
+ */
+
+#ifndef CSD_OBS_REPORT_HH
+#define CSD_OBS_REPORT_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace csd
+{
+namespace obs
+{
+
+/** One diffed statistic. */
+struct DiffRow
+{
+    std::string key;
+    std::string kind;  //!< "cpi", "energy", "channel", or "other"
+    double oldValue = 0.0;
+    double newValue = 0.0;
+    double delta = 0.0;  //!< newValue - oldValue
+    double pct = 0.0;    //!< 100 * delta / |oldValue| (0 when old == 0)
+    bool onlyOld = false;  //!< key vanished in the new artifact
+    bool onlyNew = false;  //!< key first appears in the new artifact
+};
+
+/**
+ * Flatten @p root to dotted-path -> numeric-leaf entries in @p out
+ * (see the file comment for the path rules). @p prefix seeds the
+ * paths; top-level "manifest" members are skipped.
+ */
+void flattenNumeric(const minijson::JsonValue &root,
+                    const std::string &prefix,
+                    std::map<std::string, double> &out);
+
+/** Classify a flattened key: "cpi", "energy", "channel", or "other". */
+std::string classifyKey(const std::string &key);
+
+/**
+ * Pair @p old_stats and @p new_stats, dropping keys whose value is
+ * unchanged, and rank by |delta| descending (ties by |pct|).
+ */
+std::vector<DiffRow> diffStats(
+    const std::map<std::string, double> &old_stats,
+    const std::map<std::string, double> &new_stats);
+
+/**
+ * Human-readable report of the top @p top rows (0 = all), optionally
+ * restricted to one @p kind ("" = all kinds).
+ */
+void writeReport(std::ostream &os, const std::vector<DiffRow> &rows,
+                 std::size_t top, const std::string &kind = "");
+
+/** Load + parse + flatten a JSON artifact file; throws on failure. */
+std::map<std::string, double> loadFlattened(const std::string &path);
+
+} // namespace obs
+} // namespace csd
+
+#endif // CSD_OBS_REPORT_HH

@@ -3,11 +3,32 @@
 namespace csd
 {
 
+namespace
+{
+
+/** Both halves record into one context (see DuoSimulation::obs()). */
+SimParams
+withSharedObs(const SimParams &params, ObservabilityContext *owned)
+{
+    SimParams shared = params;
+    if (!shared.obs)
+        shared.obs = owned;
+    return shared;
+}
+
+} // namespace
+
 DuoSimulation::DuoSimulation(const Program &a, const Program &b,
                              const SimParams &params)
     : mem_(params.mem),
-      a_(std::make_unique<Simulation>(a, params, &mem_)),
-      b_(std::make_unique<Simulation>(b, params, &mem_))
+      ownedObs_(params.obs ? nullptr
+                           : std::make_unique<ObservabilityContext>()),
+      a_(std::make_unique<Simulation>(a,
+                                      withSharedObs(params, ownedObs_.get()),
+                                      &mem_)),
+      b_(std::make_unique<Simulation>(b,
+                                      withSharedObs(params, ownedObs_.get()),
+                                      &mem_))
 {
 }
 

@@ -34,6 +34,14 @@ class DuoSimulation
     MemHierarchy &mem() { return mem_; }
 
     /**
+     * The observability context shared by both hardware contexts:
+     * victim and spy events interleave on one trace timeline, the way
+     * they share one core's observability hardware. A caller-supplied
+     * SimParams::obs takes precedence and is used by both halves.
+     */
+    ObservabilityContext &obs() { return a_->obs(); }
+
+    /**
      * Interleave execution: alternately run each context for
      * @p quantum instructions until both halt or @p max_total
      * instructions have executed across both. A halted context simply
@@ -45,6 +53,7 @@ class DuoSimulation
 
   private:
     MemHierarchy mem_;
+    std::unique_ptr<ObservabilityContext> ownedObs_;  //!< null if shared
     std::unique_ptr<Simulation> a_;
     std::unique_ptr<Simulation> b_;
 };

@@ -1,6 +1,7 @@
 #include "sim/simulation.hh"
 
 #include <cstdlib>
+#include <mutex>
 
 #include "common/logging.hh"
 #include "csd/csd.hh"
@@ -29,6 +30,17 @@ devectExpansionUop(const Uop &uop)
            temp(uop.src3);
 }
 
+/**
+ * Bind @p ctx to the constructing thread from inside the member-init
+ * list, so components built after obs_ already record into it.
+ */
+ObservabilityContext *
+bindObs(ObservabilityContext *ctx)
+{
+    ctx->bindToThread();
+    return ctx;
+}
+
 } // namespace
 
 Simulation::Simulation(const Program &prog, const SimParams &params)
@@ -40,6 +52,9 @@ Simulation::Simulation(const Program &prog, const SimParams &params,
                        MemHierarchy *shared_mem)
     : prog_(prog),
       params_(params),
+      ownedObs_(params.obs ? nullptr
+                           : std::make_unique<ObservabilityContext>()),
+      obs_(bindObs(params.obs ? params.obs : ownedObs_.get())),
       executor_(state_),
       ownedMem_(shared_mem ? nullptr
                            : std::make_unique<MemHierarchy>(params.mem)),
@@ -60,10 +75,6 @@ Simulation::Simulation(const Program &prog, const SimParams &params,
     flowCache_.reset(prog.code().size());
     if (const char *fc = std::getenv("CSD_FLOW_CACHE"))
         flowCacheEnabled_ = !(*fc == '0' && fc[1] == '\0');
-
-    // Touch the tracer so CSD_TRACE/CSD_TRACE_FILE take effect even if
-    // no component recorded an event yet.
-    TraceManager::instance();
 
     stats_.addCounter("instructions", &instructions_,
                       "macro-ops committed");
@@ -109,29 +120,44 @@ Simulation::Simulation(const Program &prog, const SimParams &params,
     stats_.addChild(&bpred_->stats());
     stats_.addChild(&mem_->stats());
 
-    // Instruction-grain observability, armed from the environment so
-    // existing harnesses grow traces without code changes.
+    // Instruction-grain observability, armed through the context
+    // (which parsed CSD_LIFECYCLE* strictly) so existing harnesses
+    // grow traces without code changes.
     if (params_.mode == SimMode::Detailed) {
         const char *cpi_env = std::getenv("CSD_CPI_STACK");
         if (cpi_env && *cpi_env && *cpi_env != '0')
             enableCpiStack();
-        const char *lc_env = std::getenv("CSD_LIFECYCLE");
-        const char *lc_file = std::getenv("CSD_LIFECYCLE_FILE");
-        if ((lc_env && *lc_env && *lc_env != '0') || lc_file) {
-            std::size_t capacity = 1 << 16;
-            if (const char *cap = std::getenv("CSD_LIFECYCLE_CAPACITY"))
-                capacity = std::strtoull(cap, nullptr, 10);
-            enableLifecycle(capacity ? capacity : 1 << 16);
-            if (lc_file)
-                lifecycleExportPath_ = lc_file;
+        const ObservabilityContext::LifecycleConfig &lc =
+            obs_->lifecycleConfig();
+        if (lc.enabled) {
+            enableLifecycle(lc.capacity);
+            lifecycleExportPath_ = lc.exportPath;
+            // "%c" names a per-context file (parallel simulations).
+            const std::size_t pos = lifecycleExportPath_.find("%c");
+            if (pos != std::string::npos)
+                lifecycleExportPath_.replace(pos, 2,
+                                             std::to_string(obs_->id()));
+            if (!lifecycleExportPath_.empty()) {
+                // Abnormal-exit safety: the context flushes this ring
+                // from atexit/SIGINT/SIGTERM, so an interrupted run
+                // still leaves a loadable (truncated) pipeline trace.
+                lifecycleFlushToken_ = obs_->addFlushHook([this] {
+                    if (lifecycle_)
+                        lifecycle_->exportFile(lifecycleExportPath_);
+                });
+            }
         }
     }
 }
 
 Simulation::~Simulation()
 {
-    if (lifecycle_ && !lifecycleExportPath_.empty())
+    if (lifecycleFlushToken_ != 0)
+        obs_->removeFlushHook(lifecycleFlushToken_);
+    if (lifecycle_ && !lifecycleExportPath_.empty()) {
+        std::lock_guard<std::mutex> lock(ObservabilityContext::exportLock());
         lifecycle_->exportFile(lifecycleExportPath_);
+    }
 }
 
 CpiStack &
@@ -193,27 +219,39 @@ Simulation::translatedFlow(const MacroOp &op)
     if (flowCacheEnabled_ && slot < flowCache_.slots() &&
         translator_->translationStable(op)) {
         const std::uint64_t epoch = translator_->translationEpoch();
-        if (const FlowCache::Entry *hit = flowCache_.lookup(slot, epoch)) {
-            translator_->noteCachedTranslation(op, hit->flow, hit->ctx);
-            curCtx_ = hit->ctx;
-            return hit->flow;
-        }
-        UopFlow flow = translator_->translate(op);
-        applyFusionConfig(flow, params_.frontend);
-        applySpTracking(flow, params_.frontend);
-        curCtx_ = translator_->contextId();
-        if (flow.cacheable)
-            return flowCache_.insert(slot, epoch, curCtx_,
-                                     std::move(flow));
-        scratchFlow_ = std::move(flow);
-        return scratchFlow_;
+        const UopFlow *cached =
+            profiled(HostPhase::FlowCache, [&]() -> const UopFlow * {
+                const FlowCache::Entry *hit =
+                    flowCache_.lookup(slot, epoch);
+                if (!hit)
+                    return nullptr;
+                translator_->noteCachedTranslation(op, hit->flow,
+                                                   hit->ctx);
+                curCtx_ = hit->ctx;
+                return &hit->flow;
+            });
+        if (cached)
+            return *cached;
+        return profiled(HostPhase::Translate, [&]() -> const UopFlow & {
+            UopFlow flow = translator_->translate(op);
+            applyFusionConfig(flow, params_.frontend);
+            applySpTracking(flow, params_.frontend);
+            curCtx_ = translator_->contextId();
+            if (flow.cacheable)
+                return flowCache_.insert(slot, epoch, curCtx_,
+                                         std::move(flow));
+            scratchFlow_ = std::move(flow);
+            return scratchFlow_;
+        });
     }
     ++flowCache_.bypasses;
-    scratchFlow_ = translator_->translate(op);
-    applyFusionConfig(scratchFlow_, params_.frontend);
-    applySpTracking(scratchFlow_, params_.frontend);
-    curCtx_ = translator_->contextId();
-    return scratchFlow_;
+    return profiled(HostPhase::Translate, [&]() -> const UopFlow & {
+        scratchFlow_ = translator_->translate(op);
+        applyFusionConfig(scratchFlow_, params_.frontend);
+        applySpTracking(scratchFlow_, params_.frontend);
+        curCtx_ = translator_->contextId();
+        return scratchFlow_;
+    });
 }
 
 void
@@ -254,9 +292,15 @@ Simulation::step()
         csd_fatal("Simulation: no instruction at pc 0x", std::hex,
                   state_.pc);
 
+    // Route this thread's trace/stats/log fast paths through our
+    // context (cheap TLS compare; only rebinds when a worker pool
+    // moved us to another thread or ran a different simulation here).
+    if (ObservabilityContext::currentOrNull() != obs_)
+        obs_->bindToThread();
+
     // Keep clock-less components' trace events roughly on the timeline.
     if (traceAnyEnabled())
-        TraceManager::instance().setTimeHint(cycles_);
+        obs_->tracer().setTimeHint(cycles_);
 
     // Power-gating decision (unit-criticality predictor input).
     if (power_) {
@@ -283,7 +327,8 @@ Simulation::step()
 
     // Functional execution with per-uop annotations (into a reused
     // buffer: the DynUop vector's heap spill survives across steps).
-    executor_.executeInto(*op, flow, scratchResult_);
+    profiled(HostPhase::Execute,
+             [&] { executor_.executeInto(*op, flow, scratchResult_); });
     const FlowResult &result = scratchResult_;
 
     // DIFT propagation (program order, as the hardware would).
@@ -291,9 +336,11 @@ Simulation::step()
         taint_->propagate(flow, result);
 
     if (params_.mode == SimMode::Detailed)
-        stepDetailed(*op, flow, result);
+        profiled(HostPhase::Pipeline,
+                 [&] { stepDetailed(*op, flow, result); });
     else
-        stepCacheOnly(*op, flow, result);
+        profiled(HostPhase::Memory,
+                 [&] { stepCacheOnly(*op, flow, result); });
 
     ++instructions_;
     uopsSimulated_ += result.dynUops.size();
@@ -325,6 +372,7 @@ Simulation::sampleEvery(Tick interval, std::vector<std::string> stat_paths)
 void
 Simulation::maybeSample()
 {
+    HostProfiler::Scope prof(obs_->profiler(), HostPhase::StatOverhead);
     IntervalSample sample;
     sample.cycle = cycles_;
     sample.values.reserve(samplePaths_.size());
@@ -575,6 +623,97 @@ Simulation::ipc() const
     return cycles_ == 0
         ? 0.0
         : static_cast<double>(instructions_.value()) / cycles_;
+}
+
+obs::Manifest
+Simulation::buildManifest() const
+{
+    // Hash everything that defines the *simulated* run — program shape
+    // and architectural parameters — and nothing host-side (flow cache,
+    // jobs, output paths), so runs that should be comparable hash
+    // equal regardless of how they were executed.
+    obs::ConfigHasher h;
+    h.add("mode", params_.mode == SimMode::Detailed ? "detailed"
+                                                    : "cache_only");
+    h.add("max_instructions", params_.maxInstructions);
+    h.add("program.instructions",
+          static_cast<std::uint64_t>(prog_.code().size()));
+    h.add("program.entry", static_cast<std::uint64_t>(prog_.entry()));
+
+    const FrontEndParams &fe = params_.frontend;
+    h.add("fe.fetch_bytes", fe.fetchBytesPerCycle);
+    h.add("fe.macro_queue", fe.macroQueueEntries);
+    h.add("fe.decode_width", fe.decodeWidth);
+    h.add("fe.simple_decoders", fe.simpleDecoders);
+    h.add("fe.complex_max_uops", fe.complexDecoderMaxUops);
+    h.add("fe.msrom_width", fe.msromWidth);
+    h.add("fe.uc_enabled", static_cast<std::uint64_t>(fe.uopCacheEnabled));
+    h.add("fe.uc_sets", fe.uopCacheSets);
+    h.add("fe.uc_ways", fe.uopCacheWays);
+    h.add("fe.uc_slots", fe.uopCacheSlotsPerWay);
+    h.add("fe.uc_window", fe.uopCacheWindowBytes);
+    h.add("fe.uc_max_ways", fe.uopCacheMaxWaysPerWindow);
+    h.add("fe.uc_stream", fe.uopCacheStreamWidth);
+    h.add("fe.uc_ctx_bits",
+          static_cast<std::uint64_t>(fe.uopCacheContextBits));
+    h.add("fe.uc_switch_penalty", fe.uopCacheSwitchPenalty);
+    h.add("fe.lsd_enabled", static_cast<std::uint64_t>(fe.lsdEnabled));
+    h.add("fe.lsd_slots", fe.lsdMaxSlots);
+    h.add("fe.lsd_stream", fe.lsdStreamWidth);
+    h.add("fe.macro_fusion", static_cast<std::uint64_t>(fe.macroFusion));
+    h.add("fe.micro_fusion", static_cast<std::uint64_t>(fe.microFusion));
+    h.add("fe.sp_tracker", static_cast<std::uint64_t>(fe.spTracker));
+
+    const MemHierarchyParams &mem = params_.mem;
+    const auto cache = [&h](const char *level, const CacheParams &c) {
+        h.add(std::string(level) + ".size", c.sizeBytes);
+        h.add(std::string(level) + ".assoc", c.assoc);
+        h.add(std::string(level) + ".latency", c.hitLatency);
+    };
+    cache("mem.l1i", mem.l1i);
+    cache("mem.l1d", mem.l1d);
+    cache("mem.l2", mem.l2);
+    cache("mem.llc", mem.llc);
+    h.add("mem.dram_latency", mem.dramLatency);
+    h.add("mem.extra_l2_latency", mem.extraL2Latency);
+
+    const BackEndParams &be = params_.backend;
+    h.add("be.rob", be.robEntries);
+    h.add("be.commit_width", be.commitWidth);
+    h.add("be.dispatch_latency", be.dispatchLatency);
+    h.add("be.mispredict_resteer", be.mispredictResteer);
+    h.add("be.taken_bubble", be.takenBranchBubble);
+
+    const BranchPredParams &bp = params_.bpred;
+    h.add("bp.gshare", bp.gshareEntries);
+    h.add("bp.history", bp.historyBits);
+    h.add("bp.btb", bp.btbEntries);
+    h.add("bp.ras", bp.rasEntries);
+
+    const EnergyParams &en = params_.energy;
+    h.add("en.int_alu", en.intAluEnergy);
+    h.add("en.vec_alu", en.vecAluEnergy);
+    h.add("en.core_leakage", en.coreLeakage);
+    h.add("en.vpu_leakage", en.vpuLeakage);
+    h.add("en.header_ratio", en.headerAreaRatio);
+
+    obs::Manifest manifest;
+    manifest.configHash = h.hex();
+    // No context id here: it depends on construction order, and the
+    // manifest promises "deterministic except phases" for a fixed
+    // build + host + configuration.
+    manifest.note("translator_epoch", translator_->translationEpoch());
+    return manifest;
+}
+
+void
+Simulation::dumpStatsJson(std::ostream &os) const
+{
+    const obs::Manifest manifest = buildManifest();
+    stats_.dumpJson(os, 0,
+                    [&](std::ostream &out, const std::string &indent) {
+                        manifest.write(out, indent, &obs_->profiler());
+                    });
 }
 
 } // namespace csd

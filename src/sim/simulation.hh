@@ -34,6 +34,8 @@
 #include "dift/taint.hh"
 #include "isa/program.hh"
 #include "memory/hierarchy.hh"
+#include "obs/context.hh"
+#include "obs/manifest.hh"
 #include "power/energy.hh"
 #include "power/gating.hh"
 
@@ -59,6 +61,16 @@ struct SimParams
     BranchPredParams bpred;
     EnergyParams energy;
     std::uint64_t maxInstructions = 1ull << 40;
+
+    /**
+     * The observability context this simulation records into (stats
+     * detail, event/lifecycle tracing, log sink, host profiler). Null
+     * = the simulation creates and owns a private context inheriting
+     * the constructing thread's configuration; non-null = share the
+     * caller's context (e.g. DuoSimulation's two halves record one
+     * combined trace). The caller keeps ownership.
+     */
+    ObservabilityContext *obs = nullptr;
 };
 
 /** One interval-sampler observation: selected stats at a cycle. */
@@ -208,10 +220,40 @@ class Simulation
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
 
-    /** Hierarchical JSON dump of the whole stat tree. */
-    void dumpStatsJson(std::ostream &os) const { stats_.dumpJson(os); }
+    /** The observability context this simulation records into. */
+    ObservabilityContext &obs() const { return *obs_; }
+
+    /**
+     * Hierarchical JSON dump of the whole stat tree, led by a
+     * "manifest" member (obs/manifest.hh) recording the configuration
+     * hash, build/host provenance, translator epoch, and host
+     * wall-time phases of this run.
+     */
+    void dumpStatsJson(std::ostream &os) const;
+
+    /** The run-provenance record emitted by dumpStatsJson(). */
+    obs::Manifest buildManifest() const;
 
   private:
+    /**
+     * Run @p fn with its host time attributed to @p phase when the
+     * profiler is on. The disabled branch calls @p fn with no Scope in
+     * scope at all: keeping the clock reads out of the hot loop's
+     * codegen is worth the duplicated call — an unconditional
+     * HostProfiler::Scope costs double-digit percent simulation
+     * throughput even when it never reads the clock.
+     */
+    template <typename Fn>
+    decltype(auto) profiled(HostPhase phase, Fn &&fn)
+    {
+        HostProfiler &prof = obs_->profiler();
+        if (prof.enabled()) [[unlikely]] {
+            HostProfiler::Scope scope(prof, phase);
+            return fn();
+        }
+        return fn();
+    }
+
     void maybeSample();
     const UopFlow &translatedFlow(const MacroOp &op);
     void stepDetailed(const MacroOp &op, const UopFlow &flow,
@@ -221,6 +263,12 @@ class Simulation
 
     const Program &prog_;
     SimParams params_;
+
+    // Observability context, constructed (and bound to the building
+    // thread) before any component so construction-time trace/log
+    // events already land in the right buffers.
+    std::unique_ptr<ObservabilityContext> ownedObs_;  //!< null if shared
+    ObservabilityContext *obs_;
 
     ArchState state_;
     FunctionalExecutor executor_;
@@ -267,6 +315,7 @@ class Simulation
     std::unique_ptr<CpiStack> cpiStack_;
     std::unique_ptr<LifecycleTracer> lifecycle_;
     std::string lifecycleExportPath_;
+    std::uint64_t lifecycleFlushToken_ = 0;  //!< context flush-hook handle
     std::uint64_t feL1iSeen_ = 0;     //!< fetch-stall counter watermark
     std::uint64_t feDecodeSeen_ = 0;  //!< decode-bw counter watermark
 

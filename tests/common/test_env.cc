@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Strict integer-setting parser tests (common/env.hh): every numeric
+ * env/CLI knob must reject malformed values loudly rather than fall
+ * back to a default.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "common/env.hh"
+
+namespace csd
+{
+namespace
+{
+
+TEST(EnvParse, PositiveSettingAcceptsOnlyStrictPositives)
+{
+    EXPECT_EQ(parsePositiveSetting("K", "1"), 1u);
+    EXPECT_EQ(parsePositiveSetting("K", "65536"), 65536u);
+    EXPECT_THROW(parsePositiveSetting("K", "0"), std::runtime_error);
+    EXPECT_THROW(parsePositiveSetting("K", "-1"), std::runtime_error);
+    EXPECT_THROW(parsePositiveSetting("K", ""), std::runtime_error);
+    EXPECT_THROW(parsePositiveSetting("K", "abc"), std::runtime_error);
+    EXPECT_THROW(parsePositiveSetting("K", "16k"), std::runtime_error);
+    EXPECT_THROW(parsePositiveSetting("K", "1 "), std::runtime_error);
+    EXPECT_THROW(parsePositiveSetting("K", nullptr), std::runtime_error);
+    EXPECT_THROW(parsePositiveSetting("K", "99999999999999999999999999"),
+                 std::runtime_error);
+}
+
+TEST(EnvParse, NonNegativeSettingAllowsZeroAuto)
+{
+    EXPECT_EQ(parseNonNegativeSetting("J", "0"), 0u);
+    EXPECT_EQ(parseNonNegativeSetting("J", "8"), 8u);
+    EXPECT_THROW(parseNonNegativeSetting("J", "-1"), std::runtime_error);
+    EXPECT_THROW(parseNonNegativeSetting("J", "8x"), std::runtime_error);
+    EXPECT_THROW(parseNonNegativeSetting("J", ""), std::runtime_error);
+}
+
+TEST(EnvParse, ErrorMessageNamesTheSetting)
+{
+    try {
+        parsePositiveSetting("CSD_TRACE_CAPACITY", "12abc");
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("CSD_TRACE_CAPACITY"), std::string::npos);
+        EXPECT_NE(msg.find("12abc"), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace csd

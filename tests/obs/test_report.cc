@@ -1,0 +1,144 @@
+/**
+ * @file
+ * csd-report engine tests: stat-tree flattening (group-name splicing,
+ * {value, desc} collapse, manifest exclusion), key classification, and
+ * diff ranking — including the acceptance case where an injected
+ * CPI-bucket regression must outrank every other mover.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "common/json.hh"
+#include "obs/report.hh"
+
+namespace csd::obs
+{
+namespace
+{
+
+std::map<std::string, double>
+flatten(const std::string &json)
+{
+    const minijson::JsonPtr doc = minijson::parseJson(json);
+    std::map<std::string, double> out;
+    flattenNumeric(*doc, "", out);
+    return out;
+}
+
+TEST(ReportFlatten, SplicesGroupNamesAndCollapsesStatLeaves)
+{
+    const auto flat = flatten(R"({
+        "name": "sim",
+        "instructions": {"value": 4200, "desc": "retired"},
+        "groups": [
+            {"name": "frontend",
+             "counters": {"slots_legacy": {"value": 17, "desc": "d"}},
+             "groups": [
+                 {"name": "uop_cache", "hits": {"value": 3}}
+             ]},
+            {"name": "cpi_stack", "cpi_base": {"value": 0.8, "desc": "b"}}
+        ]
+    })");
+    EXPECT_EQ(flat.at("instructions"), 4200.0);
+    EXPECT_EQ(flat.at("frontend.counters.slots_legacy"), 17.0);
+    EXPECT_EQ(flat.at("frontend.uop_cache.hits"), 3.0);
+    EXPECT_EQ(flat.at("cpi_stack.cpi_base"), 0.8);
+    // "groups" never appears as a path segment.
+    for (const auto &[key, value] : flat)
+        EXPECT_EQ(key.find("groups"), std::string::npos) << key;
+}
+
+TEST(ReportFlatten, SkipsManifestStringsAndIndexesPlainArrays)
+{
+    const auto flat = flatten(R"({
+        "manifest": {"schema_version": 1, "phases": {"total": 9.9}},
+        "title": "a string",
+        "ready": true,
+        "latencies": [4, 12]
+    })");
+    EXPECT_EQ(flat.count("manifest.schema_version"), 0u);
+    EXPECT_EQ(flat.count("manifest.phases.total"), 0u);
+    EXPECT_EQ(flat.count("title"), 0u);
+    EXPECT_EQ(flat.count("ready"), 0u);
+    EXPECT_EQ(flat.at("latencies[0]"), 4.0);
+    EXPECT_EQ(flat.at("latencies[1]"), 12.0);
+}
+
+TEST(ReportClassify, BucketsKeysByDomain)
+{
+    EXPECT_EQ(classifyKey("cpi_stack.cpi_csd_decoy"), "cpi");
+    EXPECT_EQ(classifyKey("energy.core_total"), "energy");
+    EXPECT_EQ(classifyKey("power.vpu_nj"), "energy");
+    EXPECT_EQ(classifyKey("stats.leakage_bits"), "energy");
+    EXPECT_EQ(classifyKey("channel.prime_probe_hits"), "channel");
+    EXPECT_EQ(classifyKey("stealth_overhead"), "channel");
+    EXPECT_EQ(classifyKey("frontend.slots_legacy"), "other");
+}
+
+TEST(ReportDiff, RanksInjectedCpiRegressionFirst)
+{
+    const std::map<std::string, double> old_stats = {
+        {"cpi_stack.cpi_csd_decoy", 0.05},
+        {"cpi_stack.cpi_base", 0.91},
+        {"energy.core_nj", 1520.0},
+        {"frontend.hits", 9000.0},
+    };
+    std::map<std::string, double> new_stats = old_stats;
+    new_stats["cpi_stack.cpi_csd_decoy"] = 0.20;  // the regression
+    new_stats["energy.core_nj"] = 1520.04;        // noise-level drift
+
+    const auto rows = diffStats(old_stats, new_stats);
+    ASSERT_EQ(rows.size(), 2u);  // unchanged keys are dropped
+    EXPECT_EQ(rows[0].key, "cpi_stack.cpi_csd_decoy");
+    EXPECT_EQ(rows[0].kind, "cpi");
+    EXPECT_NEAR(rows[0].delta, 0.15, 1e-12);
+    EXPECT_NEAR(rows[0].pct, 300.0, 1e-9);
+    EXPECT_EQ(rows[1].key, "energy.core_nj");
+}
+
+TEST(ReportDiff, FlagsOneSidedKeys)
+{
+    const auto rows = diffStats({{"gone_stat", 5.0}}, {{"new_stat", 2.0}});
+    ASSERT_EQ(rows.size(), 2u);
+    // |−5| > |2| → the vanished key ranks first.
+    EXPECT_TRUE(rows[0].onlyOld);
+    EXPECT_EQ(rows[0].key, "gone_stat");
+    EXPECT_EQ(rows[0].delta, -5.0);
+    EXPECT_EQ(rows[0].pct, -100.0);
+    EXPECT_TRUE(rows[1].onlyNew);
+    EXPECT_EQ(rows[1].delta, 2.0);
+}
+
+TEST(ReportWrite, FiltersByKindAndCapsRows)
+{
+    const auto rows = diffStats(
+        {{"cpi_stack.cpi_a", 1.0}, {"cpi_stack.cpi_b", 2.0},
+         {"energy.core_nj", 10.0}},
+        {{"cpi_stack.cpi_a", 1.5}, {"cpi_stack.cpi_b", 2.25},
+         {"energy.core_nj", 10.1}});
+
+    std::ostringstream all;
+    writeReport(all, rows, 0);
+    EXPECT_NE(all.str().find("cpi_stack.cpi_a"), std::string::npos);
+    EXPECT_NE(all.str().find("energy.core_nj"), std::string::npos);
+
+    std::ostringstream cpi_only;
+    writeReport(cpi_only, rows, 0, "cpi");
+    EXPECT_EQ(cpi_only.str().find("energy.core_nj"), std::string::npos);
+
+    std::ostringstream capped;
+    writeReport(capped, rows, 1);
+    EXPECT_NE(capped.str().find("2 more rows"), std::string::npos);
+
+    std::ostringstream empty;
+    writeReport(empty, diffStats({}, {}), 0);
+    EXPECT_NE(empty.str().find("no differing statistics"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace csd::obs

@@ -54,6 +54,22 @@ expectIdentical(const RunRecord &on, const RunRecord &off)
     EXPECT_GT(off.fcBypasses, 0u);
 }
 
+/**
+ * Blank the manifest's host wall-time phases — the one legitimately
+ * nondeterministic line in a stats dump (the same subtree
+ * scripts/check_sidecar_determinism.py normalizes).
+ */
+std::string
+scrubPhases(std::string dump)
+{
+    const std::size_t begin = dump.find("\"phases\":");
+    if (begin == std::string::npos)
+        return dump;
+    const std::size_t end = dump.find('\n', begin);
+    dump.replace(begin, end - begin, "\"phases\": {}");
+    return dump;
+}
+
 RunRecord
 finishRecord(Simulation &sim, ContextSensitiveDecoder &csd)
 {
@@ -66,7 +82,7 @@ finishRecord(Simulation &sim, ContextSensitiveDecoder &csd)
     std::ostringstream sim_os, csd_os;
     sim.dumpStatsJson(sim_os);
     csd.stats().dumpJson(csd_os);
-    rec.simStats = sim_os.str();
+    rec.simStats = scrubPhases(sim_os.str());
     rec.csdStats = csd_os.str();
     rec.fcHits = sim.flowCache().hits;
     rec.fcMisses = sim.flowCache().misses;

@@ -87,7 +87,9 @@ class ObservabilityTest : public ::testing::Test
 /**
  * Acceptance: a detailed simulation with CSD_TRACE-style configuration
  * ("UopCache,Gating") exports a parseable Chrome trace containing at
- * least one event per enabled category.
+ * least one event per enabled category. The simulation records into
+ * its own ObservabilityContext's tracer (inheriting the flag mask from
+ * the context bound when it was constructed), not the process tracer.
  */
 TEST_F(ObservabilityTest, DetailedRunProducesChromeTrace)
 {
@@ -111,11 +113,14 @@ TEST_F(ObservabilityTest, DetailedRunProducesChromeTrace)
     sim.runToHalt();
     power.finalize(sim.cycles());
 
-    EXPECT_GT(tm.size(), 0u);
+    // The process tracer saw nothing; the simulation's context did.
+    TraceManager &sim_tm = sim.obs().tracer();
+    EXPECT_EQ(tm.size(), 0u);
+    EXPECT_GT(sim_tm.size(), 0u);
 
     const std::string path =
         ::testing::TempDir() + "/csd_observability_trace.json";
-    ASSERT_TRUE(tm.exportChromeTrace(path));
+    ASSERT_TRUE(sim_tm.exportChromeTrace(path));
 
     std::ifstream in(path);
     ASSERT_TRUE(in.good());
