@@ -7,7 +7,9 @@ asserts that csd-report:
   - exits 1 (files differ) and 0 when diffing a file against itself,
   - ranks the injected regression first,
   - reports its absolute delta and percentage,
-  - honors --kind cpi filtering.
+  - honors --kind cpi filtering,
+  - writes a machine-readable --json report that parses, ranks the
+    regression first, and matches the exit-code verdict.
 
 Usage: check_csd_report.py <csd-report-binary>
 """
@@ -107,11 +109,40 @@ def main():
         if "cpi_csd_decoy" not in proc.stdout:
             fail(f"--kind cpi dropped the CPI row:\n{proc.stdout}")
 
+        json_out = os.path.join(tmpdir, "diff.json")
+        proc = run(tool, [old, new, "--json", json_out])
+        if proc.returncode != 1:
+            fail(f"--json diff should exit 1, got {proc.returncode}")
+        try:
+            with open(json_out) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(f"--json report unreadable or invalid: {e}")
+        for key in ("schema_version", "old", "new", "differing", "rows"):
+            if key not in doc:
+                fail(f"--json report missing key '{key}'")
+        if doc["differing"] != len(doc["rows"]):
+            fail(
+                f"--json 'differing' {doc['differing']} != "
+                f"row count {len(doc['rows'])}"
+            )
+        if not doc["rows"] or "cpi_csd_decoy" not in doc["rows"][0]["key"]:
+            fail(f"--json rows do not rank the regression first: {doc['rows']}")
+        row = doc["rows"][0]
+        for key in ("key", "kind", "old", "new", "delta", "pct", "status"):
+            if key not in row:
+                fail(f"--json row missing key '{key}'")
+        if abs(row["delta"] - 0.15) > 1e-9 or row["status"] != "changed":
+            fail(f"--json row has wrong delta/status: {row}")
+
         proc = run(tool, [old])
         if proc.returncode != 2:
             fail(f"bad usage should exit 2, got {proc.returncode}")
 
-    print("check_csd_report: OK: injected CPI regression ranked first")
+    print(
+        "check_csd_report: OK: injected CPI regression ranked first "
+        "(text and --json)"
+    )
 
 
 if __name__ == "__main__":

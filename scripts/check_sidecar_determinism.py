@@ -3,12 +3,19 @@
 
 Runs the given bench binary twice — with --jobs 1 and --jobs N (default
 8) — each time with event tracing armed (CSD_TRACE=all, exported to a
-per-context file via "%c"), and demands the two JSON sidecars be
+per-context file via "%c") and channel heatmap export armed
+(CSD_CHANNEL_HEATMAP_DIR), and demands the two JSON sidecars be
 byte-identical after normalizing exactly one subtree: manifest.phases,
 the host wall-time attribution, which is the only legitimately
 nondeterministic content. Any other difference (reordered stats, rows
 filled by worker threads out of case order, a --jobs-dependent
 config_hash) is a bug and fails the check.
+
+Heatmap exports (memory/set_monitor.hh CSV/JSON files written under
+CSD_CHANNEL_HEATMAP_DIR) use case-derived file names, so the same set
+of files with byte-identical contents must appear at any --jobs; both
+are checked. Harnesses without a channel monitor export nothing, which
+trivially passes.
 
 Usage: check_sidecar_determinism.py <bench-binary> [--jobs N] [args...]
 
@@ -29,9 +36,12 @@ def fail(msg):
 
 def run_once(bench, jobs, args, tmpdir):
     path = os.path.join(tmpdir, f"sidecar_jobs{jobs}.json")
+    heatmap_dir = os.path.join(tmpdir, f"heatmaps_jobs{jobs}")
+    os.makedirs(heatmap_dir, exist_ok=True)
     env = dict(os.environ)
     env["CSD_TRACE"] = "all"
     env["CSD_TRACE_FILE"] = os.path.join(tmpdir, f"trace_jobs{jobs}_%c.json")
+    env["CSD_CHANNEL_HEATMAP_DIR"] = heatmap_dir
     proc = subprocess.run(
         [bench, "--json", path, "--jobs", str(jobs)] + args,
         stdout=subprocess.PIPE,
@@ -52,7 +62,11 @@ def run_once(bench, jobs, args, tmpdir):
         for ln in proc.stdout.splitlines()
         if "trace: wrote" not in ln
     ]
-    return raw, "\n".join(lines)
+    heatmaps = {}
+    for name in sorted(os.listdir(heatmap_dir)):
+        with open(os.path.join(heatmap_dir, name), "rb") as f:
+            heatmaps[name] = f.read()
+    return raw, "\n".join(lines), heatmaps
 
 
 def normalize(raw, label):
@@ -80,8 +94,21 @@ def main():
         argv = argv[2:]
 
     with tempfile.TemporaryDirectory(prefix="sidecar_det_") as tmpdir:
-        serial, out1 = run_once(bench, 1, argv, tmpdir)
-        parallel, outn = run_once(bench, jobs, argv, tmpdir)
+        serial, out1, maps1 = run_once(bench, 1, argv, tmpdir)
+        parallel, outn, mapsn = run_once(bench, jobs, argv, tmpdir)
+
+        if sorted(maps1) != sorted(mapsn):
+            fail(
+                f"heatmap file sets differ between --jobs 1 and "
+                f"--jobs {jobs}:\n  jobs 1: {sorted(maps1)}\n"
+                f"  jobs {jobs}: {sorted(mapsn)}"
+            )
+        for name, blob in maps1.items():
+            if mapsn[name] != blob:
+                fail(
+                    f"heatmap export '{name}' is not byte-identical "
+                    f"between --jobs 1 and --jobs {jobs}"
+                )
 
         if out1 != outn:
             for a, b in zip(out1.splitlines(), outn.splitlines()):
@@ -106,17 +133,20 @@ def main():
         # The raw bytes must match too once phases are the only delta:
         # reserialize both untouched docs and compare — this catches
         # formatting nondeterminism json.loads() would mask.
+        heatmap_note = f", {len(maps1)} heatmap file(s) byte-identical"
         if json.dumps(json.loads(serial)) == json.dumps(json.loads(parallel)):
             print(
                 "check_sidecar_determinism: OK: "
                 f"{os.path.basename(bench)} --jobs 1 vs --jobs {jobs}: "
                 "sidecars byte-identical up to manifest.phases"
+                + heatmap_note
             )
         else:
             print(
                 "check_sidecar_determinism: OK: "
                 f"{os.path.basename(bench)} --jobs 1 vs --jobs {jobs}: "
                 "sidecars identical after normalizing manifest.phases"
+                + heatmap_note
             )
 
 

@@ -52,6 +52,9 @@ UopCache::lookup(Addr pc, unsigned ctx)
     const bool hit = matching > 0 && matching == needed;
     if (hit)
         ++hits_;
+    if (monitor_) [[unlikely]]
+        monitor_->recordAccess(CacheSetMonitor::Structure::UopCache,
+                               setIndex(window), window, !hit);
     return hit;
 }
 
@@ -105,6 +108,9 @@ UopCache::fill(Addr window, unsigned ctx, unsigned fused_slots,
         unsigned slots = per_way;
         if (need == ways_needed - 1 && fused_slots % per_way != 0)
             slots = fused_slots % per_way;
+        if (victim->valid && monitor_) [[unlikely]]
+            monitor_->recordEviction(CacheSetMonitor::Structure::UopCache,
+                                     setIndex(window));
         victim->valid = true;
         victim->window = window;
         victim->ctx = ctx;
@@ -124,6 +130,9 @@ UopCache::invalidateWindow(Addr window, unsigned ctx)
         if (base[i].valid && base[i].window == window &&
             base[i].ctx == ctx) {
             base[i] = Way();
+            if (monitor_) [[unlikely]]
+                monitor_->recordInvalidation(
+                    CacheSetMonitor::Structure::UopCache, setIndex(window));
         }
     }
 }

@@ -23,6 +23,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "decode/params.hh"
+#include "memory/set_monitor.hh"
 
 namespace csd
 {
@@ -76,6 +77,19 @@ class UopCache
                           : static_cast<double>(hits_.value()) / total;
     }
 
+    /**
+     * Mirror lookups/fills/evictions into @p monitor as
+     * Structure::UopCache (null disarms). Same off-by-default contract
+     * as Cache::setMonitor().
+     */
+    void setMonitor(CacheSetMonitor *monitor)
+    {
+        monitor_ = monitor;
+        if (monitor_)
+            monitor_->attach(CacheSetMonitor::Structure::UopCache,
+                             params_.uopCacheSets);
+    }
+
     StatGroup &stats() { return stats_; }
 
   private:
@@ -100,6 +114,7 @@ class UopCache
     FrontEndParams params_;
     std::vector<Way> ways_;
     std::uint64_t lruClock_ = 0;
+    CacheSetMonitor *monitor_ = nullptr;  //!< null = disarmed
 
     StatGroup stats_;
     Counter lookups_;

@@ -61,14 +61,18 @@ Cache::access(Addr addr, bool is_write)
     if (is_write)
         ++writeAccesses_;
     Line *line = findLine(addr);
-    if (line) {
+    const bool hit = line != nullptr;
+    if (hit) {
         line->lruStamp = ++lruClock_;
         if (is_write)
             line->dirty = true;
-        return true;
+    } else {
+        ++misses_;
     }
-    ++misses_;
-    return false;
+    if (monitor_) [[unlikely]]
+        monitor_->recordAccess(monitorStructure_, setIndex(addr),
+                               blockAlign(addr), !hit);
+    return hit;
 }
 
 bool
@@ -93,8 +97,11 @@ Cache::fill(Addr addr)
         if (base[way].lruStamp < victim->lruStamp)
             victim = &base[way];
     }
-    if (victim->valid)
+    if (victim->valid) {
         ++evictions_;
+        if (monitor_) [[unlikely]]
+            monitor_->recordEviction(monitorStructure_, set);
+    }
     victim->valid = true;
     victim->dirty = false;
     victim->tag = blockAlign(addr);
@@ -111,6 +118,8 @@ Cache::invalidate(Addr addr)
     line->dirty = false;
     line->tag = invalidAddr;
     ++invalidations_;
+    if (monitor_) [[unlikely]]
+        monitor_->recordInvalidation(monitorStructure_, setIndex(addr));
     return true;
 }
 

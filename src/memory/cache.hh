@@ -17,6 +17,7 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "memory/set_monitor.hh"
 
 namespace csd
 {
@@ -65,6 +66,23 @@ class Cache
     Cycles hitLatency() const { return params_.hitLatency; }
     const std::string &name() const { return params_.name; }
 
+    /**
+     * Arm (or disarm, with nullptr) per-set telemetry: every
+     * access/fill/invalidate is mirrored into @p monitor as
+     * @p structure. Off by default; the hot paths pay one pointer test
+     * behind an [[unlikely]] branch when disarmed.
+     */
+    void setMonitor(CacheSetMonitor *monitor,
+                    CacheSetMonitor::Structure structure)
+    {
+        monitor_ = monitor;
+        monitorStructure_ = structure;
+        if (monitor_)
+            monitor_->attach(structure, numSets_);
+    }
+
+    CacheSetMonitor *monitor() const { return monitor_; }
+
     StatGroup &stats() { return stats_; }
     std::uint64_t accesses() const { return accesses_.value(); }
     std::uint64_t misses() const { return misses_.value(); }
@@ -96,6 +114,11 @@ class Cache
     unsigned numSets_;
     std::vector<Line> lines_;   //!< numSets_ x assoc, row-major
     std::uint64_t lruClock_ = 0;
+
+    // Channel-observability hook (null = disarmed, the default).
+    CacheSetMonitor *monitor_ = nullptr;
+    CacheSetMonitor::Structure monitorStructure_ =
+        CacheSetMonitor::Structure::L1D;
 
     StatGroup stats_;
     Counter accesses_;

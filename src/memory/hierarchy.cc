@@ -96,6 +96,19 @@ MemHierarchy::flush(Addr addr)
     llc_->invalidate(addr);
 }
 
+CacheSetMonitor &
+MemHierarchy::armSetMonitor(const SetMonitorConfig &config)
+{
+    if (!setMonitor_) {
+        setMonitor_ = std::make_unique<CacheSetMonitor>(config);
+        l1i_->setMonitor(setMonitor_.get(),
+                         CacheSetMonitor::Structure::L1I);
+        l1d_->setMonitor(setMonitor_.get(),
+                         CacheSetMonitor::Structure::L1D);
+    }
+    return *setMonitor_;
+}
+
 void
 MemHierarchy::invalidateAll()
 {

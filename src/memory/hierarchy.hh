@@ -19,6 +19,7 @@
 #include "common/trace.hh"
 #include "common/types.hh"
 #include "memory/cache.hh"
+#include "memory/set_monitor.hh"
 
 namespace csd
 {
@@ -77,6 +78,18 @@ class MemHierarchy
     /** Set the DIFT tag-check penalty on L2 accesses. */
     void setExtraL2Latency(Cycles extra) { params_.extraL2Latency = extra; }
 
+    /**
+     * Arm per-set channel telemetry on the attacker-observable L1
+     * structures (L1I + L1D; the uop cache attaches itself via
+     * UopCache::setMonitor). Idempotent — a second call keeps the
+     * existing monitor and its counters. The hierarchy owns the
+     * monitor.
+     */
+    CacheSetMonitor &armSetMonitor(const SetMonitorConfig &config = {});
+
+    /** The armed monitor, or null (the default: zero telemetry cost). */
+    CacheSetMonitor *setMonitor() const { return setMonitor_.get(); }
+
     StatGroup &stats() { return stats_; }
 
   private:
@@ -87,6 +100,7 @@ class MemHierarchy
     std::unique_ptr<Cache> l1d_;
     std::unique_ptr<Cache> l2_;
     std::unique_ptr<Cache> llc_;
+    std::unique_ptr<CacheSetMonitor> setMonitor_;
 
     StatGroup stats_;
     Counter dramAccesses_;

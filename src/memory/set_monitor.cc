@@ -1,0 +1,255 @@
+#include "memory/set_monitor.hh"
+
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace csd
+{
+
+namespace
+{
+
+/** Bump the schema when the heatmap JSON layout changes. */
+constexpr int setMonitorSchemaVersion = 1;
+
+const char *const structureNames[CacheSetMonitor::numStructures] = {
+    "l1i",
+    "l1d",
+    "uop_cache",
+};
+
+} // namespace
+
+const char *
+CacheSetMonitor::structureName(Structure structure)
+{
+    const auto idx = static_cast<std::size_t>(structure);
+    if (idx >= numStructures)
+        csd_panic("CacheSetMonitor: bad structure ", idx);
+    return structureNames[idx];
+}
+
+CacheSetMonitor::CacheSetMonitor(const SetMonitorConfig &config)
+    : config_(config)
+{
+    if (config_.heatmapInterval == 0)
+        csd_fatal("CacheSetMonitor: heatmapInterval must be > 0");
+}
+
+void
+CacheSetMonitor::attach(Structure structure, unsigned num_sets)
+{
+    StructureState &st = state(structure);
+    if (!st.sets.empty()) {
+        if (st.sets.size() != num_sets)
+            csd_fatal("CacheSetMonitor: re-attaching ",
+                      structureName(structure), " with ", num_sets,
+                      " sets (was ", st.sets.size(), ")");
+        return;
+    }
+    if (num_sets == 0)
+        csd_fatal("CacheSetMonitor: attaching ", structureName(structure),
+                  " with zero sets");
+    st.sets.resize(num_sets);
+    st.currentRow.assign(num_sets, 0);
+}
+
+void
+CacheSetMonitor::recordAccess(Structure structure, unsigned set, Addr block,
+                              bool miss)
+{
+    StructureState &st = state(structure);
+    if (st.sets.empty())
+        return;  // not attached
+    SetCounters &counters = st.sets[set];
+    ++counters.accesses;
+    if (miss)
+        ++counters.misses;
+    if (actor_ == MonitorActor::Victim) {
+        ++counters.victimAccesses;
+        auto watched = st.watchedLines.find(blockAlign(block));
+        if (watched != st.watchedLines.end())
+            ++watched->second;
+    }
+
+    ++st.events;
+    ++st.currentRow[set];
+    if (++st.rowEvents >= config_.heatmapInterval) {
+        if (st.rows.size() < config_.maxHeatmapRows)
+            st.rows.push_back(st.currentRow);
+        else
+            st.truncated = true;
+        st.currentRow.assign(st.sets.size(), 0);
+        st.rowEvents = 0;
+    }
+}
+
+void
+CacheSetMonitor::recordEviction(Structure structure, unsigned set)
+{
+    StructureState &st = state(structure);
+    if (st.sets.empty())
+        return;
+    ++st.sets[set].evictions;
+}
+
+void
+CacheSetMonitor::recordInvalidation(Structure structure, unsigned set)
+{
+    StructureState &st = state(structure);
+    if (st.sets.empty())
+        return;
+    ++st.sets[set].invalidations;
+}
+
+void
+CacheSetMonitor::watchLine(Structure structure, Addr block)
+{
+    StructureState &st = state(structure);
+    if (st.sets.empty())
+        csd_fatal("CacheSetMonitor::watchLine: ", structureName(structure),
+                  " is not attached");
+    st.watchedLines.emplace(blockAlign(block), 0);
+}
+
+std::uint64_t
+CacheSetMonitor::victimLineTouches(Structure structure, Addr block) const
+{
+    const StructureState &st = state(structure);
+    auto watched = st.watchedLines.find(blockAlign(block));
+    return watched == st.watchedLines.end() ? 0 : watched->second;
+}
+
+std::uint64_t
+CacheSetMonitor::victimSetTouches(Structure structure, unsigned set) const
+{
+    const StructureState &st = state(structure);
+    if (set >= st.sets.size())
+        return 0;
+    return st.sets[set].victimAccesses;
+}
+
+void
+CacheSetMonitor::writeHeatmapCsv(std::ostream &os, Structure structure) const
+{
+    const StructureState &st = state(structure);
+    os << "# csd set-heatmap: structure=" << structureName(structure)
+       << " sets=" << st.sets.size()
+       << " interval_events=" << config_.heatmapInterval
+       << " events=" << st.events
+       << (st.truncated ? " truncated=1" : "") << "\n";
+    os << "interval";
+    for (std::size_t set = 0; set < st.sets.size(); ++set)
+        os << ",set" << set;
+    os << "\n";
+    std::size_t row_idx = 0;
+    for (const auto &row : st.rows) {
+        os << row_idx++;
+        for (std::uint32_t count : row)
+            os << "," << count;
+        os << "\n";
+    }
+    if (st.rowEvents > 0 && !st.truncated) {
+        os << row_idx;
+        for (std::uint32_t count : st.currentRow)
+            os << "," << count;
+        os << "\n";
+    }
+}
+
+namespace
+{
+
+void
+writeCounterArray(std::ostream &os, const char *key,
+                  const std::vector<CacheSetMonitor::SetCounters> &sets,
+                  std::uint64_t CacheSetMonitor::SetCounters::*member,
+                  const char *indent)
+{
+    os << indent << "\"" << key << "\": [";
+    for (std::size_t i = 0; i < sets.size(); ++i)
+        os << (i ? "," : "") << sets[i].*member;
+    os << "]";
+}
+
+} // namespace
+
+void
+CacheSetMonitor::writeJson(std::ostream &os) const
+{
+    os << "{\n \"schema_version\": " << setMonitorSchemaVersion << ",\n";
+    os << " \"heatmap_interval_events\": " << config_.heatmapInterval
+       << ",\n";
+    os << " \"structures\": {";
+    bool first_struct = true;
+    for (std::size_t idx = 0; idx < numStructures; ++idx) {
+        const auto structure = static_cast<Structure>(idx);
+        const StructureState &st = state(structure);
+        if (st.sets.empty())
+            continue;
+        os << (first_struct ? "\n" : ",\n");
+        first_struct = false;
+        os << "  \"" << structureName(structure) << "\": {\n";
+        os << "   \"sets\": " << st.sets.size() << ",\n";
+        os << "   \"events\": " << st.events << ",\n";
+        os << "   \"heatmap_truncated\": " << (st.truncated ? "true" : "false")
+           << ",\n";
+        writeCounterArray(os, "accesses", st.sets, &SetCounters::accesses,
+                          "   ");
+        os << ",\n";
+        writeCounterArray(os, "misses", st.sets, &SetCounters::misses, "   ");
+        os << ",\n";
+        writeCounterArray(os, "evictions", st.sets, &SetCounters::evictions,
+                          "   ");
+        os << ",\n";
+        writeCounterArray(os, "invalidations", st.sets,
+                          &SetCounters::invalidations, "   ");
+        os << ",\n";
+        writeCounterArray(os, "victim_accesses", st.sets,
+                          &SetCounters::victimAccesses, "   ");
+        os << ",\n";
+        os << "   \"watched_lines\": {";
+        bool first_line = true;
+        for (const auto &kv : st.watchedLines) {
+            os << (first_line ? "" : ", ") << "\"0x" << std::hex << kv.first
+               << std::dec << "\": " << kv.second;
+            first_line = false;
+        }
+        os << "},\n";
+        os << "   \"heatmap_rows\": " << st.rows.size() << "\n";
+        os << "  }";
+    }
+    os << (first_struct ? "" : "\n ") << "}\n}\n";
+}
+
+std::vector<std::string>
+CacheSetMonitor::exportFiles(const std::string &base) const
+{
+    std::vector<std::string> written;
+    for (std::size_t idx = 0; idx < numStructures; ++idx) {
+        const auto structure = static_cast<Structure>(idx);
+        if (!attached(structure))
+            continue;
+        const std::string path =
+            base + "." + structureName(structure) + ".csv";
+        std::ofstream csv(path);
+        if (!csv) {
+            warn("CacheSetMonitor: cannot open ", path);
+            continue;
+        }
+        writeHeatmapCsv(csv, structure);
+        written.push_back(path);
+    }
+    const std::string json_path = base + ".json";
+    std::ofstream json(json_path);
+    if (json) {
+        writeJson(json);
+        written.push_back(json_path);
+    } else {
+        warn("CacheSetMonitor: cannot open ", json_path);
+    }
+    return written;
+}
+
+} // namespace csd

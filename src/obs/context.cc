@@ -77,6 +77,18 @@ installFlushHandlers()
 
 } // namespace
 
+std::string
+expandContextPath(std::string path, unsigned context_id)
+{
+    const std::string id = std::to_string(context_id);
+    std::size_t pos = 0;
+    while ((pos = path.find("%c", pos)) != std::string::npos) {
+        path.replace(pos, 2, id);
+        pos += id.size();
+    }
+    return path;
+}
+
 ObservabilityContext::ObservabilityContext(ProcessTag)
     : id_(nextContextId++),
       name_("process"),
@@ -98,6 +110,16 @@ ObservabilityContext::ObservabilityContext(ProcessTag)
 
     const char *prof = std::getenv("CSD_HOST_PROFILE");
     profiler_.setEnabled(prof && *prof && *prof != '0');
+
+    const char *cm_env = std::getenv("CSD_CHANNEL_MONITOR");
+    const char *cm_file = std::getenv("CSD_CHANNEL_HEATMAP");
+    channelMonitor_.enabled = (cm_env && *cm_env && *cm_env != '0') ||
+                              (cm_file && *cm_file);
+    if (const char *ival = std::getenv("CSD_CHANNEL_MONITOR_INTERVAL"))
+        channelMonitor_.heatmapInterval =
+            parsePositiveSetting("CSD_CHANNEL_MONITOR_INTERVAL", ival);
+    if (cm_file && *cm_file)
+        channelMonitor_.exportPath = cm_file;
 
     // The legacy atexit hook in trace.cc exports this context's tracer
     // (TraceManager::instance()), so traceExportPath_ stays empty here;
@@ -127,6 +149,7 @@ ObservabilityContext::ObservabilityContext(std::string name)
     statsDetailPtr_ = &statsDetailValue_;
 
     lifecycle_ = parent->lifecycle_;
+    channelMonitor_ = parent->channelMonitor_;
     profiler_.setEnabled(parent->profiler_.enabled());
 
     // Named contexts label their log output; anonymous ones keep the
@@ -201,11 +224,7 @@ ObservabilityContext::bindToThread()
 std::string
 ObservabilityContext::resolvedTraceExportPath() const
 {
-    std::string path = traceExportPath_;
-    const std::size_t pos = path.find("%c");
-    if (pos != std::string::npos)
-        path.replace(pos, 2, std::to_string(id_));
-    return path;
+    return expandContextPath(traceExportPath_, id_);
 }
 
 std::uint64_t

@@ -54,6 +54,14 @@
 namespace csd
 {
 
+/**
+ * Expand every "%c" in @p path to @p context_id. The shared helper
+ * behind all per-context export paths (Chrome trace, lifecycle ring,
+ * channel-monitor heatmaps) — any new export knob must route through
+ * this, not its own single-occurrence find/replace.
+ */
+std::string expandContextPath(std::string path, unsigned context_id);
+
 /** Per-simulation owner of tracing, stats, logging, profiling state. */
 class ObservabilityContext
 {
@@ -64,6 +72,14 @@ class ObservabilityContext
         bool enabled = false;
         std::size_t capacity = 1u << 16;
         std::string exportPath;  //!< empty = no export at teardown
+    };
+
+    /** Channel-monitor (memory/set_monitor.hh) arming, env- or API-set. */
+    struct ChannelMonitorConfig
+    {
+        bool enabled = false;
+        std::uint64_t heatmapInterval = 4096;
+        std::string exportPath;  //!< "%c"-expandable base; empty = none
     };
 
     /**
@@ -133,6 +149,15 @@ class ObservabilityContext
     void setLifecycleConfig(LifecycleConfig config)
     {
         lifecycle_ = std::move(config);
+    }
+
+    const ChannelMonitorConfig &channelMonitorConfig() const
+    {
+        return channelMonitor_;
+    }
+    void setChannelMonitorConfig(ChannelMonitorConfig config)
+    {
+        channelMonitor_ = std::move(config);
     }
 
     // --- trace export / flushing ------------------------------------------
@@ -209,6 +234,7 @@ class ObservabilityContext
     logging_detail::LogSink sink_;
     HostProfiler profiler_;
     LifecycleConfig lifecycle_;
+    ChannelMonitorConfig channelMonitor_;
 
     std::string traceExportPath_;
 

@@ -2,19 +2,24 @@
  * @file
  * csd-report: diff two stats dumps / bench JSON sidecars.
  *
- *   csd-report old.json new.json [--top N] [--kind cpi|energy|channel|other]
+ *   csd-report old.json new.json [--top N] [--json FILE]
+ *              [--kind cpi|energy|channel|other]
  *
  * Prints the statistics that moved between the two artifacts, sorted
  * by absolute delta (largest first), with absolute and percentage
  * change and a coarse kind so CPI buckets, energy terms, and
- * side-channel metrics can be isolated. Exits 0 when the artifacts are
- * identical (modulo manifest), 1 when they differ, 2 on usage or I/O
- * errors — so scripts can use it as a cheap regression gate.
+ * side-channel metrics can be isolated. --json FILE additionally
+ * writes the full (untruncated) diff machine-readably, so CI can gate
+ * on specific keys instead of scraping the table. Exits 0 when the
+ * artifacts are identical (modulo manifest), 1 when they differ, 2 on
+ * usage or I/O errors — so scripts can use it as a cheap regression
+ * gate.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -27,7 +32,7 @@ int
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s old.json new.json [--top N] "
+                 "usage: %s old.json new.json [--top N] [--json FILE] "
                  "[--kind cpi|energy|channel|other]\n",
                  argv0);
     return 2;
@@ -42,6 +47,7 @@ main(int argc, char **argv)
     std::string new_path;
     std::size_t top = 20;
     std::string kind;
+    std::string json_path;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -58,6 +64,10 @@ main(int argc, char **argv)
                 return 2;
             }
             top = static_cast<std::size_t>(n);
+        } else if (arg == "--json") {
+            if (++i >= argc)
+                return usage(argv[0]);
+            json_path = argv[i];
         } else if (arg == "--kind") {
             if (++i >= argc)
                 return usage(argv[0]);
@@ -95,6 +105,21 @@ main(int argc, char **argv)
                   << " (" << rows.size() << " differing statistic"
                   << (rows.size() == 1 ? "" : "s") << ")\n";
         csd::obs::writeReport(std::cout, rows, top, kind);
+        if (!json_path.empty()) {
+            std::ofstream out(json_path);
+            if (!out) {
+                std::fprintf(stderr, "csd-report: cannot write %s\n",
+                             json_path.c_str());
+                return 2;
+            }
+            csd::obs::writeReportJson(out, old_path, new_path, rows,
+                                      kind);
+            if (!out.flush()) {
+                std::fprintf(stderr, "csd-report: write to %s failed\n",
+                             json_path.c_str());
+                return 2;
+            }
+        }
         return rows.empty() ? 0 : 1;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "csd-report: %s\n", e.what());

@@ -33,6 +33,7 @@ enum class HostPhase : unsigned
     Pipeline,      //!< detailed front-end/back-end timing
     Memory,        //!< cache-only memory modeling
     StatOverhead,  //!< interval sampling + stat maintenance
+    ChannelMonitor,  //!< per-set channel telemetry exports
     Other,         //!< instrumented but unclassified
     NumPhases,
 };

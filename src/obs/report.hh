@@ -72,6 +72,18 @@ std::vector<DiffRow> diffStats(
 void writeReport(std::ostream &os, const std::vector<DiffRow> &rows,
                  std::size_t top, const std::string &kind = "");
 
+/**
+ * Machine-readable report: every row (no --top truncation), same
+ * @p kind filter as writeReport. Schema:
+ *   {"schema_version": 1, "old": ..., "new": ...,
+ *    "differing": N, "rows": [{"key", "kind", "old", "new",
+ *    "delta", "pct", "status": "changed"|"gone"|"new"}]}
+ */
+void writeReportJson(std::ostream &os, const std::string &old_path,
+                     const std::string &new_path,
+                     const std::vector<DiffRow> &rows,
+                     const std::string &kind = "");
+
 /** Load + parse + flatten a JSON artifact file; throws on failure. */
 std::map<std::string, double> loadFlattened(const std::string &path);
 

@@ -20,6 +20,9 @@ runAesAttack(Victim &victim, const AesWorkload &workload,
         const Addr monitored = workload.tTableRange.start +
                                table * 1024 +
                                config.monitoredLine * cacheBlockSize;
+        const std::string site = "t" + std::to_string(table);
+        const unsigned monitored_set =
+            victim.mem().l1d().setIndex(monitored);
 
         FlushReloadAttacker fr(victim.mem(), {monitored}, false);
         PrimeProbeAttacker pp(victim.mem(), {monitored}, false);
@@ -40,6 +43,16 @@ runAesAttack(Victim &victim, const AesWorkload &workload,
                     fr.flush();
                 else
                     pp.prime();
+                if (config.ledger) {
+                    if (config.flushReload)
+                        config.ledger->armLine(
+                            site, CacheSetMonitor::Structure::L1D,
+                            monitored);
+                    else
+                        config.ledger->armSet(
+                            site, CacheSetMonitor::Structure::L1D,
+                            monitored_set);
+                }
 
                 victim.invoke();
                 ++result.encryptions;
@@ -47,10 +60,21 @@ runAesAttack(Victim &victim, const AesWorkload &workload,
 
                 bool saw_victim;
                 if (config.flushReload) {
-                    saw_victim = fr.reload()[0].hit;
+                    const ProbeResult probe = fr.reload()[0];
+                    saw_victim = probe.hit;
+                    if (config.ledger)
+                        config.ledger->observeLine(
+                            site, CacheSetMonitor::Structure::L1D,
+                            monitored, monitored_set, probe.latency,
+                            saw_victim);
                 } else {
                     // A probe miss means the victim displaced us.
-                    saw_victim = !pp.probe()[0].hit;
+                    const ProbeResult probe = pp.probe()[0];
+                    saw_victim = !probe.hit;
+                    if (config.ledger)
+                        config.ledger->observeSet(
+                            site, CacheSetMonitor::Structure::L1D,
+                            monitored_set, probe.latency, saw_victim);
                 }
                 if (saw_victim)
                     ++touched;

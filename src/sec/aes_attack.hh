@@ -17,6 +17,7 @@
 
 #include <array>
 
+#include "sec/observation_ledger.hh"
 #include "sec/victim.hh"
 #include "workloads/aes.hh"
 
@@ -41,6 +42,14 @@ struct AesAttackConfig
     bool flushReload = false;
 
     std::uint64_t seed = 1;
+
+    /**
+     * Optional observation ledger: every probe is recorded under site
+     * "t0".."t3" (the monitored T-table) and classified against the
+     * victim's ground-truth accesses. Requires
+     * Victim::armChannelMonitor() first.
+     */
+    ObservationLedger *ledger = nullptr;
 };
 
 /** Attack outcome. */

@@ -22,6 +22,8 @@ FlushReloadAttacker::FlushReloadAttacker(MemHierarchy &mem,
 void
 FlushReloadAttacker::flush()
 {
+    CacheSetMonitor::ScopedActor actor(mem_.setMonitor(),
+                                       MonitorActor::Attacker);
     for (Addr addr : targets_)
         mem_.flush(addr);
 }
@@ -29,6 +31,8 @@ FlushReloadAttacker::flush()
 std::vector<ProbeResult>
 FlushReloadAttacker::reload()
 {
+    CacheSetMonitor::ScopedActor actor(mem_.setMonitor(),
+                                       MonitorActor::Attacker);
     std::vector<ProbeResult> results;
     results.reserve(targets_.size());
     for (Addr addr : targets_) {
@@ -78,6 +82,8 @@ PrimeProbeAttacker::access(Addr addr)
 void
 PrimeProbeAttacker::prime()
 {
+    CacheSetMonitor::ScopedActor actor(mem_.setMonitor(),
+                                       MonitorActor::Attacker);
     for (const auto &eviction_set : evictionSets_)
         for (Addr addr : eviction_set)
             access(addr);
@@ -91,6 +97,8 @@ PrimeProbeAttacker::prime()
 std::vector<ProbeResult>
 PrimeProbeAttacker::probe()
 {
+    CacheSetMonitor::ScopedActor actor(mem_.setMonitor(),
+                                       MonitorActor::Attacker);
     std::vector<ProbeResult> results;
     results.reserve(evictionSets_.size());
     for (std::size_t idx = 0; idx < evictionSets_.size(); ++idx) {

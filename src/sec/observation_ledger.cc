@@ -1,0 +1,183 @@
+#include "sec/observation_ledger.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace csd
+{
+
+namespace
+{
+
+/** Bump when the ledger JSON layout changes. */
+constexpr int ledgerSchemaVersion = 1;
+
+} // namespace
+
+double
+LedgerTally::mutualInformationBits() const
+{
+    const double n = static_cast<double>(total());
+    if (n == 0)
+        return 0.0;
+    const double p_t1 = static_cast<double>(tp + fn) / n;
+    const double p_t0 = static_cast<double>(tn + fp) / n;
+    const double p_o1 = static_cast<double>(tp + fp) / n;
+    const double p_o0 = static_cast<double>(tn + fn) / n;
+    double mi = 0.0;
+    const auto cell = [&](std::uint64_t count, double p_t, double p_o) {
+        if (count == 0)
+            return;  // 0 * log(0) -> 0 in the plug-in estimator
+        const double joint = static_cast<double>(count) / n;
+        mi += joint * std::log2(joint / (p_t * p_o));
+    };
+    cell(tp, p_t1, p_o1);
+    cell(fp, p_t0, p_o1);
+    cell(fn, p_t1, p_o0);
+    cell(tn, p_t0, p_o0);
+    // Clamp tiny negative rounding residue from the log sums.
+    return mi < 0.0 ? 0.0 : mi;
+}
+
+ObservationLedger::ObservationLedger(CacheSetMonitor &monitor,
+                                     std::size_t observation_cap)
+    : monitor_(monitor), observationCap_(observation_cap)
+{
+}
+
+ObservationLedger::SiteState &
+ObservationLedger::site(const std::string &name, Structure structure)
+{
+    auto [it, inserted] = sites_.try_emplace(name);
+    if (inserted)
+        it->second.structure = structure;
+    else if (it->second.structure != structure)
+        csd_panic("ObservationLedger: site \"", name, "\" re-armed on ",
+                  CacheSetMonitor::structureName(structure), " (was ",
+                  CacheSetMonitor::structureName(it->second.structure), ")");
+    return it->second;
+}
+
+void
+ObservationLedger::armLine(const std::string &site_name,
+                           Structure structure, Addr line)
+{
+    monitor_.watchLine(structure, line);
+    SiteState &st = site(site_name, structure);
+    st.watermarks[blockAlign(line)] =
+        monitor_.victimLineTouches(structure, line);
+}
+
+void
+ObservationLedger::observeLine(const std::string &site_name,
+                               Structure structure, Addr line, unsigned set,
+                               Cycles latency, bool predicted)
+{
+    SiteState &st = site(site_name, structure);
+    const std::uint64_t now = monitor_.victimLineTouches(structure, line);
+    auto mark = st.watermarks.find(blockAlign(line));
+    if (mark == st.watermarks.end())
+        csd_panic("ObservationLedger: observeLine without armLine for "
+                  "site \"", site_name, "\"");
+    const bool truth = now > mark->second;
+    mark->second = now;
+    classify(st, set, latency, predicted, truth);
+}
+
+void
+ObservationLedger::armSet(const std::string &site_name, Structure structure,
+                          unsigned set)
+{
+    SiteState &st = site(site_name, structure);
+    st.watermarks[set] = monitor_.victimSetTouches(structure, set);
+}
+
+void
+ObservationLedger::observeSet(const std::string &site_name,
+                              Structure structure, unsigned set,
+                              Cycles latency, bool predicted)
+{
+    SiteState &st = site(site_name, structure);
+    const std::uint64_t now = monitor_.victimSetTouches(structure, set);
+    auto mark = st.watermarks.find(set);
+    if (mark == st.watermarks.end())
+        csd_panic("ObservationLedger: observeSet without armSet for "
+                  "site \"", site_name, "\"");
+    const bool truth = now > mark->second;
+    mark->second = now;
+    classify(st, set, latency, predicted, truth);
+}
+
+void
+ObservationLedger::classify(SiteState &st, unsigned set, Cycles latency,
+                            bool predicted, bool truth)
+{
+    if (truth)
+        ++(predicted ? st.tally.tp : st.tally.fn);
+    else
+        ++(predicted ? st.tally.fp : st.tally.tn);
+    ++totalObservations_;
+    if (st.observations.size() < observationCap_)
+        st.observations.push_back({set, latency, predicted, truth});
+    else
+        ++st.dropped;
+}
+
+std::vector<SiteMeasure>
+ObservationLedger::siteMeasures() const
+{
+    std::vector<SiteMeasure> measures;
+    measures.reserve(sites_.size());
+    for (const auto &[name, st] : sites_) {
+        SiteMeasure m;
+        m.site = name;
+        m.structure = st.structure;
+        m.tally = st.tally;
+        m.miBits = st.tally.mutualInformationBits();
+        measures.push_back(std::move(m));
+    }
+    return measures;  // std::map iteration is already name-sorted
+}
+
+LedgerTally
+ObservationLedger::tally(const std::string &site_name) const
+{
+    auto it = sites_.find(site_name);
+    return it == sites_.end() ? LedgerTally{} : it->second.tally;
+}
+
+const std::vector<LedgerObservation> &
+ObservationLedger::observations(const std::string &site_name) const
+{
+    static const std::vector<LedgerObservation> empty;
+    auto it = sites_.find(site_name);
+    return it == sites_.end() ? empty : it->second.observations;
+}
+
+void
+ObservationLedger::writeJson(std::ostream &os) const
+{
+    os << "{\n \"schema_version\": " << ledgerSchemaVersion << ",\n";
+    os << " \"total_observations\": " << totalObservations_ << ",\n";
+    os << " \"sites\": {";
+    bool first = true;
+    for (const auto &[name, st] : sites_) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "  \"" << jsonEscape(name) << "\": {";
+        os << "\"structure\": \""
+           << CacheSetMonitor::structureName(st.structure) << "\", ";
+        os << "\"tp\": " << st.tally.tp << ", \"fp\": " << st.tally.fp
+           << ", \"tn\": " << st.tally.tn << ", \"fn\": " << st.tally.fn
+           << ", ";
+        os << "\"observations\": " << st.tally.total() << ", ";
+        os << "\"dropped\": " << st.dropped << ", ";
+        os << "\"bits_per_observation\": "
+           << st.tally.mutualInformationBits() << "}";
+    }
+    os << (first ? "" : "\n ") << "}\n}\n";
+}
+
+} // namespace csd

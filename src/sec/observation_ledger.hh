@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Attacker-observation ledger: the dynamic half of the leakage story.
+ *
+ * The static prover (verify/leak_prover.hh) bounds what a leak site
+ * *could* reveal; the ledger records what an attacker *actually*
+ * observed. Every probe (FLUSH+RELOAD reload or PRIME+PROBE probe) is
+ * logged with its latency and threshold verdict, then classified
+ * against ground truth from the CacheSetMonitor's victim-attributed
+ * counters:
+ *
+ *  - true positive:  attacker inferred victim activity, victim was active
+ *  - false positive: attacker inferred activity, victim was idle
+ *    (e.g. a decoy touch or an LLC-resident "fast" reload)
+ *  - true negative / false negative: the complements
+ *
+ * The leakage meter is the empirical mutual information between the
+ *  (victim active?) truth and the (attacker says active?) observation
+ * over the ledger — bits per observation, directly comparable to the
+ * static bound, published in the Fig. 7 sidecars and cross-checked by
+ * `csd-lint --channels` (verify/channel_crosscheck.hh).
+ *
+ * Protocol per probe round: arm*() after prime/flush snapshots the
+ * victim-counter watermark; observe*() after the probe reads the delta
+ * as ground truth and consumes the watermark.
+ */
+
+#ifndef CSD_SEC_OBSERVATION_LEDGER_HH
+#define CSD_SEC_OBSERVATION_LEDGER_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "memory/set_monitor.hh"
+
+namespace csd
+{
+
+/** The 2x2 truth-vs-observation contingency table of one leak site. */
+struct LedgerTally
+{
+    std::uint64_t tp = 0;
+    std::uint64_t fp = 0;
+    std::uint64_t tn = 0;
+    std::uint64_t fn = 0;
+
+    std::uint64_t total() const { return tp + fp + tn + fn; }
+
+    /**
+     * Plug-in mutual-information estimate I(truth; observation) in
+     * bits per observation. 0 for an empty table or whenever either
+     * marginal is constant (a channel the attacker learns nothing
+     * from — e.g. decoys making every probe read "active").
+     */
+    double mutualInformationBits() const;
+};
+
+/** One recorded probe. */
+struct LedgerObservation
+{
+    unsigned set = 0;          //!< monitored set index
+    Cycles latency = 0;        //!< measured probe latency
+    bool predicted = false;    //!< attacker's verdict: victim active?
+    bool truth = false;        //!< monitor ground truth
+};
+
+/** Per-site classification + leakage summary. */
+struct SiteMeasure
+{
+    std::string site;
+    CacheSetMonitor::Structure structure = CacheSetMonitor::Structure::L1D;
+    LedgerTally tally;
+    double miBits = 0.0;  //!< empirical bits/observation
+};
+
+/** Records and classifies every attacker probe against ground truth. */
+class ObservationLedger
+{
+  public:
+    using Structure = CacheSetMonitor::Structure;
+
+    /**
+     * @param monitor ground-truth source; must stay alive and armed on
+     *        the structures the attack probes.
+     * @param observation_cap per-site cap on retained raw observations
+     *        (tallies keep counting past it).
+     */
+    explicit ObservationLedger(CacheSetMonitor &monitor,
+                               std::size_t observation_cap = 1u << 16);
+
+    // --- FLUSH+RELOAD (line-granular truth) -------------------------------
+
+    /** Snapshot the victim-touch watermark of @p line (post-flush). */
+    void armLine(const std::string &site, Structure structure, Addr line);
+
+    /** Classify a reload: @p predicted = attacker's "victim touched it"
+     *  verdict (reload hit). Truth = watched-line delta since arm. */
+    void observeLine(const std::string &site, Structure structure,
+                     Addr line, unsigned set, Cycles latency,
+                     bool predicted);
+
+    // --- PRIME+PROBE (set-granular truth) ---------------------------------
+
+    /** Snapshot the victim-access watermark of @p set (post-prime). */
+    void armSet(const std::string &site, Structure structure, unsigned set);
+
+    /** Classify a probe: @p predicted = attacker's "victim touched the
+     *  set" verdict (some way evicted). */
+    void observeSet(const std::string &site, Structure structure,
+                    unsigned set, Cycles latency, bool predicted);
+
+    // --- results -----------------------------------------------------------
+
+    /** All sites with their tallies and leakage, sorted by site name. */
+    std::vector<SiteMeasure> siteMeasures() const;
+
+    /** One site's tally (empty tally if the site never observed). */
+    LedgerTally tally(const std::string &site) const;
+
+    /** Retained raw observations for @p site (capped). */
+    const std::vector<LedgerObservation> &
+    observations(const std::string &site) const;
+
+    /** Total probes recorded across all sites. */
+    std::uint64_t totalObservations() const { return totalObservations_; }
+
+    /** {"schema_version":…, "sites": {site: {tp,fp,tn,fn,…}}} */
+    void writeJson(std::ostream &os) const;
+
+    CacheSetMonitor &monitor() { return monitor_; }
+
+  private:
+    struct SiteState
+    {
+        Structure structure = Structure::L1D;
+        LedgerTally tally;
+        std::vector<LedgerObservation> observations;
+        std::uint64_t dropped = 0;  //!< observations past the cap
+        /** Victim-counter watermarks, keyed by line addr or set. */
+        std::map<std::uint64_t, std::uint64_t> watermarks;
+    };
+
+    SiteState &site(const std::string &name, Structure structure);
+    void classify(SiteState &st, unsigned set, Cycles latency,
+                  bool predicted, bool truth);
+
+    CacheSetMonitor &monitor_;
+    std::size_t observationCap_;
+    std::map<std::string, SiteState> sites_;
+    std::uint64_t totalObservations_ = 0;
+};
+
+} // namespace csd
+
+#endif // CSD_SEC_OBSERVATION_LEDGER_HH

@@ -14,6 +14,10 @@ runRsaAttack(Victim &victim, const RsaWorkload &workload,
     RsaAttackResult result;
     const Addr square_line = blockAlign(workload.squareRange.start);
     const Addr multiply_line = blockAlign(workload.multiplyRange.start);
+    const unsigned square_set = victim.mem().l1i().setIndex(square_line);
+    const unsigned multiply_set =
+        victim.mem().l1i().setIndex(multiply_line);
+    constexpr auto l1i = CacheSetMonitor::Structure::L1I;
 
     FlushReloadAttacker fr(victim.mem(), {square_line, multiply_line},
                            true);
@@ -29,6 +33,15 @@ runRsaAttack(Victim &victim, const RsaWorkload &workload,
             fr.flush();
         else
             pp.prime();
+        if (config.ledger) {
+            if (config.flushReload) {
+                config.ledger->armLine("square", l1i, square_line);
+                config.ledger->armLine("multiply", l1i, multiply_line);
+            } else {
+                config.ledger->armSet("square", l1i, square_set);
+                config.ledger->armSet("multiply", l1i, multiply_set);
+            }
+        }
 
         running = victim.invokeSlice(config.sliceInstructions);
         ++slices;
@@ -38,10 +51,24 @@ runRsaAttack(Victim &victim, const RsaWorkload &workload,
             const auto probes = fr.reload();
             square_hot = probes[0].hit;
             multiply_hot = probes[1].hit;
+            if (config.ledger) {
+                config.ledger->observeLine("square", l1i, square_line,
+                                           square_set, probes[0].latency,
+                                           square_hot);
+                config.ledger->observeLine("multiply", l1i, multiply_line,
+                                           multiply_set, probes[1].latency,
+                                           multiply_hot);
+            }
         } else {
             const auto probes = pp.probe();
             square_hot = !probes[0].hit;
             multiply_hot = !probes[1].hit;
+            if (config.ledger) {
+                config.ledger->observeSet("square", l1i, square_set,
+                                          probes[0].latency, square_hot);
+                config.ledger->observeSet("multiply", l1i, multiply_set,
+                                          probes[1].latency, multiply_hot);
+            }
         }
         result.timeline.emplace_back(square_hot, multiply_hot);
     }

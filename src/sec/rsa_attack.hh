@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "sec/observation_ledger.hh"
 #include "sec/victim.hh"
 #include "workloads/rsa.hh"
 
@@ -33,6 +34,14 @@ struct RsaAttackConfig
 
     /** Safety bound on the number of slices. */
     std::uint64_t maxSlices = 2000000;
+
+    /**
+     * Optional observation ledger: every per-slice probe is recorded
+     * under sites "square" / "multiply" and classified against the
+     * victim's ground-truth fetches. Requires
+     * Victim::armChannelMonitor() first.
+     */
+    ObservationLedger *ledger = nullptr;
 };
 
 /** Attack outcome. */

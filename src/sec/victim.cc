@@ -32,9 +32,19 @@ Victim::Victim(const Program &prog, const DefenseConfig &defense,
     }
 }
 
+CacheSetMonitor &
+Victim::armChannelMonitor(const SetMonitorConfig &config)
+{
+    CacheSetMonitor &monitor = sim_->mem().armSetMonitor(config);
+    sim_->frontend().uopCache().setMonitor(&monitor);
+    return monitor;
+}
+
 void
 Victim::invoke()
 {
+    CacheSetMonitor::ScopedActor actor(sim_->mem().setMonitor(),
+                                       MonitorActor::Victim);
     sim_->restart();
     sim_->runToHalt();
 }
@@ -42,6 +52,8 @@ Victim::invoke()
 bool
 Victim::invokeSlice(std::uint64_t n)
 {
+    CacheSetMonitor::ScopedActor actor(sim_->mem().setMonitor(),
+                                       MonitorActor::Victim);
     if (sim_->halted())
         sim_->restart();
     sim_->run(n);

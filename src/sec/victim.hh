@@ -38,6 +38,18 @@ class Victim
     Simulation &sim() { return *sim_; }
     MemHierarchy &mem() { return sim_->mem(); }
 
+    /**
+     * Arm per-set channel telemetry (memory/set_monitor.hh) on the
+     * victim's L1I/L1D/uop cache. Idempotent. Once armed, invoke() and
+     * invokeSlice() run under MonitorActor::Victim so the monitor's
+     * victim counters are exactly this program's accesses — the ground
+     * truth an ObservationLedger classifies attacker probes against.
+     */
+    CacheSetMonitor &armChannelMonitor(const SetMonitorConfig &config = {});
+
+    /** The armed monitor, or null. */
+    CacheSetMonitor *channelMonitor() { return sim_->mem().setMonitor(); }
+
     /** Run one complete invocation of the victim program. */
     void invoke();
 

@@ -131,12 +131,9 @@ Simulation::Simulation(const Program &prog, const SimParams &params,
             obs_->lifecycleConfig();
         if (lc.enabled) {
             enableLifecycle(lc.capacity);
-            lifecycleExportPath_ = lc.exportPath;
             // "%c" names a per-context file (parallel simulations).
-            const std::size_t pos = lifecycleExportPath_.find("%c");
-            if (pos != std::string::npos)
-                lifecycleExportPath_.replace(pos, 2,
-                                             std::to_string(obs_->id()));
+            lifecycleExportPath_ =
+                expandContextPath(lc.exportPath, obs_->id());
             if (!lifecycleExportPath_.empty()) {
                 // Abnormal-exit safety: the context flushes this ring
                 // from atexit/SIGINT/SIGTERM, so an interrupted run
@@ -148,6 +145,25 @@ Simulation::Simulation(const Program &prog, const SimParams &params,
             }
         }
     }
+
+    // Channel telemetry (memory/set_monitor.hh), armed through the
+    // context (CSD_CHANNEL_MONITOR / CSD_CHANNEL_HEATMAP) in any
+    // fidelity mode — the Fig. 7 attacks run cache-only.
+    const ObservabilityContext::ChannelMonitorConfig &cm =
+        obs_->channelMonitorConfig();
+    if (cm.enabled) {
+        SetMonitorConfig monitor_config;
+        monitor_config.heatmapInterval = cm.heatmapInterval;
+        CacheSetMonitor &monitor = mem_->armSetMonitor(monitor_config);
+        frontend_->uopCache().setMonitor(&monitor);
+        channelExportPath_ = expandContextPath(cm.exportPath, obs_->id());
+        if (!channelExportPath_.empty()) {
+            channelFlushToken_ = obs_->addFlushHook([this] {
+                if (const CacheSetMonitor *mon = mem_->setMonitor())
+                    mon->exportFiles(channelExportPath_);
+            });
+        }
+    }
 }
 
 Simulation::~Simulation()
@@ -157,6 +173,15 @@ Simulation::~Simulation()
     if (lifecycle_ && !lifecycleExportPath_.empty()) {
         std::lock_guard<std::mutex> lock(ObservabilityContext::exportLock());
         lifecycle_->exportFile(lifecycleExportPath_);
+    }
+    if (channelFlushToken_ != 0)
+        obs_->removeFlushHook(channelFlushToken_);
+    if (!channelExportPath_.empty() && mem_->setMonitor()) {
+        profiled(HostPhase::ChannelMonitor, [&] {
+            std::lock_guard<std::mutex> lock(
+                ObservabilityContext::exportLock());
+            mem_->setMonitor()->exportFiles(channelExportPath_);
+        });
     }
 }
 

@@ -316,6 +316,8 @@ class Simulation
     std::unique_ptr<LifecycleTracer> lifecycle_;
     std::string lifecycleExportPath_;
     std::uint64_t lifecycleFlushToken_ = 0;  //!< context flush-hook handle
+    std::string channelExportPath_;  //!< set-heatmap base ("%c" expanded)
+    std::uint64_t channelFlushToken_ = 0;
     std::uint64_t feL1iSeen_ = 0;     //!< fetch-stall counter watermark
     std::uint64_t feDecodeSeen_ = 0;  //!< decode-bw counter watermark
 

@@ -1,0 +1,133 @@
+#include "verify/channel_crosscheck.hh"
+
+#include <sstream>
+
+namespace csd
+{
+
+namespace
+{
+
+/** Best (max) static per-observation bound on @p channel. */
+struct ChannelBound
+{
+    bool hasSites = false;
+    bool allClosed = true;   //!< meaningless unless hasSites
+    double undefended = 0.0;
+    double residual = 0.0;   //!< defended bound (0 when all closed)
+    Addr pc = invalidAddr;   //!< a representative site for provenance
+    std::string symbol;
+};
+
+ChannelBound
+boundFor(const LeakProof &proof, Channel channel, bool set_granular)
+{
+    ChannelBound bound;
+    for (const SiteProof &sp : proof.sites) {
+        if (sp.footprint.channel != channel)
+            continue;
+        const double site_bits = set_granular ? sp.setBitsPerObservation
+                                              : sp.bitsPerObservation;
+        if (!bound.hasSites || site_bits > bound.undefended) {
+            bound.undefended = site_bits;
+            bound.pc = sp.site.pc;
+            bound.symbol = sp.site.symbol;
+        }
+        if (sp.verdict != LeakVerdict::Closed) {
+            bound.allClosed = false;
+            if (sp.residualBitsPerObservation > bound.residual)
+                bound.residual = sp.residualBitsPerObservation;
+        }
+        bound.hasSites = true;
+    }
+    return bound;
+}
+
+std::string
+formatBits(double bits)
+{
+    std::ostringstream os;
+    os.precision(4);
+    os << bits;
+    return os.str();
+}
+
+} // namespace
+
+std::vector<Finding>
+crossCheckChannels(const std::string &target, const LeakProof &proof,
+                   const std::vector<MeasuredChannel> &measured,
+                   const CrossCheckOptions &options)
+{
+    std::vector<Finding> findings;
+    for (const MeasuredChannel &m : measured) {
+        const ChannelBound bound =
+            boundFor(proof, m.channel, m.setGranular);
+        const std::string where = std::string(channelName(m.channel)) +
+                                  " site \"" + m.site + "\" (" + target +
+                                  ", " +
+                                  std::to_string(m.observations) +
+                                  " obs)";
+
+        if (!bound.hasSites) {
+            if (m.bitsPerObservation > options.toleranceBits) {
+                Finding f;
+                f.checkId = "channel.unmodeled-dynamic-leak";
+                f.symbol = m.site;
+                f.message = "measured " +
+                            formatBits(m.bitsPerObservation) +
+                            " bits/obs on " + where +
+                            " but the static proof has no site on "
+                            "this channel";
+                findings.push_back(std::move(f));
+            }
+            continue;
+        }
+
+        if (!m.defended) {
+            if (m.bitsPerObservation >
+                bound.undefended + options.toleranceBits) {
+                Finding f;
+                f.checkId = "channel.dynamic-exceeds-static";
+                f.pc = bound.pc;
+                f.symbol = m.site;
+                f.message = "measured " +
+                            formatBits(m.bitsPerObservation) +
+                            " bits/obs on " + where +
+                            " exceeds the static bound of " +
+                            formatBits(bound.undefended) + " bits/obs";
+                findings.push_back(std::move(f));
+            }
+            continue;
+        }
+
+        if (bound.allClosed) {
+            if (m.bitsPerObservation > options.toleranceBits) {
+                Finding f;
+                f.checkId = "channel.leak-through-closed";
+                f.pc = bound.pc;
+                f.symbol = m.site;
+                f.message = "measured " +
+                            formatBits(m.bitsPerObservation) +
+                            " bits/obs on defended " + where +
+                            " but every static site on this channel "
+                            "is proved closed (0 bits)";
+                findings.push_back(std::move(f));
+            }
+        } else if (m.bitsPerObservation >
+                   bound.residual + options.toleranceBits) {
+            Finding f;
+            f.checkId = "channel.dynamic-exceeds-static";
+            f.pc = bound.pc;
+            f.symbol = m.site;
+            f.message = "measured " + formatBits(m.bitsPerObservation) +
+                        " bits/obs on defended " + where +
+                        " exceeds the residual static bound of " +
+                        formatBits(bound.residual) + " bits/obs";
+            findings.push_back(std::move(f));
+        }
+    }
+    return findings;
+}
+
+} // namespace csd

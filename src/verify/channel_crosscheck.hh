@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Static-vs-dynamic leakage cross-check (`csd-lint --channels`).
+ *
+ * The static prover (verify/leak_prover.hh) upper-bounds the leakage
+ * of each site; the observation ledger (sec/observation_ledger.hh)
+ * measures what a real attack observed, as empirical bits per
+ * observation. Whenever both exist for a channel, three invariants
+ * must hold:
+ *
+ *  1. measured bits <= static bound (undefended): a dynamic leak above
+ *     the proof means the model under-counts the channel;
+ *  2. a "closed" verdict implies ~0 measured bits under the defense:
+ *     leakage through a closed site means the proof is wrong or the
+ *     defense is not actually deployed as modeled;
+ *  3. a measured channel must exist in the proof at all: dynamic
+ *     leakage with no static site is an unmodeled channel.
+ *
+ * Violations are ordinary Findings, so they ride the same baseline /
+ * exit-code machinery as every other lint. This header stays
+ * dependency-free of sec/ (the verify layer sits below the simulator):
+ * harnesses convert ledger measurements into MeasuredChannel records.
+ */
+
+#ifndef CSD_VERIFY_CHANNEL_CROSSCHECK_HH
+#define CSD_VERIFY_CHANNEL_CROSSCHECK_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/finding.hh"
+#include "verify/leak_prover.hh"
+
+namespace csd
+{
+
+/** One dynamically measured channel (from an ObservationLedger). */
+struct MeasuredChannel
+{
+    std::string site;     //!< ledger site label, e.g. "t0", "multiply"
+    Channel channel = Channel::L1DAccess;
+    bool defended = false;
+    bool setGranular = false;  //!< PRIME+PROBE (sets) vs F+R (lines)
+    double bitsPerObservation = 0.0;  //!< empirical mutual information
+    std::uint64_t observations = 0;
+};
+
+/** Cross-check knobs. */
+struct CrossCheckOptions
+{
+    /**
+     * Slack added to every static bound before comparing: the MI
+     * estimator's small-sample bias is positive (~1/(2N ln 2) bits per
+     * d.o.f.), so a few-hundred-sample measurement of an exactly-tight
+     * channel can read a few millibits above the bound.
+     */
+    double toleranceBits = 0.05;
+};
+
+/**
+ * Compare @p measured against @p proof for @p target. Returns one
+ * Error finding per violated invariant:
+ *   channel.dynamic-exceeds-static  (undefended measurement > bound)
+ *   channel.leak-through-closed     (defended measurement through a
+ *                                    channel whose sites all closed)
+ *   channel.unmodeled-dynamic-leak  (leaky measurement, no static site)
+ */
+std::vector<Finding> crossCheckChannels(
+    const std::string &target, const LeakProof &proof,
+    const std::vector<MeasuredChannel> &measured,
+    const CrossCheckOptions &options = {});
+
+} // namespace csd
+
+#endif // CSD_VERIFY_CHANNEL_CROSSCHECK_HH

@@ -14,7 +14,14 @@
  * (verify/leak_prover.hh) over every confirmed site: channel, cache
  * sets, leakage bound, and the verdict under the victim's canonical
  * CSD defense configuration (the same ranges the Fig. 7 benches
- * program into the simulator).
+ * program into the simulator). For the targets with a dynamic
+ * measurement harness (rsa, aes) it then runs the actual attack loop
+ * with an ObservationLedger (sec/channel_measure.hh) and cross-checks
+ * the empirically measured bits/observation against the static proof
+ * (verify/channel_crosscheck.hh): a dynamic leak above the static
+ * bound, or measurable leakage through a proved-closed defense, is an
+ * Error. --inject-dynamic-defect deliberately inflates the measured
+ * values so CI can verify the cross-check actually fails.
  *
  * Exit status: 0 clean, 1 findings remain, 2 usage or internal error.
  * --json FILE additionally emits the machine-readable report for CI.
@@ -25,9 +32,12 @@
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "sec/channel_measure.hh"
+#include "verify/channel_crosscheck.hh"
 #include "verify/leak_prover.hh"
 #include "verify/verify.hh"
 #include "workloads/aes.hh"
@@ -127,6 +137,38 @@ targets()
     return list;
 }
 
+/** The dynamic measurement harness for a target, if it has one. */
+ChannelMeasurement (*measureFor(const std::string &name))(
+    const ChannelMeasureOptions &)
+{
+    if (name == "rsa")
+        return &measureRsaChannels;
+    if (name == "aes")
+        return &measureAesChannels;
+    return nullptr;
+}
+
+/** JSON for one dynamic measurement (appended to "measured": [...]). */
+std::string
+measurementJson(const ChannelMeasurement &m)
+{
+    std::ostringstream os;
+    os << "{\"target\": \"" << m.target << "\", \"records\": [";
+    for (std::size_t i = 0; i < m.crossCheck.size(); ++i) {
+        const MeasuredChannel &mc = m.crossCheck[i];
+        os << (i ? ", " : "") << "{\"site\": \"" << mc.site
+           << "\", \"channel\": \"" << channelName(mc.channel)
+           << "\", \"defended\": " << (mc.defended ? "true" : "false")
+           << ", \"set_granular\": "
+           << (mc.setGranular ? "true" : "false")
+           << ", \"measured_bits_per_observation\": "
+           << mc.bitsPerObservation
+           << ", \"observations\": " << mc.observations << "}";
+    }
+    os << "], \"total_observations\": " << m.observations << "}";
+    return os.str();
+}
+
 void
 usage(const char *argv0, std::FILE *out)
 {
@@ -135,6 +177,11 @@ usage(const char *argv0, std::FILE *out)
                  "[--list] [TARGET...|all]\n"
                  "  --json FILE  write the findings report as JSON\n"
                  "  --channels   prove channel/leakage bounds per site\n"
+                 "               and cross-check them against a dynamic\n"
+                 "               attack measurement (rsa, aes)\n"
+                 "  --inject-dynamic-defect\n"
+                 "               inflate the dynamic measurement so the\n"
+                 "               cross-check must fail (CI self-test)\n"
                  "  --tables     also audit translations + uop tables\n"
                  "  --list       print the known targets and exit\n"
                  "Default: lint every target and audit the tables.\n"
@@ -155,6 +202,7 @@ main(int argc, char **argv)
     bool tablesOnly = false;
     bool listOnly = false;
     bool channels = false;
+    bool injectDefect = false;
     std::vector<std::string> wanted;
 
     for (int i = 1; i < argc; ++i) {
@@ -165,6 +213,8 @@ main(int argc, char **argv)
             tablesOnly = true;
         } else if (arg == "--channels") {
             channels = true;
+        } else if (arg == "--inject-dynamic-defect") {
+            injectDefect = true;
         } else if (arg == "--list") {
             listOnly = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -202,6 +252,7 @@ main(int argc, char **argv)
     VerifyReport combined;
     std::size_t confirmedLeaks = 0;
     std::string channelsJson;
+    std::string measuredJson;
 
     if (!tablesOnly) {
         for (const LintTarget &target : all) {
@@ -252,6 +303,39 @@ main(int argc, char **argv)
                 }
                 channelsJson += (channelsJson.empty() ? "" : ", ") +
                                 proof.json(target.name);
+
+                if (auto *measure = measureFor(target.name)) {
+                    ChannelMeasureOptions mopts;
+                    if (injectDefect)
+                        mopts.injectBits = 0.5;
+                    const ChannelMeasurement measurement = measure(mopts);
+                    for (const MeasuredChannel &mc :
+                         measurement.crossCheck) {
+                        std::printf("%-14s measured %s \"%s\" %s: %.4f "
+                                    "bit(s)/obs over %llu probe(s)\n",
+                                    target.name.c_str(),
+                                    channelName(mc.channel),
+                                    mc.site.c_str(),
+                                    mc.defended ? "defended"
+                                                : "undefended",
+                                    mc.bitsPerObservation,
+                                    static_cast<unsigned long long>(
+                                        mc.observations));
+                    }
+                    std::vector<Finding> disagreements =
+                        crossCheckChannels(target.name, proof,
+                                           measurement.crossCheck);
+                    if (disagreements.empty()) {
+                        std::printf("%-14s dynamic measurement agrees "
+                                    "with the static proof\n",
+                                    target.name.c_str());
+                    }
+                    for (Finding &f : disagreements)
+                        combined.add(std::move(f));
+                    measuredJson +=
+                        (measuredJson.empty() ? "" : ", ") +
+                        measurementJson(measurement);
+                }
             }
         }
     }
@@ -279,7 +363,8 @@ main(int argc, char **argv)
         }
         std::string extra;
         if (channels)
-            extra = "\"channels\": [" + channelsJson + "]";
+            extra = "\"channels\": [" + channelsJson + "], "
+                    "\"measured\": [" + measuredJson + "]";
         out << combined.json(extra) << "\n";
         if (!out) {
             std::fprintf(stderr, "csd-lint: write to %s failed\n",

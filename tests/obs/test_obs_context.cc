@@ -141,6 +141,43 @@ TEST_F(ObsContextTest, ResolvedTraceExportPathExpandsContextId)
     EXPECT_EQ(ctx.resolvedTraceExportPath(), "plain.json");
 }
 
+TEST_F(ObsContextTest, ExpandContextPathReplacesEveryOccurrence)
+{
+    // The shared helper behind ALL per-context export paths (traces,
+    // lifecycle rings, channel heatmaps) must expand every "%c", not
+    // just the first — a path like "run_%c/heatmap_%c" is legitimate.
+    EXPECT_EQ(expandContextPath("trace_%c.json", 7), "trace_7.json");
+    EXPECT_EQ(expandContextPath("run_%c/mon_%c.csv", 12),
+              "run_12/mon_12.csv");
+    EXPECT_EQ(expandContextPath("%c%c", 3), "33");
+    EXPECT_EQ(expandContextPath("no_placeholder.json", 9),
+              "no_placeholder.json");
+    EXPECT_EQ(expandContextPath("", 1), "");
+    // A lone '%' without 'c' is literal text, not a placeholder.
+    EXPECT_EQ(expandContextPath("100%_%c", 2), "100%_2");
+}
+
+TEST_F(ObsContextTest, ChannelMonitorConfigInheritsFromBoundContext)
+{
+    ObservabilityContext parent;
+    ObservabilityContext::ChannelMonitorConfig config;
+    config.enabled = true;
+    config.heatmapInterval = 128;
+    config.exportPath = "mon_%c";
+    parent.setChannelMonitorConfig(config);
+    parent.bindToThread();
+
+    // A child constructed while the parent is bound copies the
+    // channel-monitor arming — the mechanism CSD_CHANNEL_MONITOR uses
+    // to reach every Simulation a process creates.
+    ObservabilityContext child;
+    EXPECT_TRUE(child.channelMonitorConfig().enabled);
+    EXPECT_EQ(child.channelMonitorConfig().heatmapInterval, 128u);
+    EXPECT_EQ(child.channelMonitorConfig().exportPath, "mon_%c");
+
+    ObservabilityContext::process().bindToThread();
+}
+
 TEST_F(ObsContextTest, FlushWritesArmedTraceFile)
 {
     const std::string path =

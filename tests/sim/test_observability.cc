@@ -7,13 +7,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <fstream>
 #include <functional>
 #include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "csd/csd.hh"
+#include "obs/context.hh"
 #include "sim/simulation.hh"
 #include "tests/support/mini_json.hh"
 
@@ -286,6 +289,67 @@ TEST_F(ObservabilityTest, StatsJsonDumpRoundTrips)
     EXPECT_GT(doc->at("formulas").at("ipc").at("value").number, 0.0);
     EXPECT_GT(doc->at("counters").at("instructions").at("value").number,
               1000.0);
+}
+
+/**
+ * Two simulations under a channel-monitor-armed context, exporting
+ * heatmaps through a "%c" path: each simulation's own context id must
+ * expand into a distinct file set, and each JSON export must describe
+ * that simulation's caches (the per-context isolation contract for the
+ * channel-observability subsystem).
+ */
+TEST_F(ObservabilityTest, TwoContextChannelMonitorExportsArePerContext)
+{
+    const std::string base =
+        ::testing::TempDir() + "/csd_two_ctx_mon_%c";
+
+    ObservabilityContext parent;
+    ObservabilityContext::ChannelMonitorConfig config;
+    config.enabled = true;
+    config.exportPath = base;
+    parent.setChannelMonitorConfig(config);
+    parent.bindToThread();
+
+    std::vector<std::string> json_paths;
+    std::vector<std::string> all_paths;
+    for (int i = 0; i < 2; ++i) {
+        // Each Simulation binds its own context and its destructor
+        // rebinds the process default, so re-bind the configured
+        // parent before every construction.
+        parent.bindToThread();
+        Program prog = loopProgram(200 + 100 * i);
+        Simulation sim(prog);
+        ASSERT_NE(sim.mem().setMonitor(), nullptr)
+            << "armed context did not arm the simulation's monitor";
+        sim.runToHalt();
+        const std::string resolved =
+            expandContextPath(base, sim.obs().id());
+        json_paths.push_back(resolved + ".json");
+        for (const char *suffix : {".l1i.csv", ".l1d.csv", ".json"})
+            all_paths.push_back(resolved + suffix);
+        // Teardown (the Simulation destructor) writes the exports.
+    }
+    ObservabilityContext::process().bindToThread();
+
+    // Distinct context ids -> distinct files; both sets exist.
+    ASSERT_NE(json_paths[0], json_paths[1]);
+    for (const std::string &path : all_paths) {
+        std::ifstream in(path);
+        EXPECT_TRUE(in.good()) << "missing export " << path;
+    }
+
+    for (const std::string &path : json_paths) {
+        std::ifstream in(path);
+        std::stringstream buf;
+        buf << in.rdbuf();
+        const auto doc = parseJson(buf.str());
+        EXPECT_EQ(doc->at("schema_version").number, 1.0);
+        // The loop program fetches instructions: the L1I saw traffic.
+        EXPECT_GT(doc->at("structures").at("l1i").at("events").number,
+                  0.0);
+    }
+    for (const std::string &path : all_paths)
+        std::remove(path.c_str());
 }
 
 } // namespace
