@@ -5,21 +5,29 @@
  * This is not a paper figure — it tracks how fast the simulator itself
  * runs, so CI can catch host-side regressions (scripts/
  * check_throughput.py compares the sidecar against a committed
- * baseline). Three configurations of the AES detailed workload, the
- * same program BM_DetailedAesBlock drives:
+ * baseline). Configurations of the AES detailed workload, the same
+ * program BM_DetailedAesBlock drives:
  *
  *  - detailed, flow cache on  (the default production configuration)
  *  - detailed, flow cache off (every macro-op re-translated)
- *  - cache-only fidelity      (functional + cache residency)
+ *  - cache-only fidelity      (superblock tier on, the default)
+ *  - cache-only interpreter   (superblock tier off)
  *
  * The cache-on / cache-off ratio is the measured speedup of the
- * predecoded-flow cache (DESIGN.md, "Host performance architecture").
+ * predecoded-flow cache, and the cache-only tier-on / tier-off ratio
+ * is the measured speedup of the superblock threaded-code tier
+ * (DESIGN.md, "Host performance architecture"). Both ratios come from
+ * runs inside one process, so they are robust to run-to-run host
+ * noise in a way the absolute kuops/s floors are not; the superblock
+ * ratio is the primary CI guard for the tier (check_throughput.py
+ * MIN_SB_SPEEDUP).
  */
 
 #include <chrono>
 #include <cstdio>
 
 #include "bench/common/bench_util.hh"
+#include "sim/fastpath.hh"
 #include "sim/simulation.hh"
 #include "workloads/aes.hh"
 
@@ -35,10 +43,12 @@ struct ThroughputRun
     std::uint64_t uops = 0;
     double hostSeconds = 0;
     double flowCacheHitRate = 0;
+    FastPath::Counters fp;  //!< superblock-tier host counters
 };
 
 ThroughputRun
-measure(SimMode mode, bool flow_cache_on, bool arm_monitor = false)
+measure(SimMode mode, bool flow_cache_on, bool arm_monitor = false,
+        bool superblock_on = true)
 {
     std::array<std::uint8_t, 16> key{};
     for (unsigned i = 0; i < 16; ++i)
@@ -49,6 +59,9 @@ measure(SimMode mode, bool flow_cache_on, bool arm_monitor = false)
     params.mode = mode;
     Simulation sim(workload.program, params);
     sim.setFlowCacheEnabled(flow_cache_on);
+    // Explicit, so CSD_SUPERBLOCK in the environment cannot skew the
+    // gated numbers: both tier configurations are always measured.
+    sim.setSuperblockEnabled(superblock_on);
     if (arm_monitor)
         sim.mem().armSetMonitor();
 
@@ -85,6 +98,7 @@ measure(SimMode mode, bool flow_cache_on, bool arm_monitor = false)
     if (lookups > 0)
         run.flowCacheHitRate =
             static_cast<double>(fc.hits) / static_cast<double>(lookups);
+    run.fp = sim.fastPath().counters();
     return run;
 }
 
@@ -101,6 +115,9 @@ main(int argc, char **argv)
     const ThroughputRun on = measure(SimMode::Detailed, true);
     const ThroughputRun off = measure(SimMode::Detailed, false);
     const ThroughputRun cache_only = measure(SimMode::CacheOnly, true);
+    const ThroughputRun interp = measure(SimMode::CacheOnly, true,
+                                         /*arm_monitor=*/false,
+                                         /*superblock_on=*/false);
     // Channel-monitor cost when armed (memory/set_monitor.hh). The
     // disarmed configurations above are the gated baseline: arming is
     // opt-in, so only `cacheonly_kuops_per_s` has to stay inside the
@@ -120,6 +137,10 @@ main(int argc, char **argv)
                   std::to_string(cache_only.uops),
                   fmt(cache_only.hostSeconds, 2),
                   pct(cache_only.flowCacheHitRate)});
+    table.addRow({"cache-only interpreter", fmt(interp.kuopsPerSec, 1),
+                  std::to_string(interp.uops),
+                  fmt(interp.hostSeconds, 2),
+                  pct(interp.flowCacheHitRate)});
     table.addRow({"cache-only + set monitor",
                   fmt(monitored.kuopsPerSec, 1),
                   std::to_string(monitored.uops),
@@ -128,6 +149,10 @@ main(int argc, char **argv)
     table.print();
 
     const double speedup = on.kuopsPerSec / off.kuopsPerSec;
+    const double sb_speedup =
+        interp.kuopsPerSec > 0
+            ? cache_only.kuopsPerSec / interp.kuopsPerSec
+            : 0.0;
     const double monitor_overhead =
         cache_only.kuopsPerSec > 0
             ? 100.0 * (1.0 - monitored.kuopsPerSec /
@@ -136,14 +161,49 @@ main(int argc, char **argv)
     benchStat("detailed_kuops_per_s_cache_on", on.kuopsPerSec);
     benchStat("detailed_kuops_per_s_cache_off", off.kuopsPerSec);
     benchStat("cacheonly_kuops_per_s", cache_only.kuopsPerSec);
+    benchStat("cacheonly_kuops_per_s_interp", interp.kuopsPerSec);
     benchStat("cacheonly_kuops_per_s_monitor", monitored.kuopsPerSec);
     benchStat("channel_monitor_overhead_pct", monitor_overhead);
     benchStat("flow_cache_speedup", speedup);
     benchStat("flow_cache_hit_rate", on.flowCacheHitRate);
+    benchStat("superblock_speedup", sb_speedup);
+
+    // Superblock-tier host counters from the tier-on cache-only run
+    // (sim/fastpath.hh). These live outside the simulated stat tree;
+    // the sidecar is where CI sees the tier actually engaged.
+    const FastPath::Counters &fp = cache_only.fp;
+    benchStat("superblock.built", static_cast<double>(fp.built));
+    benchStat("superblock.build_aborts",
+              static_cast<double>(fp.buildAborts));
+    benchStat("superblock.invalidated",
+              static_cast<double>(fp.invalidated));
+    benchStat("superblock.entries", static_cast<double>(fp.entries));
+    benchStat("superblock.uops_retired",
+              static_cast<double>(fp.uopsRetired));
+    benchStat("superblock.uop_coverage",
+              cache_only.uops > 0
+                  ? static_cast<double>(fp.uopsRetired) /
+                        static_cast<double>(cache_only.uops)
+                  : 0.0);
+    for (unsigned i = 0; i < numSbExits; ++i)
+        benchStat(std::string("superblock.exit_") +
+                      sbExitName(static_cast<SbExit>(i)),
+                  static_cast<double>(fp.exits[i]));
+    // The tier-off run must never have compiled or entered a block.
+    benchStat("superblock.interp_entries",
+              static_cast<double>(interp.fp.entries));
+    benchManifestNote("superblock", "on+off measured in-process");
 
     std::printf("\nflow-cache speedup on the detailed model: %sx "
                 "(hit rate %s)\n", fmt(speedup, 2).c_str(),
                 pct(on.flowCacheHitRate).c_str());
+    std::printf("superblock tier speedup on cache-only: %sx "
+                "(%s of uops retired in compiled blocks)\n",
+                fmt(sb_speedup, 2).c_str(),
+                pct(cache_only.uops > 0
+                        ? static_cast<double>(fp.uopsRetired) /
+                              static_cast<double>(cache_only.uops)
+                        : 0.0).c_str());
     std::printf("channel monitor armed: %s kuops/s (%s%% overhead vs "
                 "disarmed cache-only)\n",
                 fmt(monitored.kuopsPerSec, 1).c_str(),

@@ -12,6 +12,15 @@ model *slower* (translation got cheap enough elsewhere that the
 cache's win is modest, but a value below 1 would mean the cache costs
 more than it saves and should be investigated).
 
+The superblock threaded-code tier is guarded by its in-process ratio,
+not an absolute floor: `superblock_speedup` (cache-only tier-on /
+tier-off, both measured inside one bench process) must stay at or
+above MIN_SB_SPEEDUP. The ratio is robust to the run-to-run host
+noise that makes absolute kuops/s floors loose, so it is the primary
+guard for the tier. The sidecar must also show the tier actually
+engaged (`superblock.entries` > 0) — a silently disabled tier would
+otherwise pass the ratio check only by failing the absolute floors.
+
 Host machines differ, so the committed baseline is a floor for CI's
 runner class, not a universal truth; refresh it with
 `bench_sim_throughput --json bench/baseline_throughput.json` on the CI
@@ -27,10 +36,15 @@ THROUGHPUT_KEYS = (
     "detailed_kuops_per_s_cache_on",
     "detailed_kuops_per_s_cache_off",
     "cacheonly_kuops_per_s",
+    "cacheonly_kuops_per_s_interp",
 )
 # Sanity floor for flow_cache_speedup (cache-on / cache-off): below
 # this the cache is a net loss on the host and something is wrong.
 MIN_SPEEDUP = 0.9
+# Floor for superblock_speedup (cache-only tier-on / tier-off, same
+# process): the threaded-code tier must at least double cache-only
+# throughput. In-process, so host noise cancels out.
+MIN_SB_SPEEDUP = 2.0
 
 
 def fail(msg):
@@ -91,6 +105,36 @@ def main():
     )
     if speedup < speedup_floor:
         ok = False
+
+    sb_speedup = current.get("superblock_speedup")
+    if sb_speedup is None:
+        fail("current run missing 'superblock_speedup'")
+    status = "ok" if sb_speedup >= MIN_SB_SPEEDUP else "REGRESSED"
+    print(
+        f"check_throughput: superblock_speedup: current {sb_speedup:.2f}x "
+        f"floor {MIN_SB_SPEEDUP:.2f}x [{status}]"
+    )
+    if sb_speedup < MIN_SB_SPEEDUP:
+        ok = False
+
+    sb_entries = current.get("superblock.entries")
+    if sb_entries is None:
+        fail("current run missing 'superblock.entries'")
+    status = "ok" if sb_entries > 0 else "REGRESSED"
+    print(
+        f"check_throughput: superblock.entries: current "
+        f"{sb_entries:.0f} floor >0 [{status}]"
+    )
+    if sb_entries <= 0:
+        ok = False
+    sb_interp = current.get("superblock.interp_entries")
+    if sb_interp is None:
+        fail("current run missing 'superblock.interp_entries'")
+    if sb_interp != 0:
+        fail(
+            f"tier-off run entered {sb_interp:.0f} superblocks; "
+            "setSuperblockEnabled(false) is not being honored"
+        )
 
     if not ok:
         fail(f"throughput regressed >={max_regression:.0%} vs baseline")

@@ -45,4 +45,14 @@ parseNonNegativeSetting(std::string_view name, const char *value)
     return static_cast<unsigned>(n);
 }
 
+bool
+parseBoolSetting(std::string_view name, const char *value)
+{
+    if (value && value[0] && !value[1] &&
+        (value[0] == '0' || value[0] == '1'))
+        return value[0] == '1';
+    csd_fatal(name, "='", value ? value : "", "' is not 0 or 1");
+    return false;  // unreachable; csd_fatal throws
+}
+
 } // namespace csd

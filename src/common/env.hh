@@ -32,6 +32,14 @@ std::size_t parsePositiveSetting(std::string_view name, const char *value);
  */
 unsigned parseNonNegativeSetting(std::string_view name, const char *value);
 
+/**
+ * Parse @p value as a boolean toggle: exactly "0" or "1". Fatal
+ * (throws) on anything else ("true", "yes", "01", trailing junk),
+ * so a typo'd CSD_SUPERBLOCK=ture fails loudly instead of silently
+ * enabling the default.
+ */
+bool parseBoolSetting(std::string_view name, const char *value);
+
 } // namespace csd
 
 #endif // CSD_COMMON_ENV_HH

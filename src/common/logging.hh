@@ -60,6 +60,34 @@ format(Args &&...args)
                             const std::string &msg);
 [[noreturn]] void fatalImpl(const char *file, int line,
                             const std::string &msg);
+
+#if defined(__GNUC__) || defined(__clang__)
+#define CSD_LOGGING_COLD __attribute__((cold, noinline))
+#else
+#define CSD_LOGGING_COLD
+#endif
+
+/**
+ * Out-of-line formatting shims for the panic/fatal macros. Keeping the
+ * ostringstream formatting in a cold, noinline function matters for
+ * performance, not just code size: tiny hot accessors (register file
+ * reads, sparse-memory loads) carry a panic on their invariant branch,
+ * and if the formatting expands inline it makes them too big for the
+ * inliner to absorb into the simulation loops.
+ */
+template <typename... Args>
+[[noreturn]] CSD_LOGGING_COLD void
+panicFmt(const char *file, int line, Args &&...args)
+{
+    panicImpl(file, line, format(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+[[noreturn]] CSD_LOGGING_COLD void
+fatalFmt(const char *file, int line, Args &&...args)
+{
+    fatalImpl(file, line, format(std::forward<Args>(args)...));
+}
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
 
@@ -71,13 +99,11 @@ bool verbose();
 
 /** Abort on an internal invariant violation (simulator bug). */
 #define csd_panic(...)                                                       \
-    ::csd::logging_detail::panicImpl(                                        \
-        __FILE__, __LINE__, ::csd::logging_detail::format(__VA_ARGS__))
+    ::csd::logging_detail::panicFmt(__FILE__, __LINE__, __VA_ARGS__)
 
 /** Exit on a user-caused unrecoverable condition. */
 #define csd_fatal(...)                                                       \
-    ::csd::logging_detail::fatalImpl(                                        \
-        __FILE__, __LINE__, ::csd::logging_detail::format(__VA_ARGS__))
+    ::csd::logging_detail::fatalFmt(__FILE__, __LINE__, __VA_ARGS__)
 
 /** Report a modeling caveat. */
 template <typename... Args>

@@ -17,7 +17,7 @@ bool processDefault = [] {
     return env && *env && *env != '0';
 }();
 
-thread_local bool *enabled = &processDefault;
+constinit thread_local bool *enabled = &processDefault;
 
 } // namespace stats_detail
 

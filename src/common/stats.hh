@@ -46,7 +46,10 @@ namespace stats_detail
  * owning context and survives rebinds.
  */
 extern bool processDefault;
-extern thread_local bool *enabled;
+// constinit: without it every cross-TU read goes through the TLS
+// dynamic-init guard (__tls_init via PLT), which is measurable on the
+// per-uop simulation paths that poll statsDetailEnabled().
+extern constinit thread_local bool *enabled;
 } // namespace stats_detail
 
 /**

@@ -8,6 +8,7 @@
 #define CSD_CPU_ARCH_STATE_HH
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -69,6 +70,24 @@ class SparseMemory
     {
         if (size > 8)
             csd_panic("SparseMemory::read: size > 8, use readVec");
+        const std::size_t off = addr & (pageSize - 1);
+        if (off + size <= pageSize) {  // one page lookup, not per byte
+            const Page *page = findPage(addr);
+            if (!page)
+                return 0;
+            const std::uint8_t *bytes = page->data() + off;
+            // The memory image is little-endian by definition, so on a
+            // little-endian host the bytes are the value.
+            if constexpr (std::endian::native == std::endian::little) {
+                std::uint64_t val = 0;
+                std::memcpy(&val, bytes, size);
+                return val;
+            }
+            std::uint64_t val = 0;
+            for (unsigned i = 0; i < size; ++i)
+                val |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+            return val;
+        }
         std::uint64_t val = 0;
         for (unsigned i = 0; i < size; ++i)
             val |= static_cast<std::uint64_t>(readByte(addr + i)) << (8 * i);
@@ -81,6 +100,17 @@ class SparseMemory
     {
         if (size > 8)
             csd_panic("SparseMemory::write: size > 8, use writeVec");
+        const std::size_t off = addr & (pageSize - 1);
+        if (off + size <= pageSize) {
+            std::uint8_t *bytes = getPage(addr).data() + off;
+            if constexpr (std::endian::native == std::endian::little) {
+                std::memcpy(bytes, &val, size);
+                return;
+            }
+            for (unsigned i = 0; i < size; ++i)
+                bytes[i] = static_cast<std::uint8_t>(val >> (8 * i));
+            return;
+        }
         for (unsigned i = 0; i < size; ++i)
             writeByte(addr + i, static_cast<std::uint8_t>(val >> (8 * i)));
     }
@@ -89,6 +119,16 @@ class SparseMemory
     readVec(Addr addr) const
     {
         Vec128 vec;
+        const std::size_t off = addr & (pageSize - 1);
+        if (off + 16 <= pageSize) {
+            const Page *page = findPage(addr);
+            if (page) {
+                const std::uint8_t *bytes = page->data() + off;
+                for (unsigned i = 0; i < 16; ++i)
+                    vec.bytes[i] = bytes[i];
+            }
+            return vec;
+        }
         for (unsigned i = 0; i < 16; ++i)
             vec.bytes[i] = readByte(addr + i);
         return vec;
@@ -97,6 +137,13 @@ class SparseMemory
     void
     writeVec(Addr addr, const Vec128 &vec)
     {
+        const std::size_t off = addr & (pageSize - 1);
+        if (off + 16 <= pageSize) {
+            std::uint8_t *bytes = getPage(addr).data() + off;
+            for (unsigned i = 0; i < 16; ++i)
+                bytes[i] = vec.bytes[i];
+            return;
+        }
         for (unsigned i = 0; i < 16; ++i)
             writeByte(addr + i, vec.bytes[i]);
     }
@@ -126,25 +173,63 @@ class SparseMemory
   private:
     using Page = std::array<std::uint8_t, pageSize>;
 
+    // Direct-mapped page cache: the hot loops alternate between a
+    // handful of pages (stack, state block, lookup tables) millions of
+    // times, so a single remembered page ping-pongs while a few slots
+    // indexed by the low page-number bits catch all of them. Pages are
+    // never freed and unique_ptr targets don't move on rehash, so the
+    // raw pointers stay valid for the map's lifetime. Misses fall
+    // through to the hash map; a nullptr cached page just means "not
+    // cached", never "known absent".
+    static constexpr std::size_t pageCacheSlots = 16;  // power of two
+
+    static std::size_t
+    pageCacheSlot(Addr page_no)
+    {
+        return static_cast<std::size_t>(page_no) & (pageCacheSlots - 1);
+    }
+
     const Page *
     findPage(Addr addr) const
     {
-        auto it = pages_.find(addr >> pageShift);
-        return it == pages_.end() ? nullptr : it->second.get();
+        const Addr page_no = addr >> pageShift;
+        const std::size_t slot = pageCacheSlot(page_no);
+        if (cachedPageNo_[slot] == page_no)
+            return cachedPage_[slot];
+        auto it = pages_.find(page_no);
+        if (it == pages_.end())
+            return nullptr;
+        cachedPageNo_[slot] = page_no;
+        cachedPage_[slot] = it->second.get();
+        return cachedPage_[slot];
     }
 
     Page &
     getPage(Addr addr)
     {
-        auto &slot = pages_[addr >> pageShift];
-        if (!slot) {
-            slot = std::make_unique<Page>();
-            slot->fill(0);
+        const Addr page_no = addr >> pageShift;
+        const std::size_t slot = pageCacheSlot(page_no);
+        if (cachedPageNo_[slot] == page_no)
+            return *cachedPage_[slot];
+        auto &map_slot = pages_[page_no];
+        if (!map_slot) {
+            map_slot = std::make_unique<Page>();
+            map_slot->fill(0);
         }
-        return *slot;
+        cachedPageNo_[slot] = page_no;
+        cachedPage_[slot] = map_slot.get();
+        return *map_slot;
     }
 
     std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+    // invalidAddr never equals a real page number (addresses are
+    // shifted right by pageShift), so it marks an empty slot.
+    mutable std::array<Addr, pageCacheSlots> cachedPageNo_ = [] {
+        std::array<Addr, pageCacheSlots> init;
+        init.fill(invalidAddr);
+        return init;
+    }();
+    mutable std::array<Page *, pageCacheSlots> cachedPage_{};
 };
 
 /**

@@ -47,11 +47,6 @@ ContextSensitiveDecoder::ContextSensitiveDecoder(MsrFile &msrs,
     stats_.addChild(&mcu_.stats());
 }
 
-bool
-ContextSensitiveDecoder::stealthArmed() const
-{
-    return (msrs_.control() & ctrlStealthEnable) != 0;
-}
 
 void
 ContextSensitiveDecoder::onMsrWrite(MsrAddr addr, std::uint64_t value)
@@ -107,12 +102,6 @@ ContextSensitiveDecoder::retriggerStealth()
     }
 }
 
-void
-ContextSensitiveDecoder::tick(Tick now)
-{
-    now_ = now;
-    watchdog_.tick(now);
-}
 
 void
 ContextSensitiveDecoder::setDevectorize(bool on)
@@ -122,36 +111,8 @@ ContextSensitiveDecoder::setDevectorize(bool on)
     devect_ = on;
 }
 
-bool
-ContextSensitiveDecoder::translationStable(const MacroOp &op) const
-{
-    if (mcuMode_)
-        return false;
-    if (msrs_.control() & ctrlTimingNoise)
-        return false;
-    // A pending decoy injection for a tainted op consumes a decoy
-    // range and advances the stealth burst: never memoized.
-    if (stealthArmed() && !pending_.empty() && instrTainted(op))
-        return false;
-    return true;
-}
 
-void
-ContextSensitiveDecoder::noteCachedTranslation(const MacroOp &op,
-                                               const UopFlow &flow,
-                                               unsigned ctx)
-{
-    // Reproduce exactly the accounting translate() performs on the
-    // paths a memoizable flow can come from (native or devectorized;
-    // stealth/MCU/noise flows are never stable, see above).
-    (void)op;
-    (void)flow;
-    ++translations_;
-    lastCtx_ = ctx;
-    if (ctx == ctxDevect)
-        ++devectFlows_;
-    traceContextSwitch();
-}
+
 
 bool
 ContextSensitiveDecoder::instrTainted(const MacroOp &op) const

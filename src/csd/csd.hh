@@ -21,6 +21,7 @@
 #include "common/stats.hh"
 #include "common/trace.hh"
 #include "csd/decoy.hh"
+#include "csd/devect.hh"
 #include "csd/mcu.hh"
 #include "csd/msr.hh"
 #include "csd/watchdog.hh"
@@ -40,8 +41,13 @@ enum : unsigned
     ctxNoise = 4,
 };
 
-/** The context-sensitive decoder. */
-class ContextSensitiveDecoder : public Translator
+/**
+ * The context-sensitive decoder. Final, and its flow-cache protocol
+ * hooks are defined inline below the class: the superblock fast path
+ * consults them per macro-op on a devirtualized pointer
+ * (sim/fastpath.cc), so they must be visible for inlining.
+ */
+class ContextSensitiveDecoder final : public Translator
 {
   public:
     /**
@@ -72,6 +78,14 @@ class ContextSensitiveDecoder : public Translator
      * a pending stealth decoy injection for a tainted instruction.
      */
     bool translationStable(const MacroOp &op) const override;
+
+    /**
+     * Stable flows only ever come from the native or the
+     * devectorization path (stealth/MCU/noise translations are never
+     * stable), so the expected context is a function of the
+     * devectorize switch and the opcode alone.
+     */
+    unsigned stableContext(const MacroOp &op) const override;
 
     /** Replay translate()'s accounting for a flow served from cache. */
     void noteCachedTranslation(const MacroOp &op, const UopFlow &flow,
@@ -163,6 +177,63 @@ class ContextSensitiveDecoder : public Translator
     Distribution decoysPerFlow_{0, 64, 16};
     Formula stealthFlowRate_;
 };
+
+inline void
+ContextSensitiveDecoder::tick(Tick now)
+{
+    now_ = now;
+    watchdog_.tick(now);
+}
+
+inline bool
+ContextSensitiveDecoder::stealthArmed() const
+{
+    return (msrs_.control() & ctrlStealthEnable) != 0;
+}
+
+inline bool
+ContextSensitiveDecoder::translationStable(const MacroOp &op) const
+{
+    if (mcuMode_)
+        return false;
+    if (msrs_.control() & ctrlTimingNoise)
+        return false;
+    // A pending decoy injection for a tainted op consumes a decoy
+    // range and advances the stealth burst: never memoized.
+    if (stealthArmed() && !pending_.empty() && instrTainted(op))
+        return false;
+    return true;
+}
+
+inline unsigned
+ContextSensitiveDecoder::stableContext(const MacroOp &op) const
+{
+    // Mirrors translate()'s priority order for the stable paths:
+    // selective devectorization first, else the native translation.
+    return devect_ && devectorizable(op.opcode) ? ctxDevect : ctxNative;
+}
+
+inline void
+ContextSensitiveDecoder::noteCachedTranslation(const MacroOp &op,
+                                               const UopFlow &flow,
+                                               unsigned ctx)
+{
+    // Reproduce exactly the accounting translate() performs on the
+    // paths a memoizable flow can come from (native or devectorized;
+    // stealth/MCU/noise flows are never stable, see above).
+    (void)op;
+    (void)flow;
+    ++translations_;
+    lastCtx_ = ctx;
+    if (ctx == ctxDevect)
+        ++devectFlows_;
+    // traceContextSwitch re-checks this and is a no-op when the CSD
+    // trace stream is off; guarding here keeps an out-of-line call off
+    // the fast path's per-macro protocol (it runs only when tracing is
+    // disabled, so the call could never record anything).
+    if (traceEnabled(TraceFlag::Csd)) [[unlikely]]
+        traceContextSwitch();
+}
 
 } // namespace csd
 

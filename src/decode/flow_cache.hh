@@ -47,6 +47,7 @@ class FlowCache
     {
         std::uint64_t epoch = 0;  //!< translator epoch at insertion
         unsigned ctx = 0;         //!< contextId() of the translation
+        std::uint32_t heat = 0;   //!< region-entry count (superblock tier)
         bool valid = false;
         UopFlow flow;             //!< shared immutable predecoded flow
     };
@@ -62,12 +63,16 @@ class FlowCache
     std::size_t slots() const { return entries_.size(); }
 
     /**
-     * The cached flow in @p slot if it was recorded under @p epoch,
-     * else nullptr. A stale entry (older epoch) counts as an
-     * invalidation; the caller re-translates and insert() overwrites.
+     * The cached flow in @p slot if it was recorded under @p epoch by
+     * a translation in context @p expected_ctx, else nullptr. A stale
+     * entry (older epoch) counts as an invalidation; an entry filled
+     * from a different decode context counts as a ctx invalidation (a
+     * translator that changes context without bumping the epoch would
+     * otherwise be served another context's flow). Either way the
+     * caller re-translates and insert() overwrites.
      */
     const Entry *
-    lookup(std::size_t slot, std::uint64_t epoch)
+    lookup(std::size_t slot, std::uint64_t epoch, unsigned expected_ctx)
     {
         Entry &entry = entries_[slot];
         if (!entry.valid) {
@@ -78,9 +83,44 @@ class FlowCache
             ++invalidations;
             return nullptr;
         }
+        if (entry.ctx != expected_ctx) {
+            ++ctx_invalidations;
+            return nullptr;
+        }
         ++hits;
         return &entry;
     }
+
+    /**
+     * lookup() without the accounting: the superblock builder walks
+     * cached flows speculatively and must not perturb the hit/miss
+     * counters the flow-cache tests pin.
+     */
+    const Entry *
+    peek(std::size_t slot, std::uint64_t epoch, unsigned expected_ctx) const
+    {
+        const Entry &entry = entries_[slot];
+        if (!entry.valid || entry.epoch != epoch ||
+            entry.ctx != expected_ctx)
+            return nullptr;
+        return &entry;
+    }
+
+    /**
+     * Bump the region-entry counter hung off @p slot (superblock-tier
+     * hotness detection) and return the new value. Saturates.
+     */
+    std::uint32_t
+    bumpHeat(std::size_t slot)
+    {
+        std::uint32_t &heat = entries_[slot].heat;
+        if (heat != ~0u)
+            ++heat;
+        return heat;
+    }
+
+    /** Reset @p slot's hotness after a failed superblock build. */
+    void coolSlot(std::size_t slot) { entries_[slot].heat = 0; }
 
     /**
      * Record @p flow in @p slot under @p epoch, overwriting any stale
@@ -118,6 +158,7 @@ class FlowCache
     std::uint64_t hits = 0;           //!< served from cache
     std::uint64_t misses = 0;         //!< slot never filled
     std::uint64_t invalidations = 0;  //!< entry stale (epoch changed)
+    std::uint64_t ctx_invalidations = 0;  //!< entry from another context
     std::uint64_t bypasses = 0;       //!< translation unstable, not cached
 
   private:

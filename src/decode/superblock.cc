@@ -1,0 +1,181 @@
+#include "decode/superblock.hh"
+
+namespace csd
+{
+
+namespace
+{
+
+/**
+ * Handler for one micro-opcode, mirroring the dispatch groups of
+ * FunctionalExecutor::execUop (cpu/executor.cc) exactly: every opcode
+ * lands in the same semantic bucket in both tiers.
+ */
+SbHandler
+handlerFor(MicroOpcode op)
+{
+    switch (op) {
+      case MicroOpcode::Load:        return SbHandler::Load;
+      case MicroOpcode::Store:       return SbHandler::Store;
+      case MicroOpcode::StoreImm:    return SbHandler::StoreImm;
+      case MicroOpcode::LoadVec:     return SbHandler::LoadVec;
+      case MicroOpcode::StoreVec:    return SbHandler::StoreVec;
+      case MicroOpcode::Br:          return SbHandler::Br;
+      case MicroOpcode::BrInd:       return SbHandler::BrInd;
+      case MicroOpcode::CacheFlush:  return SbHandler::CacheFlush;
+      case MicroOpcode::ReadCycles:  return SbHandler::ReadCycles;
+      case MicroOpcode::Nop:         return SbHandler::Nop;
+      case MicroOpcode::VAdd: case MicroOpcode::VSub:
+      case MicroOpcode::VAnd: case MicroOpcode::VOr:
+      case MicroOpcode::VXor: case MicroOpcode::VMulLo16:
+      case MicroOpcode::VShlI: case MicroOpcode::VShrI:
+      case MicroOpcode::VMov:
+      case MicroOpcode::FAddPs: case MicroOpcode::FMulPs:
+      case MicroOpcode::FSubPs: case MicroOpcode::FAddPd:
+      case MicroOpcode::FMulPd: case MicroOpcode::FSubPd:
+      case MicroOpcode::FDivPs: case MicroOpcode::FSqrtPs:
+      case MicroOpcode::VInsert:
+        return SbHandler::Vector;
+      case MicroOpcode::VExtract:    return SbHandler::VExtract;
+      case MicroOpcode::FAddS: case MicroOpcode::FSubS:
+      case MicroOpcode::FMulS: case MicroOpcode::FDivS:
+      case MicroOpcode::FSqrtS:
+      case MicroOpcode::FAddSd: case MicroOpcode::FSubSd:
+      case MicroOpcode::FMulSd:
+        return SbHandler::ScalarFp;
+      default:
+        return SbHandler::ScalarAlu;
+    }
+}
+
+/** Does the flow contain a Halt uop (never admitted to a block)? */
+bool
+containsHalt(const UopFlow &flow)
+{
+    for (const Uop &uop : flow.uops)
+        if (uop.op == MicroOpcode::Halt)
+            return true;
+    return false;
+}
+
+/** Region ends inclusively at an unconditional control transfer. */
+bool
+endsRegion(MacroOpcode op)
+{
+    return op == MacroOpcode::Jmp || op == MacroOpcode::JmpInd ||
+           op == MacroOpcode::Call || op == MacroOpcode::Ret;
+}
+
+} // namespace
+
+const char *
+sbExitName(SbExit exit)
+{
+    switch (exit) {
+      case SbExit::End:       return "end";
+      case SbExit::Branch:    return "branch";
+      case SbExit::EpochBump: return "epoch_bump";
+      case SbExit::Unstable:  return "unstable";
+      case SbExit::Budget:    return "budget";
+      default:                return "?";
+    }
+}
+
+std::unique_ptr<Superblock>
+buildSuperblock(const Program &prog, const FlowCache &fc,
+                const Translator &translator, const EnergyModel &energy,
+                Addr entry_pc, const SuperblockLimits &limits)
+{
+    const std::uint64_t epoch = translator.translationEpoch();
+    auto block = std::make_unique<Superblock>();
+    block->entryPc = entry_pc;
+    block->epoch = epoch;
+
+    const MacroOp *const code_base = prog.code().data();
+
+    // Emit one uop of the flow's dynamic expansion into the stream,
+    // folding in the per-macro accounting deltas stepCacheOnly derives
+    // at run time.
+    const auto emit = [&](const Uop &uop, SbMacro &macro) {
+        SbOp sbop;
+        sbop.uop = uop;
+        sbop.energy = energy.uopEnergy(uop);
+        sbop.handler = handlerFor(uop.op);
+        sbop.vpu = onVpu(uop);
+        sbop.counted = !uop.eliminated;
+        block->uops.push_back(sbop);
+        ++macro.dynCount;
+        if (!uop.eliminated) {
+            ++macro.delivered;
+            if (uop.decoy)
+                ++macro.decoyDelta;
+        }
+    };
+
+    Addr pc = entry_pc;
+    for (;;) {
+        const MacroOp *op = prog.at(pc);
+        if (!op)
+            break;
+        const auto slot = static_cast<std::size_t>(op - code_base);
+        if (slot >= fc.slots())
+            break;
+        // The interpreter owns program termination (Halt commits but
+        // isn't counted by run()'s budget).
+        if (op->opcode == MacroOpcode::Halt)
+            break;
+        if (!translator.translationStable(*op))
+            break;
+        const FlowCache::Entry *entry =
+            fc.peek(slot, epoch, translator.stableContext(*op));
+        if (!entry)
+            break;
+        const UopFlow &flow = entry->flow;
+        if (containsHalt(flow))
+            break;
+
+        const std::uint64_t expand = flow.expandedCount();
+        if (block->macros.size() >= limits.maxMacros ||
+            block->uops.size() + expand > limits.maxUops)
+            break;
+
+        SbMacro macro;
+        macro.op = op;
+        macro.flow = &flow;
+        macro.ctx = entry->ctx;
+        macro.fallThrough = op->nextPc();
+        macro.fetchFirst = blockAlign(op->pc);
+        macro.fetchLast = blockAlign(op->pc + op->length - 1);
+        macro.uopBegin = static_cast<std::uint32_t>(block->uops.size());
+
+        // Mirror FunctionalExecutor::executeInto's expansion order:
+        // prologue, body x tripCount, epilogue.
+        if (flow.loop) {
+            const MicroLoop &loop = *flow.loop;
+            for (std::size_t i = 0; i < loop.bodyStart; ++i)
+                emit(flow.uops[i], macro);
+            for (std::uint32_t trip = 0; trip < loop.tripCount; ++trip)
+                for (std::size_t i = loop.bodyStart; i < loop.bodyEnd; ++i)
+                    emit(flow.uops[i], macro);
+            for (std::size_t i = loop.bodyEnd; i < flow.uops.size(); ++i)
+                emit(flow.uops[i], macro);
+        } else {
+            for (const Uop &uop : flow.uops)
+                emit(uop, macro);
+        }
+        macro.uopEnd = static_cast<std::uint32_t>(block->uops.size());
+        block->macros.push_back(macro);
+
+        if (endsRegion(op->opcode))
+            break;
+        // Conditional branches stay mid-block: the stream follows the
+        // fall-through edge and exits dynamically when one is taken.
+        pc = op->nextPc();
+    }
+
+    if (block->macros.size() < limits.minMacros)
+        return nullptr;
+    return block;
+}
+
+} // namespace csd

@@ -73,6 +73,20 @@ class Translator
     }
 
     /**
+     * The contextId() a stable translation of @p op would report under
+     * the current epoch. The flow cache compares this against the
+     * context an entry was filled under, so a translator that switched
+     * contexts without bumping the epoch (a protocol violation) is
+     * caught instead of being served another context's flow. Only
+     * meaningful when translationStable(op) holds.
+     */
+    virtual unsigned stableContext(const MacroOp &op) const
+    {
+        (void)op;
+        return 0;
+    }
+
+    /**
      * Replay the accounting translate() would have performed for a
      * cache hit that returned @p flow translated under context @p ctx.
      * After this call all translator-side stats and the value of
@@ -88,8 +102,10 @@ class Translator
     }
 };
 
-/** The default static translation (contexts never change). */
-class NativeTranslator : public Translator
+/** The default static translation (contexts never change). Final so
+ *  the superblock fast path's typed dispatch (sim/fastpath.cc) folds
+ *  the no-op protocol hooks away entirely. */
+class NativeTranslator final : public Translator
 {
   public:
     UopFlow translate(const MacroOp &op) override

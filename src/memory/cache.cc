@@ -1,5 +1,7 @@
 #include "memory/cache.hh"
 
+#include <algorithm>
+
 #include "common/bitutils.hh"
 #include "common/logging.hh"
 
@@ -19,7 +21,9 @@ Cache::Cache(const CacheParams &params)
     if (!isPowerOf2(numSets_))
         csd_fatal("Cache ", params_.name, ": set count ", numSets_,
                   " is not a power of two");
-    lines_.resize(num_blocks);
+    tags_.assign(num_blocks, invalidAddr);
+    lruStamps_.assign(num_blocks, 0);
+    dirty_.assign(num_blocks, 0);
 
     stats_.addCounter("accesses", &accesses_, "demand accesses");
     stats_.addCounter("misses", &misses_, "demand misses");
@@ -29,94 +33,52 @@ Cache::Cache(const CacheParams &params)
                       "explicit invalidations (clflush)");
 }
 
-unsigned
-Cache::setIndex(Addr addr) const
-{
-    return static_cast<unsigned>(blockNumber(addr)) & (numSets_ - 1);
-}
 
-Cache::Line *
-Cache::findLine(Addr addr)
-{
-    const Addr tag = blockAlign(addr);
-    const unsigned set = setIndex(addr);
-    Line *base = &lines_[static_cast<std::size_t>(set) * params_.assoc];
-    for (unsigned way = 0; way < params_.assoc; ++way) {
-        if (base[way].valid && base[way].tag == tag)
-            return &base[way];
-    }
-    return nullptr;
-}
 
-const Cache::Line *
-Cache::findLine(Addr addr) const
-{
-    return const_cast<Cache *>(this)->findLine(addr);
-}
-
-bool
-Cache::access(Addr addr, bool is_write)
-{
-    ++accesses_;
-    if (is_write)
-        ++writeAccesses_;
-    Line *line = findLine(addr);
-    const bool hit = line != nullptr;
-    if (hit) {
-        line->lruStamp = ++lruClock_;
-        if (is_write)
-            line->dirty = true;
-    } else {
-        ++misses_;
-    }
-    if (monitor_) [[unlikely]]
-        monitor_->recordAccess(monitorStructure_, setIndex(addr),
-                               blockAlign(addr), !hit);
-    return hit;
-}
 
 bool
 Cache::contains(Addr addr) const
 {
-    return findLine(addr) != nullptr;
+    return findWay(addr) != invalidWay;
 }
 
 void
 Cache::fill(Addr addr)
 {
-    if (findLine(addr))
+    if (findWay(addr) != invalidWay)
         return;  // already resident (e.g. racing fill)
     const unsigned set = setIndex(addr);
-    Line *base = &lines_[static_cast<std::size_t>(set) * params_.assoc];
-    Line *victim = &base[0];
+    const std::size_t base =
+        static_cast<std::size_t>(set) * params_.assoc;
+    std::size_t victim = base;
     for (unsigned way = 0; way < params_.assoc; ++way) {
-        if (!base[way].valid) {
-            victim = &base[way];
+        if (tags_[base + way] == invalidAddr) {
+            victim = base + way;
             break;
         }
-        if (base[way].lruStamp < victim->lruStamp)
-            victim = &base[way];
+        if (lruStamps_[base + way] < lruStamps_[victim])
+            victim = base + way;
     }
-    if (victim->valid) {
+    if (tags_[victim] != invalidAddr) {
         ++evictions_;
         if (monitor_) [[unlikely]]
             monitor_->recordEviction(monitorStructure_, set);
     }
-    victim->valid = true;
-    victim->dirty = false;
-    victim->tag = blockAlign(addr);
-    victim->lruStamp = ++lruClock_;
+    tags_[victim] = blockAlign(addr);
+    dirty_[victim] = 0;
+    lruStamps_[victim] = ++lruClock_;
 }
 
 bool
 Cache::invalidate(Addr addr)
 {
-    Line *line = findLine(addr);
-    if (!line)
+    const unsigned way = findWay(addr);
+    if (way == invalidWay)
         return false;
-    line->valid = false;
-    line->dirty = false;
-    line->tag = invalidAddr;
+    const std::size_t idx =
+        static_cast<std::size_t>(setIndex(addr)) * params_.assoc + way;
+    tags_[idx] = invalidAddr;
+    dirty_[idx] = 0;
     ++invalidations_;
     if (monitor_) [[unlikely]]
         monitor_->recordInvalidation(monitorStructure_, setIndex(addr));
@@ -126,11 +88,8 @@ Cache::invalidate(Addr addr)
 void
 Cache::invalidateAll()
 {
-    for (Line &line : lines_) {
-        line.valid = false;
-        line.dirty = false;
-        line.tag = invalidAddr;
-    }
+    std::fill(tags_.begin(), tags_.end(), invalidAddr);
+    std::fill(dirty_.begin(), dirty_.end(), 0);
 }
 
 std::vector<Addr>
@@ -139,10 +98,11 @@ Cache::setContents(unsigned set) const
     if (set >= numSets_)
         csd_panic("Cache::setContents: bad set ", set);
     std::vector<Addr> contents;
-    const Line *base = &lines_[static_cast<std::size_t>(set) * params_.assoc];
+    const std::size_t base =
+        static_cast<std::size_t>(set) * params_.assoc;
     for (unsigned way = 0; way < params_.assoc; ++way)
-        if (base[way].valid)
-            contents.push_back(base[way].tag);
+        if (tags_[base + way] != invalidAddr)
+            contents.push_back(tags_[base + way]);
     return contents;
 }
 

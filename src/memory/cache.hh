@@ -39,7 +39,8 @@ class Cache
 
     /**
      * Access a block: on a hit, update LRU and return true; on a miss,
-     * return false (the caller fills via fill()).
+     * return false (the caller fills via fill()). Inline (below): this
+     * is the hottest call in cache-only simulation.
      */
     bool access(Addr addr, bool is_write);
 
@@ -99,20 +100,22 @@ class Cache
     }
 
   private:
-    struct Line
-    {
-        Addr tag = invalidAddr;  //!< block base address
-        bool valid = false;
-        bool dirty = false;
-        std::uint64_t lruStamp = 0;
-    };
+    static constexpr unsigned invalidWay = ~0u;
 
-    Line *findLine(Addr addr);
-    const Line *findLine(Addr addr) const;
+    /**
+     * Way of @p addr's block within its set, or invalidWay. The tag
+     * arrays are struct-of-arrays so the scan reads one contiguous run
+     * of tags (an invalid way holds invalidAddr, which no real block
+     * address equals, so there is no separate valid bit to test).
+     */
+    unsigned findWay(Addr addr) const;
 
     CacheParams params_;
     unsigned numSets_;
-    std::vector<Line> lines_;   //!< numSets_ x assoc, row-major
+    // numSets_ x assoc, row-major, parallel arrays.
+    std::vector<Addr> tags_;            //!< block base, invalidAddr = empty
+    std::vector<std::uint64_t> lruStamps_;
+    std::vector<std::uint8_t> dirty_;
     std::uint64_t lruClock_ = 0;
 
     // Channel-observability hook (null = disarmed, the default).
@@ -127,6 +130,48 @@ class Cache
     Counter evictions_;
     Counter invalidations_;
 };
+
+inline unsigned
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<unsigned>(blockNumber(addr)) & (numSets_ - 1);
+}
+
+inline unsigned
+Cache::findWay(Addr addr) const
+{
+    const Addr tag = blockAlign(addr);
+    const std::size_t base =
+        static_cast<std::size_t>(setIndex(addr)) * params_.assoc;
+    for (unsigned way = 0; way < params_.assoc; ++way) {
+        if (tags_[base + way] == tag)
+            return way;
+    }
+    return invalidWay;
+}
+
+inline bool
+Cache::access(Addr addr, bool is_write)
+{
+    ++accesses_;
+    if (is_write)
+        ++writeAccesses_;
+    const unsigned way = findWay(addr);
+    const bool hit = way != invalidWay;
+    if (hit) {
+        const std::size_t idx =
+            static_cast<std::size_t>(setIndex(addr)) * params_.assoc + way;
+        lruStamps_[idx] = ++lruClock_;
+        if (is_write)
+            dirty_[idx] = 1;
+    } else {
+        ++misses_;
+    }
+    if (monitor_) [[unlikely]]
+        monitor_->recordAccess(monitorStructure_, setIndex(addr),
+                               blockAlign(addr), !hit);
+    return hit;
+}
 
 } // namespace csd
 

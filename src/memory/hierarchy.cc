@@ -29,15 +29,9 @@ MemHierarchy::MemHierarchy(const MemHierarchyParams &params)
 }
 
 MemAccessResult
-MemHierarchy::accessThrough(Cache &l1, Addr addr, bool is_write)
+MemHierarchy::missThrough(Cache &l1, Addr addr, bool is_write,
+                          MemAccessResult result)
 {
-    MemAccessResult result;
-    result.latency = l1.hitLatency();
-    if (l1.access(addr, is_write)) {
-        result.levelHit = 1;
-        return result;
-    }
-
     result.latency += l2_->hitLatency() + params_.extraL2Latency;
     if (l2_->access(addr, is_write)) {
         result.levelHit = 2;
@@ -64,26 +58,8 @@ MemHierarchy::accessThrough(Cache &l1, Addr addr, bool is_write)
     return result;
 }
 
-MemAccessResult
-MemHierarchy::readData(Addr addr)
-{
-    const MemAccessResult result = accessThrough(*l1d_, addr, false);
-    if (statsDetailEnabled())
-        readLatency_.sample(static_cast<double>(result.latency));
-    return result;
-}
 
-MemAccessResult
-MemHierarchy::writeData(Addr addr)
-{
-    return accessThrough(*l1d_, addr, true);
-}
 
-MemAccessResult
-MemHierarchy::fetchInstr(Addr addr)
-{
-    return accessThrough(*l1i_, addr, false);
-}
 
 void
 MemHierarchy::flush(Addr addr)

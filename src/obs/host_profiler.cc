@@ -8,7 +8,8 @@ namespace
 
 const char *const phaseNames[static_cast<unsigned>(HostPhase::NumPhases)] = {
     "translate", "flow_cache", "execute", "pipeline",
-    "memory",    "stat_overhead", "channel_monitor", "other",
+    "memory",    "stat_overhead", "channel_monitor", "superblock",
+    "other",
 };
 
 } // namespace

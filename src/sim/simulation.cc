@@ -1,11 +1,14 @@
 #include "sim/simulation.hh"
 
 #include <cstdlib>
+#include <limits>
 #include <mutex>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "csd/csd.hh"
 #include "csd/devect.hh"
+#include "sim/fastpath.hh"
 
 namespace csd
 {
@@ -74,7 +77,17 @@ Simulation::Simulation(const Program &prog, const SimParams &params,
     // slot per static instruction, indexed by position in code().
     flowCache_.reset(prog.code().size());
     if (const char *fc = std::getenv("CSD_FLOW_CACHE"))
-        flowCacheEnabled_ = !(*fc == '0' && fc[1] == '\0');
+        flowCacheEnabled_ = parseBoolSetting("CSD_FLOW_CACHE", fc);
+
+    // Superblock tier (host-side; cache-only mode only, see run()).
+    fastpath_ = std::make_unique<FastPath>(*this);
+    fastpath_->reset(prog.code().size());
+    if (const char *sb = std::getenv("CSD_SUPERBLOCK"))
+        superblockEnabled_ = parseBoolSetting("CSD_SUPERBLOCK", sb);
+    if (const char *st = std::getenv("CSD_SUPERBLOCK_THRESHOLD")) {
+        fastpath_->setThreshold(static_cast<std::uint32_t>(
+            parsePositiveSetting("CSD_SUPERBLOCK_THRESHOLD", st)));
+    }
 
     stats_.addCounter("instructions", &instructions_,
                       "macro-ops committed");
@@ -215,16 +228,38 @@ void
 Simulation::setTranslator(Translator *translator)
 {
     translator_ = translator ? translator : &nativeTranslator_;
-    // Cached flows belong to the previous translator: drop them.
+    // Cached flows belong to the previous translator: drop them, and
+    // the superblocks compiled from them (a new translator may reuse
+    // epoch numbers, so the entry-time epoch compare alone can't tell
+    // its flows from the old ones).
     flowCache_.clear();
+    fastpath_->clear();
 }
 
 void
 Simulation::setFlowCacheEnabled(bool on)
 {
     flowCacheEnabled_ = on;
-    if (!on)
+    if (!on) {
         flowCache_.clear();
+        // Superblocks point into the flow cache's entries; with the
+        // flows destroyed under an unchanged epoch they must go too.
+        fastpath_->clear();
+    }
+}
+
+void
+Simulation::setSuperblockEnabled(bool on)
+{
+    superblockEnabled_ = on;
+    if (!on)
+        fastpath_->clear();
+}
+
+void
+Simulation::setSuperblockThreshold(std::uint32_t threshold)
+{
+    fastpath_->setThreshold(threshold);
 }
 
 /**
@@ -246,8 +281,8 @@ Simulation::translatedFlow(const MacroOp &op)
         const std::uint64_t epoch = translator_->translationEpoch();
         const UopFlow *cached =
             profiled(HostPhase::FlowCache, [&]() -> const UopFlow * {
-                const FlowCache::Entry *hit =
-                    flowCache_.lookup(slot, epoch);
+                const FlowCache::Entry *hit = flowCache_.lookup(
+                    slot, epoch, translator_->stableContext(op));
                 if (!hit)
                     return nullptr;
                 translator_->noteCachedTranslation(op, hit->flow,
@@ -595,6 +630,33 @@ std::uint64_t
 Simulation::run(std::uint64_t max_instructions)
 {
     std::uint64_t executed = 0;
+
+    // Superblock fast path: compiled straight-line execution between
+    // region heads (sim/fastpath.hh). Tracing stays on the interpreter
+    // so per-step trace output is unchanged; a power controller needs
+    // its per-macro hook; detailed mode has its own pipeline loop.
+    if (params_.mode == SimMode::CacheOnly && superblockEnabled_ &&
+        flowCacheEnabled_ && !power_ && !traceAnyEnabled()) {
+        if (ObservabilityContext::currentOrNull() != obs_)
+            obs_->bindToThread();
+        // Region heads are where superblocks anchor: program entry and
+        // every branch target. Consulting only there keeps the heat
+        // counters (and block count) bounded by the branch structure
+        // rather than by static code size.
+        bool at_head = true;
+        for (;;) {
+            if (at_head && executed < max_instructions) {
+                executed += profiled(HostPhase::Superblock, [&] {
+                    return fastpath_->run(max_instructions - executed);
+                });
+            }
+            if (executed >= max_instructions || !step())
+                return executed;
+            ++executed;
+            at_head = scratchResult_.tookBranch;
+        }
+    }
+
     while (executed < max_instructions && step())
         ++executed;
     return executed;
@@ -603,8 +665,7 @@ Simulation::run(std::uint64_t max_instructions)
 void
 Simulation::runToHalt()
 {
-    while (step()) {
-    }
+    run(std::numeric_limits<std::uint64_t>::max());
 }
 
 void

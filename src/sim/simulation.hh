@@ -43,6 +43,7 @@ namespace csd
 {
 
 class ContextSensitiveDecoder;
+class FastPath;
 
 /** Simulation fidelity. */
 enum class SimMode : std::uint8_t
@@ -121,6 +122,29 @@ class Simulation
 
     /** Host-side hit/miss accounting for the predecoded-flow cache. */
     const FlowCache &flowCache() const { return flowCache_; }
+
+    /**
+     * Toggle the superblock threaded-code tier (sim/fastpath.hh): in
+     * cache-only mode, hot straight-line regions of cached flows are
+     * compiled into flat pre-resolved uop streams and executed without
+     * the per-macro interpreter overhead. On by default;
+     * CSD_SUPERBLOCK=0 in the environment disables it. Purely a host
+     * optimization: simulated timing and statistics are bit-identical
+     * either way (tests/sim/test_superblock.cc). The tier engages only
+     * when the flow cache is enabled, no power controller is attached,
+     * and tracing is off (run() re-checks per call).
+     */
+    void setSuperblockEnabled(bool on);
+    bool superblockEnabled() const { return superblockEnabled_; }
+
+    /**
+     * Region-entry count at which a hot head is compiled (>= 1; default
+     * 16). Also set by CSD_SUPERBLOCK_THRESHOLD in the environment.
+     */
+    void setSuperblockThreshold(std::uint32_t threshold);
+
+    /** The superblock tier's host-side counters and block cache. */
+    const FastPath &fastPath() const { return *fastpath_; }
 
     /**
      * Sample the statistics named by @p stat_paths (dotted paths under
@@ -292,6 +316,12 @@ class Simulation
     // Predecoded-flow cache (host optimization, see translatedFlow()).
     FlowCache flowCache_;
     bool flowCacheEnabled_ = true;
+
+    // Superblock tier (host optimization, see run()). FastPath is a
+    // friend: it replicates step()'s cache-only bookkeeping in place.
+    friend class FastPath;
+    std::unique_ptr<FastPath> fastpath_;
+    bool superblockEnabled_ = true;
     UopFlow scratchFlow_;  //!< holds the flow on the uncached path
     FlowResult scratchResult_;  //!< reused across steps (executeInto)
 

@@ -354,18 +354,25 @@ checkTranslations(VerifyReport &report)
         // flow that went in.
         cache.clear();
         cache.insert(0, /*epoch=*/7, ctxNative, legacy);
-        const FlowCache::Entry *entry = cache.lookup(0, /*epoch=*/7);
+        const FlowCache::Entry *entry =
+            cache.lookup(0, /*epoch=*/7, ctxNative);
         if (!entry || !flowEq(entry->flow, legacy)) {
             report.add("trans.flow-cache-divergence", Severity::Error,
                        invalidAddr, name,
                        name + ": flow-cache round trip altered the "
                               "translation");
         }
-        if (cache.lookup(0, /*epoch=*/8) != nullptr) {
+        if (cache.lookup(0, /*epoch=*/8, ctxNative) != nullptr) {
             report.add("trans.flow-cache-divergence", Severity::Error,
                        invalidAddr, name,
                        name + ": flow cache served an entry from a "
                               "stale epoch");
+        }
+        if (cache.lookup(0, /*epoch=*/7, ctxDevect) != nullptr) {
+            report.add("trans.flow-cache-divergence", Severity::Error,
+                       invalidAddr, name,
+                       name + ": flow cache served an entry translated "
+                              "under a different decode context");
         }
 
         // The CSD in its native context must reproduce the legacy

@@ -262,6 +262,85 @@ TEST(FlowCache, NativeRunsAreFullyCachedAfterWarmup)
     EXPECT_EQ(sim.flowCache().invalidations, 0u);
 }
 
+TEST(FlowCache, LookupRejectsOtherContextsEntry)
+{
+    // Regression: Entry::ctx used to be stored by insert() but never
+    // compared on lookup, so a translator that switched decode context
+    // without bumping the epoch (legal for context-only transitions)
+    // would be served another context's flow. lookup() must treat the
+    // mismatch as a distinct ctx invalidation and force re-translation.
+    FlowCache cache;
+    cache.reset(4);
+
+    cache.insert(/*slot=*/1, /*epoch=*/7, /*ctx=*/ctxNative, UopFlow{});
+    EXPECT_NE(cache.lookup(1, 7, ctxNative), nullptr);
+    EXPECT_EQ(cache.hits, 1u);
+
+    // Same slot, same epoch, different expected context: a miss that
+    // is counted as a ctx invalidation, not a plain miss or an epoch
+    // invalidation.
+    EXPECT_EQ(cache.lookup(1, 7, ctxDevect), nullptr);
+    EXPECT_EQ(cache.ctx_invalidations, 1u);
+    EXPECT_EQ(cache.misses, 0u);
+    EXPECT_EQ(cache.invalidations, 0u);
+
+    // The re-translation overwrites the entry under the new context;
+    // the old context then misses the same way.
+    cache.insert(1, 7, ctxDevect, UopFlow{});
+    EXPECT_NE(cache.lookup(1, 7, ctxDevect), nullptr);
+    EXPECT_EQ(cache.lookup(1, 7, ctxNative), nullptr);
+    EXPECT_EQ(cache.ctx_invalidations, 2u);
+
+    // Epoch staleness still takes precedence in accounting: an entry
+    // that is both stale and from another context counts as an epoch
+    // invalidation (the epoch compare runs first).
+    EXPECT_EQ(cache.lookup(1, 8, ctxNative), nullptr);
+    EXPECT_EQ(cache.invalidations, 1u);
+    EXPECT_EQ(cache.ctx_invalidations, 2u);
+
+    // peek() applies the same ctx filter without touching counters.
+    const std::uint64_t hits = cache.hits;
+    EXPECT_NE(cache.peek(1, 7, ctxDevect), nullptr);
+    EXPECT_EQ(cache.peek(1, 7, ctxNative), nullptr);
+    EXPECT_EQ(cache.hits, hits);
+}
+
+TEST(FlowCache, DevectorizationTogglesUseCtxPath)
+{
+    // End-to-end: toggling selective devectorization swaps the stable
+    // context of vector ops (ctxNative <-> ctxDevect). The simulation
+    // bumps the epoch on the toggle, so in the stock wiring the stale
+    // entries surface as epoch invalidations — but the equivalence
+    // guarantee (stats identical, cache on or off) must hold across
+    // the ctx swap regardless of which check catches it.
+    std::array<std::uint8_t, 16> key{};
+    for (unsigned i = 0; i < 16; ++i)
+        key[i] = static_cast<std::uint8_t>(0x11 * (i & 3) + i);
+    const AesWorkload workload = AesWorkload::build(key);
+
+    auto run = [&](bool cache_on) {
+        Simulation sim(workload.program);
+        sim.setFlowCacheEnabled(cache_on);
+        sim.enableCpiStack();
+        MsrFile msrs;
+        ContextSensitiveDecoder csd(msrs, nullptr);
+        sim.setCsd(&csd);
+        // Pairs of runs per setting: the toggle bumps the epoch, so
+        // only the second run of each pair can hit the cache.
+        for (int block = 0; block < 8; ++block) {
+            csd.setDevectorize((block / 2) % 2 == 1);
+            sim.restart();
+            sim.runToHalt();
+        }
+        return finishRecord(sim, csd);
+    };
+
+    const RunRecord on = run(true);
+    const RunRecord off = run(false);
+    expectIdentical(on, off);
+    EXPECT_GT(on.fcHits, 0u);
+}
+
 TEST(FlowCache, DisablingClearsAndBypasses)
 {
     std::array<std::uint8_t, 16> key{};
