@@ -3,16 +3,8 @@
 namespace csd
 {
 
-namespace
-{
-
-/**
- * Handler for one micro-opcode, mirroring the dispatch groups of
- * FunctionalExecutor::execUop (cpu/executor.cc) exactly: every opcode
- * lands in the same semantic bucket in both tiers.
- */
 SbHandler
-handlerFor(MicroOpcode op)
+sbHandlerFor(MicroOpcode op)
 {
     switch (op) {
       case MicroOpcode::Load:        return SbHandler::Load;
@@ -48,6 +40,9 @@ handlerFor(MicroOpcode op)
     }
 }
 
+namespace
+{
+
 /** Does the flow contain a Halt uop (never admitted to a block)? */
 bool
 containsHalt(const UopFlow &flow)
@@ -71,21 +66,33 @@ endsRegion(MacroOpcode op)
 const char *
 sbExitName(SbExit exit)
 {
+    // Exhaustive on purpose (no default): a new SbExit enumerator
+    // without a sidecar name fails to compile under -Werror=switch,
+    // and the static_assert catches a count drift even without it.
+    static_assert(numSbExits == 5,
+                  "new SbExit enumerator: name it here, give it "
+                  "sbExitMeta (sim/fastpath.hh), and extend the "
+                  "tier-equivalence exit-protocol proof");
     switch (exit) {
       case SbExit::End:       return "end";
       case SbExit::Branch:    return "branch";
       case SbExit::EpochBump: return "epoch_bump";
       case SbExit::Unstable:  return "unstable";
       case SbExit::Budget:    return "budget";
-      default:                return "?";
+      case SbExit::NumExits:  break;
     }
+    return "?";
 }
 
 std::unique_ptr<Superblock>
-buildSuperblock(const Program &prog, const FlowCache &fc,
-                const Translator &translator, const EnergyModel &energy,
-                Addr entry_pc, const SuperblockLimits &limits)
+SuperblockBuilder::build(Addr entry_pc) const
 {
+    const Program &prog = prog_;
+    const FlowCache &fc = fc_;
+    const Translator &translator = translator_;
+    const EnergyModel &energy = energy_;
+    const SuperblockLimits &limits = limits_;
+
     const std::uint64_t epoch = translator.translationEpoch();
     auto block = std::make_unique<Superblock>();
     block->entryPc = entry_pc;
@@ -100,7 +107,7 @@ buildSuperblock(const Program &prog, const FlowCache &fc,
         SbOp sbop;
         sbop.uop = uop;
         sbop.energy = energy.uopEnergy(uop);
-        sbop.handler = handlerFor(uop.op);
+        sbop.handler = sbHandlerFor(uop.op);
         sbop.vpu = onVpu(uop);
         sbop.counted = !uop.eliminated;
         block->uops.push_back(sbop);
@@ -147,11 +154,16 @@ buildSuperblock(const Program &prog, const FlowCache &fc,
         macro.fetchFirst = blockAlign(op->pc);
         macro.fetchLast = blockAlign(op->pc + op->length - 1);
         macro.uopBegin = static_cast<std::uint32_t>(block->uops.size());
+        // Build provenance: the dispatch loop performs the full guard
+        // sequence before every macro (sim/fastpath.cc); the prover
+        // audits these bits against the effects in the uop range.
+        macro.guards = sbGuardAll;
 
         // Mirror FunctionalExecutor::executeInto's expansion order:
         // prologue, body x tripCount, epilogue.
         if (flow.loop) {
             const MicroLoop &loop = *flow.loop;
+            macro.unrollTrips = loop.tripCount;
             for (std::size_t i = 0; i < loop.bodyStart; ++i)
                 emit(flow.uops[i], macro);
             for (std::uint32_t trip = 0; trip < loop.tripCount; ++trip)

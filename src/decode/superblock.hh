@@ -82,8 +82,40 @@ enum class SbExit : std::uint8_t
 
 constexpr unsigned numSbExits = static_cast<unsigned>(SbExit::NumExits);
 
-/** Printable exit-reason name (sidecar counter keys). */
+/**
+ * Printable exit-reason name. These strings are load-bearing: the
+ * throughput bench emits one sidecar counter per reason under the key
+ * "superblock.exit_<name>" (bench_sim_throughput.cc), and
+ * tests/sim/test_superblock.cc pins the exact spellings. The
+ * definition's switch is exhaustive with no default, so adding an
+ * SbExit enumerator without naming it breaks the build there.
+ */
 const char *sbExitName(SbExit exit);
+
+/**
+ * Handler for one micro-opcode, mirroring the dispatch groups of
+ * FunctionalExecutor::execUop (cpu/executor.cc) exactly: every opcode
+ * lands in the same semantic bucket in both tiers. Public so the
+ * static tier-equivalence prover (verify/tier_equiv.hh) can name the
+ * mapping it independently re-derives from the executor's switch.
+ */
+SbHandler sbHandlerFor(MicroOpcode op);
+
+// Per-macro protocol guards. The threaded-code loop (sim/fastpath.cc)
+// performs all three before every macro's uops, in this order: tick
+// fires any due watchdog, the epoch compare detects a translation
+// change, and the stability probe vetoes ops whose translation depends
+// on mutable per-instance state. The builder stamps the set it
+// compiled against into SbMacro::guards as build provenance; the
+// tier-equivalence prover requires the epoch+tick pair on every macro
+// with a memory or branch effect and the stability probe everywhere
+// (tier.unguarded-epoch-window). A future native emitter must emit
+// the same guard sequence to satisfy the prover.
+constexpr std::uint8_t sbGuardTick = 1u << 0;
+constexpr std::uint8_t sbGuardEpoch = 1u << 1;
+constexpr std::uint8_t sbGuardStability = 1u << 2;
+constexpr std::uint8_t sbGuardAll =
+    sbGuardTick | sbGuardEpoch | sbGuardStability;
 
 /** One pre-resolved uop of the threaded stream. */
 struct SbOp
@@ -109,6 +141,8 @@ struct SbMacro
     std::uint32_t dynCount = 0;    //!< dynamic uops incl. eliminated
     std::uint64_t delivered = 0;   //!< dynamic uops excl. eliminated
     std::uint32_t decoyDelta = 0;  //!< delivered decoy uops
+    std::uint32_t unrollTrips = 0; //!< micro-loop trips unrolled (0: none)
+    std::uint8_t guards = 0;       //!< sbGuard* bits compiled against
 };
 
 /** A compiled straight-line region. */
@@ -129,18 +163,42 @@ struct SuperblockLimits
 };
 
 /**
- * Compile the straight-line region starting at @p entry_pc from the
- * flows cached in @p fc under @p translator's current epoch. The walk
- * follows fall-through edges (conditional branches stay mid-block and
- * exit dynamically when taken), ends inclusively at an unconditional
- * control transfer, and stops at the first op that is uncached,
- * unstable, or a Halt (the interpreter owns program termination).
- * Returns nullptr when fewer than limits.minMacros ops qualify.
+ * Compiles straight-line regions into superblocks. One builder wraps
+ * the immutable build world — program, flow cache, translator, energy
+ * model, caps — so a caller (the fast path at a hot head, the static
+ * tier-equivalence prover sweeping every head offline) compiles any
+ * number of regions against one consistent snapshot.
+ *
+ * build(entry_pc) walks from @p entry_pc following fall-through edges
+ * (conditional branches stay mid-block and exit dynamically when
+ * taken), ends inclusively at an unconditional control transfer, and
+ * stops at the first op that is uncached, unstable, or a Halt (the
+ * interpreter owns program termination). Returns nullptr when fewer
+ * than limits.minMacros ops qualify.
  */
-std::unique_ptr<Superblock>
-buildSuperblock(const Program &prog, const FlowCache &fc,
-                const Translator &translator, const EnergyModel &energy,
-                Addr entry_pc, const SuperblockLimits &limits = {});
+class SuperblockBuilder
+{
+  public:
+    SuperblockBuilder(const Program &prog, const FlowCache &fc,
+                      const Translator &translator,
+                      const EnergyModel &energy,
+                      const SuperblockLimits &limits = {})
+        : prog_(prog), fc_(fc), translator_(translator), energy_(energy),
+          limits_(limits)
+    {}
+
+    /** Compile the region at @p entry_pc; nullptr if not compilable. */
+    std::unique_ptr<Superblock> build(Addr entry_pc) const;
+
+    const SuperblockLimits &limits() const { return limits_; }
+
+  private:
+    const Program &prog_;
+    const FlowCache &fc_;
+    const Translator &translator_;
+    const EnergyModel &energy_;
+    SuperblockLimits limits_;
+};
 
 /**
  * Slot-indexed store of compiled superblocks, keyed like the flow

@@ -84,9 +84,11 @@ FastPath::runImpl(Tr &tr, std::uint64_t budget)
         if (!block) {
             if (sim_.flowCache_.bumpHeat(slot) < threshold_)
                 break;
-            std::unique_ptr<Superblock> built = buildSuperblock(
-                sim_.prog_, sim_.flowCache_, *sim_.translator_,
-                sim_.energyModel_, sim_.state_.pc, limits_);
+            std::unique_ptr<Superblock> built =
+                SuperblockBuilder(sim_.prog_, sim_.flowCache_,
+                                  *sim_.translator_, sim_.energyModel_,
+                                  limits_)
+                    .build(sim_.state_.pc);
             if (!built) {
                 // Nothing compilable here (uncached/unstable region);
                 // back off so the next visits don't retry immediately.

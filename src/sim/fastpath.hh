@@ -40,6 +40,53 @@ namespace csd
 class ContextSensitiveDecoder;
 class Simulation;
 
+/**
+ * Exit-protocol metadata: what the dispatch loop guarantees when it
+ * leaves a superblock for a given reason. This is declarative, not
+ * derived — it states the contract execBlock() implements and any
+ * future execution tier (the native x86-64 emitter of ROADMAP item 1)
+ * must implement too. The static tier-equivalence prover
+ * (verify/tier_equiv.hh) consumes it through SuperblockView and
+ * rejects any exit reason that can fire mid-block without flushing a
+ * clean whole-macro prefix in interpreter order (tier.partial-flush).
+ */
+struct SbExitMeta
+{
+    /** May fire with macros of the block still unexecuted. */
+    bool midBlock = false;
+    /**
+     * On exit, a whole-macro prefix of the block has retired with all
+     * architectural state and accounting deltas exactly as the
+     * interpreter would have left them (no partially applied macro).
+     */
+    bool flushesPrefix = false;
+    /** The interpreter must take over at state.pc (no block chaining). */
+    bool resumesInterpreter = false;
+};
+
+/** The contract table, exhaustive over SbExit (compile-break on new
+ *  enumerators via the static_assert in sbExitName's definition). */
+constexpr SbExitMeta
+sbExitMeta(SbExit exit)
+{
+    switch (exit) {
+      case SbExit::End:
+        return {/*midBlock=*/false, /*flushesPrefix=*/true,
+                /*resumesInterpreter=*/false};
+      case SbExit::Branch:
+        return {/*midBlock=*/true, /*flushesPrefix=*/true,
+                /*resumesInterpreter=*/false};
+      case SbExit::EpochBump:
+      case SbExit::Unstable:
+      case SbExit::Budget:
+        return {/*midBlock=*/true, /*flushesPrefix=*/true,
+                /*resumesInterpreter=*/true};
+      case SbExit::NumExits:
+        break;
+    }
+    return {};
+}
+
 /** Superblock build + threaded-code execution engine (one per sim). */
 class FastPath
 {

@@ -36,9 +36,11 @@
 #include <string>
 #include <vector>
 
+#include "csd/csd.hh"
 #include "sec/channel_measure.hh"
 #include "verify/channel_crosscheck.hh"
 #include "verify/leak_prover.hh"
+#include "verify/tier_equiv.hh"
 #include "verify/verify.hh"
 #include "workloads/aes.hh"
 #include "workloads/blowfish.hh"
@@ -169,6 +171,51 @@ measurementJson(const ChannelMeasurement &m)
     return os.str();
 }
 
+/**
+ * The SuperblockView --tiers runs under: the real one, or one with a
+ * deliberate defect spliced in so CI can prove each tier.* check
+ * actually fires (pattern of --inject-dynamic-defect). The injection
+ * lives in the view, never in a real block, so the build under test
+ * stays healthy.
+ */
+SuperblockView
+tierView(const std::string &defect)
+{
+    SuperblockView view = SuperblockView::real();
+    if (defect == "handler") {
+        // Route every scalar load to the Nop handler: wrong semantics
+        // AND a dropped memory timing probe.
+        view.handlerOf = [](const SbOp &op) {
+            return op.uop.op == MicroOpcode::Load ? SbHandler::Nop
+                                                  : op.handler;
+        };
+    } else if (defect == "energy") {
+        // Skew every precomputed scalar by a representable amount.
+        view.energyOf = [](const SbOp &op) { return op.energy + 0.125; };
+    } else if (defect == "guard") {
+        // Drop the epoch compare from every macro boundary.
+        view.guardsOf = [](const SbMacro &macro) {
+            return static_cast<std::uint8_t>(macro.guards &
+                                             ~sbGuardEpoch);
+        };
+    }
+    return view;
+}
+
+/** JSON for one tier-equivalence sweep (appended to "tiers": [...]). */
+std::string
+tierAuditJson(const std::string &target, const char *config,
+              const TierAudit &audit)
+{
+    std::ostringstream os;
+    os << "{\"target\": \"" << target << "\", \"config\": \"" << config
+       << "\", \"heads\": " << audit.heads
+       << ", \"blocks\": " << audit.blocks
+       << ", \"macros\": " << audit.macros
+       << ", \"uops\": " << audit.uops << "}";
+    return os.str();
+}
+
 void
 usage(const char *argv0, std::FILE *out)
 {
@@ -182,6 +229,14 @@ usage(const char *argv0, std::FILE *out)
                  "  --inject-dynamic-defect\n"
                  "               inflate the dynamic measurement so the\n"
                  "               cross-check must fail (CI self-test)\n"
+                 "  --tiers      prove compiled superblock streams\n"
+                 "               equivalent to the translator semantics\n"
+                 "               (native, CSD, and devectorizing\n"
+                 "               configurations per target)\n"
+                 "  --inject-tier-defect KIND\n"
+                 "               splice a defect (handler|energy|guard)\n"
+                 "               into the prover's SuperblockView so the\n"
+                 "               matching tier.* check must fail\n"
                  "  --tables     also audit translations + uop tables\n"
                  "  --list       print the known targets and exit\n"
                  "Default: lint every target and audit the tables.\n"
@@ -202,7 +257,9 @@ main(int argc, char **argv)
     bool tablesOnly = false;
     bool listOnly = false;
     bool channels = false;
+    bool tiers = false;
     bool injectDefect = false;
+    std::string tierDefect;
     std::vector<std::string> wanted;
 
     for (int i = 1; i < argc; ++i) {
@@ -213,6 +270,17 @@ main(int argc, char **argv)
             tablesOnly = true;
         } else if (arg == "--channels") {
             channels = true;
+        } else if (arg == "--tiers") {
+            tiers = true;
+        } else if (arg == "--inject-tier-defect" && i + 1 < argc) {
+            tierDefect = argv[++i];
+            if (tierDefect != "handler" && tierDefect != "energy" &&
+                tierDefect != "guard") {
+                std::fprintf(stderr, "csd-lint: unknown tier defect "
+                             "'%s' (handler|energy|guard)\n",
+                             tierDefect.c_str());
+                return 2;
+            }
         } else if (arg == "--inject-dynamic-defect") {
             injectDefect = true;
         } else if (arg == "--list") {
@@ -253,6 +321,7 @@ main(int argc, char **argv)
     std::size_t confirmedLeaks = 0;
     std::string channelsJson;
     std::string measuredJson;
+    std::string tiersJson;
 
     if (!tablesOnly) {
         for (const LintTarget &target : all) {
@@ -337,6 +406,54 @@ main(int argc, char **argv)
                         measurementJson(measurement);
                 }
             }
+
+            if (tiers) {
+                const SuperblockView view = tierView(tierDefect);
+                const auto sweep = [&](const char *config,
+                                       Translator &translator) {
+                    VerifyReport tierReport;
+                    const TierAudit audit = auditProgramTiers(
+                        program, translator, tierReport, view);
+                    std::printf("%-14s tiers[%s]: %zu block(s), %zu "
+                                "macro(s), %zu uop(s) proved over %zu "
+                                "head(s)\n",
+                                target.name.c_str(), config,
+                                audit.blocks, audit.macros, audit.uops,
+                                audit.heads);
+                    if (!tierReport.empty())
+                        std::printf("%s", tierReport.text().c_str());
+                    combined.merge(std::move(tierReport));
+                    tiersJson += (tiersJson.empty() ? "" : ", ") +
+                                 tierAuditJson(target.name, config,
+                                               audit);
+                };
+
+                // The same translator configurations the simulator
+                // runs the tier under: the static native translation,
+                // the CSD with the target's canonical defense armed,
+                // and the CSD devectorizing (ctxDevect stable flows).
+                NativeTranslator native;
+                sweep("native", native);
+
+                MsrFile msrs;
+                TaintTracker taint;
+                ContextSensitiveDecoder csd(msrs, &taint);
+                for (const AddrRange &src : defense.taintSources)
+                    taint.addTaintSource(src);
+                if (defense.enabled) {
+                    if (defense.decoyIRange.valid())
+                        msrs.setDecoyIRange(0, defense.decoyIRange);
+                    if (defense.decoyDRange.valid())
+                        msrs.setDecoyDRange(0, defense.decoyDRange);
+                    msrs.setControl(ctrlStealthEnable | ctrlDiftTrigger);
+                }
+                sweep("csd", csd);
+
+                MsrFile devectMsrs;
+                ContextSensitiveDecoder devectCsd(devectMsrs, nullptr);
+                devectCsd.setDevectorize(true);
+                sweep("csd-devect", devectCsd);
+            }
         }
     }
 
@@ -365,6 +482,9 @@ main(int argc, char **argv)
         if (channels)
             extra = "\"channels\": [" + channelsJson + "], "
                     "\"measured\": [" + measuredJson + "]";
+        if (tiers)
+            extra += (extra.empty() ? std::string() : std::string(", ")) +
+                     "\"tiers\": [" + tiersJson + "]";
         out << combined.json(extra) << "\n";
         if (!out) {
             std::fprintf(stderr, "csd-lint: write to %s failed\n",

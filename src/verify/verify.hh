@@ -11,9 +11,14 @@
  *    legacy decode / flow cache / CSD delivery paths plus the
  *    micro-table audit (trans.*, tables.* checks).
  *
- * The standalone csd-lint driver (csd_lint.cc) runs both over every
- * shipped workload; ProgramBuilder::build() runs the cheap structural
- * subset automatically (see isa/program.cc).
+ * A third pass family lives in verify/tier_equiv.hh: the static
+ * tier-equivalence prover (tier.* checks), which proves compiled
+ * superblock streams equivalent to the reference translator semantics
+ * (csd-lint --tiers).
+ *
+ * The standalone csd-lint driver (csd_lint.cc) runs all of them over
+ * every shipped workload; ProgramBuilder::build() runs the cheap
+ * structural subset automatically (see isa/program.cc).
  */
 
 #ifndef CSD_VERIFY_VERIFY_HH

@@ -306,6 +306,43 @@ TEST(Superblock, EpochBumpMidBlockFallsBack)
     EXPECT_GT(fp.invalidated, 0u);
 }
 
+TEST(Superblock, ExitNamesPinTheSidecarKeys)
+{
+    // bench_sim_throughput.cc emits one sidecar counter per exit
+    // reason under "superblock.exit_<name>"; dashboards key on the
+    // exact spellings, so renaming an enumerator is a breaking change
+    // this test makes explicit.
+    const std::array<const char *, numSbExits> names = {
+        "end", "branch", "epoch_bump", "unstable", "budget"};
+    for (unsigned i = 0; i < numSbExits; ++i) {
+        const SbExit exit = static_cast<SbExit>(i);
+        EXPECT_STREQ(sbExitName(exit), names[i]);
+        const std::string key =
+            std::string("superblock.exit_") + sbExitName(exit);
+        EXPECT_EQ(key, std::string("superblock.exit_") + names[i]);
+    }
+}
+
+TEST(Superblock, ExitMetaContractInvariants)
+{
+    // The contract the tier-equivalence prover enforces per block
+    // (verify/tier_equiv.hh): every exit flushes a clean whole-macro
+    // prefix; only End is not a mid-block exit; the exits taken under
+    // changed translation state (epoch bump, instability) hand control
+    // back to the interpreter instead of chaining into another block.
+    for (unsigned i = 0; i < numSbExits; ++i) {
+        const SbExit exit = static_cast<SbExit>(i);
+        const SbExitMeta meta = sbExitMeta(exit);
+        EXPECT_TRUE(meta.flushesPrefix) << sbExitName(exit);
+        EXPECT_EQ(meta.midBlock, exit != SbExit::End) << sbExitName(exit);
+    }
+    EXPECT_TRUE(sbExitMeta(SbExit::EpochBump).resumesInterpreter);
+    EXPECT_TRUE(sbExitMeta(SbExit::Unstable).resumesInterpreter);
+    EXPECT_TRUE(sbExitMeta(SbExit::Budget).resumesInterpreter);
+    EXPECT_FALSE(sbExitMeta(SbExit::Branch).resumesInterpreter);
+    EXPECT_FALSE(sbExitMeta(SbExit::End).resumesInterpreter);
+}
+
 TEST(Superblock, DisablingDropsCompiledBlocks)
 {
     std::array<std::uint8_t, 16> key{};
