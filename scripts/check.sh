@@ -26,7 +26,8 @@ ctest --test-dir build --output-on-failure -j"$jobs"
 
 echo "== static analysis: csd-lint =="
 cmake --build build -j"$jobs" --target csd-lint
-./build/src/verify/csd-lint all --channels --tiers --json build/csd-lint.json
+./build/src/verify/csd-lint all --channels --tiers --mcu \
+    --json build/csd-lint.json
 
 echo "== static analysis: findings baseline ratchet =="
 python3 scripts/check_lint_baseline.py build/csd-lint.json \

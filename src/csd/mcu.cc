@@ -54,27 +54,43 @@ McuEngine::McuEngine() : stats_("mcu")
 namespace
 {
 
-/** Remap every architectural GPR in @p uops onto decoder temporaries. */
+/**
+ * Remap every architectural register in @p uops onto decoder
+ * temporaries: GPRs in first-use order onto t0..t5 (t6/t7 are reserved
+ * for decoys), XMMs onto vt0..vt3. Flag writes are stripped — a custom
+ * translation running without allowArchWrites must not clobber RFLAGS
+ * either, and the decoder has no shadow flags register to remap onto.
+ */
 bool
 remapToTemps(UopVec &uops, std::string *error)
 {
-    // t0..t5 are available; t6/t7 are reserved for decoys.
-    constexpr unsigned avail = numIntTemps - 2;
-    std::array<int, numGprs> map;
-    map.fill(-1);
-    unsigned next = 0;
+    constexpr unsigned availInt = numIntTemps - 2;
+    constexpr unsigned availVec = numVecTemps;
+    std::array<int, numGprs> intMap;
+    std::array<int, numXmms> vecMap;
+    intMap.fill(-1);
+    vecMap.fill(-1);
+    unsigned nextInt = 0;
+    unsigned nextVec = 0;
 
     auto remap = [&](RegId &reg) -> bool {
-        if (reg.cls != RegClass::Int || !reg.valid())
+        if (!reg.valid())
             return true;
-        if (reg.idx >= numGprs)
-            return true;  // already a temp
-        if (map[reg.idx] < 0) {
-            if (next >= avail)
-                return false;
-            map[reg.idx] = static_cast<int>(next++);
+        if (reg.cls == RegClass::Int && reg.idx < numGprs) {
+            if (intMap[reg.idx] < 0) {
+                if (nextInt >= availInt)
+                    return false;
+                intMap[reg.idx] = static_cast<int>(nextInt++);
+            }
+            reg = intTemp(static_cast<unsigned>(intMap[reg.idx]));
+        } else if (reg.cls == RegClass::Vec && reg.idx < numXmms) {
+            if (vecMap[reg.idx] < 0) {
+                if (nextVec >= availVec)
+                    return false;
+                vecMap[reg.idx] = static_cast<int>(nextVec++);
+            }
+            reg = vecTemp(static_cast<unsigned>(vecMap[reg.idx]));
         }
-        reg = intTemp(static_cast<unsigned>(map[reg.idx]));
         return true;
     };
 
@@ -86,6 +102,7 @@ remapToTemps(UopVec &uops, std::string *error)
                          "has temporaries";
             return false;
         }
+        uop.writesFlags = false;
     }
     return true;
 }
@@ -138,7 +155,8 @@ eliminateDeadTemps(UopVec &uops)
 
 bool
 McuEngine::translateEntry(const McuEntry &entry, bool allow_arch_writes,
-                          CustomTranslation &out, std::string *error)
+                          CustomTranslation &out, std::string *error,
+                          unsigned *optimized_away) const
 {
     out.placement = entry.placement;
     out.uops.clear();
@@ -174,7 +192,9 @@ McuEngine::translateEntry(const McuEntry &entry, bool allow_arch_writes,
         }
     }
 
-    uopsOptimizedAway_ += eliminateDeadTemps(out.uops);
+    const unsigned removed = eliminateDeadTemps(out.uops);
+    if (optimized_away)
+        *optimized_away += removed;
     return true;
 }
 
@@ -196,14 +216,28 @@ McuEngine::applyUpdate(const McuBlob &blob, std::string *error)
         return reject("MCU integrity check failed");
     if (blob.entries.empty())
         return reject("MCU contains no translation entries");
+    if (blob.header.revision <= installedRevision_)
+        return reject("MCU revision downgrade rejected");
 
-    // Translate everything before installing anything (atomic update).
+    if (prover_) {
+        std::string why = "MCU rejected by admission prover";
+        if (!prover_(blob, *this, &why))
+            return reject(why);
+    }
+
+    // Translate everything into a staging table before installing
+    // anything, and accumulate stats deltas locally: a blob whose Nth
+    // entry fails must leave table and counters exactly as they were.
     std::map<MacroOpcode, CustomTranslation> staged;
+    unsigned optimized_away = 0;
     for (const McuEntry &entry : blob.entries) {
+        if (staged.count(entry.targetOpcode)) {
+            return reject("duplicate target opcode in MCU entries");
+        }
         CustomTranslation xlat;
         std::string why;
         if (!translateEntry(entry, blob.header.allowArchWrites, xlat,
-                            &why)) {
+                            &why, &optimized_away)) {
             return reject(why);
         }
         staged[entry.targetOpcode] = std::move(xlat);
@@ -213,6 +247,8 @@ McuEngine::applyUpdate(const McuBlob &blob, std::string *error)
         uopsInstalled_ += xlat.uops.size();
         table_[opcode] = std::move(xlat);
     }
+    uopsOptimizedAway_ += optimized_away;
+    installedRevision_ = blob.header.revision;
     ++updatesApplied_;
     return true;
 }

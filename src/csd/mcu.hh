@@ -20,6 +20,7 @@
 #define CSD_CSD_MCU_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -71,7 +72,16 @@ struct McuBlob
     std::vector<McuEntry> entries;
 };
 
-/** Compute the integrity checksum over a blob's data part. */
+/**
+ * Compute the integrity checksum over a blob's data part.
+ *
+ * The checksum is order-sensitive: entries (and the macro-ops within
+ * each entry) are mixed in sequence, so reordering entries changes the
+ * checksum even when the set of entries is identical. Order is
+ * architecturally significant — placement semantics make the install
+ * order part of the contract — so a reordered blob is a different
+ * blob and must be resealed.
+ */
 std::uint32_t mcuChecksum(const McuBlob &blob);
 
 /** Convenience: fill in the header checksum. */
@@ -91,30 +101,68 @@ struct CustomTranslation
 class McuEngine
 {
   public:
+    /**
+     * Optional admission prover consulted by applyUpdate after the
+     * cheap header checks pass. Returns true to admit the blob; on
+     * rejection it may describe why via the string pointer. The
+     * csd-verify static MCU prover plugs in here so offline lint and
+     * runtime install share one code path (verify/mcu_prover.hh).
+     */
+    using AdmissionProver = std::function<bool(
+        const McuBlob &, const McuEngine &, std::string *)>;
+
     McuEngine();
 
     /**
      * Verify and install @p blob. On failure nothing is installed and
-     * @p error (if non-null) describes the reason.
+     * @p error (if non-null) describes the reason. Installation is
+     * atomic: every entry is translated into a staging table first,
+     * and the engine state (table, revision, stats) only changes once
+     * the whole blob has been admitted.
      */
     bool applyUpdate(const McuBlob &blob, std::string *error = nullptr);
 
     /** Installed rule for @p opcode, or nullptr. */
     const CustomTranslation *lookup(MacroOpcode opcode) const;
 
-    /** Drop all installed translations. */
+    /** Drop all installed translations (keeps the revision watermark). */
     void clear();
 
     /** Number of installed rules. */
     std::size_t size() const { return table_.size(); }
 
+    /** Highest revision ever applied (0 when none). */
+    std::uint32_t installedRevision() const { return installedRevision_; }
+
+    /** Install an admission prover (empty function removes it). */
+    void setAdmissionProver(AdmissionProver prover)
+    {
+        prover_ = std::move(prover);
+    }
+
+    /**
+     * Auto-translate one entry exactly as applyUpdate would, without
+     * touching engine state. Public so the static admission prover can
+     * replay the translation pipeline against its own re-derivation.
+     * @p optimized_away (if non-null) reports how many uops the
+     * optimizer removed.
+     */
+    bool translateEntry(const McuEntry &entry, bool allow_arch_writes,
+                        CustomTranslation &out, std::string *error,
+                        unsigned *optimized_away = nullptr) const;
+
+    std::uint64_t updatesApplied() const { return updatesApplied_.value(); }
+    std::uint64_t updatesRejected() const
+    {
+        return updatesRejected_.value();
+    }
+
     StatGroup &stats() { return stats_; }
 
   private:
-    bool translateEntry(const McuEntry &entry, bool allow_arch_writes,
-                        CustomTranslation &out, std::string *error);
-
     std::map<MacroOpcode, CustomTranslation> table_;
+    AdmissionProver prover_;
+    std::uint32_t installedRevision_ = 0;
 
     StatGroup stats_;
     Counter updatesApplied_;

@@ -1,0 +1,174 @@
+#include "csd/mcu_presets.hh"
+
+#include <sstream>
+
+#include "isa/program.hh"
+
+namespace csd
+{
+
+McuBlob
+mcuLoadInstrumentationPreset(std::uint32_t revision)
+{
+    McuBlob blob;
+    blob.header.revision = revision;
+    McuEntry entry;
+    entry.targetOpcode = MacroOpcode::Load;
+    entry.placement = McuPlacement::Append;
+    ProgramBuilder b;
+    b.addi(Gpr::Rax, 1);  // rax is remapped to a decoder temp on load
+    entry.nativeCode = b.build().code();
+    blob.entries.push_back(entry);
+    sealMcu(blob);
+    return blob;
+}
+
+McuBlob
+mcuConstantTimeSweepPreset(const AddrRange &table, std::uint32_t revision)
+{
+    McuBlob blob;
+    blob.header.revision = revision;
+    ProgramBuilder b;
+    // One load per cache block; a single destination register keeps
+    // the remapped translation inside one decoder temporary.
+    for (Addr line = blockAlign(table.start); line < table.end;
+         line += cacheBlockSize) {
+        b.load(Gpr::Rax, memAbs(line, MemSize::B8));
+    }
+    const std::vector<MacroOp> sweep = b.build().code();
+    // A tainted table lookup decodes as either a plain load or a
+    // micro-fused load-op (e.g. AES xors three of every four lookups
+    // straight into the state word), so the sweep rides on both
+    // flows — covering only Load would leave the load-op sites
+    // distinguishable.
+    for (MacroOpcode target : {MacroOpcode::Load, MacroOpcode::XorM}) {
+        McuEntry entry;
+        entry.targetOpcode = target;
+        entry.placement = McuPlacement::Append;
+        entry.nativeCode = sweep;
+        blob.entries.push_back(entry);
+    }
+    sealMcu(blob);
+    return blob;
+}
+
+namespace
+{
+
+constexpr const char *textMagic = "mcu-blob v1";
+
+} // namespace
+
+std::string
+mcuBlobToText(const McuBlob &blob)
+{
+    std::ostringstream out;
+    out << textMagic << "\n";
+    const McuHeader &h = blob.header;
+    out << "header " << h.signature << " " << h.revision << " "
+        << (h.autoTranslate ? 1 : 0) << " " << (h.allowArchWrites ? 1 : 0)
+        << " " << h.checksum << "\n";
+    for (const McuEntry &entry : blob.entries) {
+        out << "entry " << static_cast<unsigned>(entry.targetOpcode)
+            << " " << static_cast<unsigned>(entry.placement) << " "
+            << entry.nativeCode.size() << "\n";
+        for (const MacroOp &op : entry.nativeCode) {
+            out << "op " << static_cast<unsigned>(op.opcode) << " "
+                << static_cast<int>(op.dst) << " "
+                << static_cast<int>(op.src1) << " "
+                << static_cast<int>(op.xdst) << " "
+                << static_cast<int>(op.xsrc) << " " << op.imm << " "
+                << op.imm2 << " " << static_cast<int>(op.mem.base) << " "
+                << static_cast<int>(op.mem.index) << " "
+                << static_cast<unsigned>(op.mem.scale) << " "
+                << op.mem.disp << " "
+                << static_cast<unsigned>(op.mem.size) << " "
+                << (op.hasMem ? 1 : 0) << " "
+                << static_cast<unsigned>(op.cond) << " " << op.target
+                << " " << static_cast<unsigned>(op.width) << " " << op.pc
+                << " " << static_cast<unsigned>(op.length) << "\n";
+        }
+    }
+    return out.str();
+}
+
+bool
+mcuBlobFromText(const std::string &text, McuBlob &blob, std::string *error)
+{
+    auto fail = [&](const std::string &why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+
+    std::istringstream in(text);
+    std::string line;
+    if (!std::getline(in, line) || line != textMagic)
+        return fail("missing mcu-blob magic line");
+
+    McuBlob parsed;
+    std::string keyword;
+    if (!(in >> keyword) || keyword != "header")
+        return fail("missing header line");
+    unsigned auto_translate = 0;
+    unsigned allow_arch = 0;
+    if (!(in >> parsed.header.signature >> parsed.header.revision >>
+          auto_translate >> allow_arch >> parsed.header.checksum))
+        return fail("malformed header line");
+    parsed.header.autoTranslate = auto_translate != 0;
+    parsed.header.allowArchWrites = allow_arch != 0;
+
+    while (in >> keyword) {
+        if (keyword != "entry")
+            return fail("expected entry line, got '" + keyword + "'");
+        McuEntry entry;
+        unsigned target = 0;
+        unsigned placement = 0;
+        std::size_t ops = 0;
+        if (!(in >> target >> placement >> ops))
+            return fail("malformed entry line");
+        if (target >= static_cast<unsigned>(MacroOpcode::NumOpcodes))
+            return fail("entry target opcode out of range");
+        if (placement > static_cast<unsigned>(McuPlacement::Replace))
+            return fail("entry placement out of range");
+        entry.targetOpcode = static_cast<MacroOpcode>(target);
+        entry.placement = static_cast<McuPlacement>(placement);
+        for (std::size_t i = 0; i < ops; ++i) {
+            if (!(in >> keyword) || keyword != "op")
+                return fail("expected op line");
+            MacroOp op;
+            unsigned opcode = 0;
+            int dst = 0, src1 = 0, xdst = 0, xsrc = 0;
+            int mem_base = 0, mem_index = 0;
+            unsigned mem_scale = 0, mem_size = 0, has_mem = 0;
+            unsigned cond = 0, width = 0, length = 0;
+            if (!(in >> opcode >> dst >> src1 >> xdst >> xsrc >> op.imm >>
+                  op.imm2 >> mem_base >> mem_index >> mem_scale >>
+                  op.mem.disp >> mem_size >> has_mem >> cond >>
+                  op.target >> width >> op.pc >> length))
+                return fail("malformed op line");
+            if (opcode >= static_cast<unsigned>(MacroOpcode::NumOpcodes))
+                return fail("op opcode out of range");
+            op.opcode = static_cast<MacroOpcode>(opcode);
+            op.dst = static_cast<Gpr>(dst);
+            op.src1 = static_cast<Gpr>(src1);
+            op.xdst = static_cast<Xmm>(xdst);
+            op.xsrc = static_cast<Xmm>(xsrc);
+            op.mem.base = static_cast<Gpr>(mem_base);
+            op.mem.index = static_cast<Gpr>(mem_index);
+            op.mem.scale = static_cast<std::uint8_t>(mem_scale);
+            op.mem.size = static_cast<MemSize>(mem_size);
+            op.hasMem = has_mem != 0;
+            op.cond = static_cast<Cond>(cond);
+            op.width = static_cast<OpWidth>(width);
+            op.length = static_cast<std::uint8_t>(length);
+            entry.nativeCode.push_back(op);
+        }
+        parsed.entries.push_back(std::move(entry));
+    }
+
+    blob = std::move(parsed);
+    return true;
+}
+
+} // namespace csd

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shipped microcode-update defense blobs and a text wire format.
+ *
+ * The ROADMAP's microcode-defense ecosystem distributes defenses as
+ * signed MCU blobs (paper §III-C; PAPERS.md "Microcode as a Building
+ * Block for System Defenses"). This module holds the exemplar blobs
+ * the repo ships — every one must be admitted by the static MCU
+ * prover (`csd-lint --mcu`, verify/mcu_prover.hh) — plus a
+ * line-oriented text serialization so blobs can be authored offline,
+ * sealed, linted, and only then loaded (see EXPERIMENTS.md).
+ */
+
+#ifndef CSD_CSD_MCU_PRESETS_HH
+#define CSD_CSD_MCU_PRESETS_HH
+
+#include <string>
+
+#include "common/addr_range.hh"
+#include "csd/mcu.hh"
+
+namespace csd
+{
+
+/**
+ * Load-instrumentation blob: appends a remapped counter increment to
+ * every Load flow (the paper's antivirus-metadata example).
+ */
+McuBlob mcuLoadInstrumentationPreset(std::uint32_t revision = 1);
+
+/**
+ * Constant-time full-table-sweep defense: appends one absolute load
+ * per cache block of @p table to every Load flow, so a tainted-index
+ * table lookup touches every line the attacker could probe and the
+ * cache channel carries no index information (ROADMAP constant-time
+ * enforcement mode). All sweep loads write one decoder temporary; the
+ * blob never touches architectural state.
+ */
+McuBlob mcuConstantTimeSweepPreset(const AddrRange &table,
+                                   std::uint32_t revision = 1);
+
+/** Serialize @p blob to the line-oriented text wire format. */
+std::string mcuBlobToText(const McuBlob &blob);
+
+/**
+ * Parse the text wire format back into @p blob. Returns false and
+ * describes the problem in @p error (if non-null) on malformed input.
+ * Round-trips exactly: parse(serialize(b)) == b field-for-field.
+ */
+bool mcuBlobFromText(const std::string &text, McuBlob &blob,
+                     std::string *error = nullptr);
+
+} // namespace csd
+
+#endif // CSD_CSD_MCU_PRESETS_HH

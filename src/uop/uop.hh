@@ -365,6 +365,31 @@ onVpu(const Uop &uop)
            fu == FuClass::VecFpDiv;
 }
 
+/**
+ * True iff the uop writes architecturally visible state: an
+ * architectural GPR or XMM register (not a decoder temporary), the
+ * flags register, or memory. This is the containment predicate the MCU
+ * admission path enforces on custom translations that do not declare
+ * allowArchWrites.
+ */
+inline bool
+writesArchState(const Uop &uop)
+{
+    if (uop.isStore())
+        return true;
+    if (uop.writesFlags)
+        return true;
+    if (!uop.dst.valid())
+        return false;
+    if (uop.dst.cls == RegClass::Flags)
+        return true;
+    if (uop.dst.cls == RegClass::Int)
+        return !uop.dst.isIntTemp();
+    if (uop.dst.cls == RegClass::Vec)
+        return !uop.dst.isVecTemp();
+    return false;
+}
+
 /** Printable form, e.g. "ld t0, [rax+rbx*4+0x10]". */
 std::string toString(const Uop &uop);
 

@@ -37,9 +37,11 @@
 #include <vector>
 
 #include "csd/csd.hh"
+#include "csd/mcu_presets.hh"
 #include "sec/channel_measure.hh"
 #include "verify/channel_crosscheck.hh"
 #include "verify/leak_prover.hh"
+#include "verify/mcu_prover.hh"
 #include "verify/tier_equiv.hh"
 #include "verify/verify.hh"
 #include "workloads/aes.hh"
@@ -216,6 +218,74 @@ tierAuditJson(const std::string &target, const char *config,
     return os.str();
 }
 
+/**
+ * The McuBlobView --mcu runs under: the real one, or one with a
+ * deliberate defect spliced in so CI can prove each mcu.* check
+ * actually fires. Injection lives in the view, never in a blob or an
+ * engine, so the build under test stays healthy (tierView pattern).
+ */
+McuBlobView
+mcuView(const std::string &defect)
+{
+    McuBlobView view = McuBlobView::real();
+    if (defect == "checksum") {
+        view.checksumOf = [](const McuBlob &blob) {
+            return mcuChecksum(blob) ^ 0xdeadbeefu;
+        };
+    } else if (defect == "revision") {
+        view.revisionOf = [](const McuHeader &) { return 0u; };
+    } else if (defect == "arch-write") {
+        // The engine "installs" a uop writing an architectural GPR.
+        view.installedOf = [](const UopVec &uops) {
+            UopVec broken = uops;
+            if (!broken.empty())
+                broken.front().dst = intReg(Gpr::Rax);
+            return broken;
+        };
+    } else if (defect == "table") {
+        // Loads bind to a port-less class in the patched-table audit.
+        auto real_ports = view.tables.portCountOf;
+        view.tables.portCountOf = [real_ports](FuClass fu) {
+            return fu == FuClass::MemLoad ? 0u : real_ports(fu);
+        };
+    } else if (defect == "channel") {
+        // The patched translator clobbers decoy coverage: every
+        // closed verdict that depended on decoys must regress.
+        view.decoyCoverageOf = [](const AddrRange &) {
+            return AddrRange();
+        };
+    }
+    return view;
+}
+
+/**
+ * Victim context the MCU channel non-regression check scores against:
+ * the aes target's canonical workload, lint options, and Fig. 7a
+ * defense — the same configuration the --channels pass proves closed.
+ */
+struct McuLintContext
+{
+    AesWorkload workload;
+    Program program;
+    McuChannelContext channel;
+
+    McuLintContext()
+        : workload(AesWorkload::build(
+              {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab,
+               0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c},
+              /*decrypt=*/false)),
+          program(workload.program)
+    {
+        channel.program = &program;
+        channel.options.taintSources = {workload.keyRange};
+        channel.options.expectLeak = true;
+        channel.defense.enabled = true;
+        channel.defense.decoyDRange = workload.tTableRange;
+        channel.defense.taintSources = {workload.keyRange};
+        channel.name = "aes";
+    }
+};
+
 void
 usage(const char *argv0, std::FILE *out)
 {
@@ -237,6 +307,19 @@ usage(const char *argv0, std::FILE *out)
                  "               splice a defect (handler|energy|guard)\n"
                  "               into the prover's SuperblockView so the\n"
                  "               matching tier.* check must fail\n"
+                 "  --mcu        prove the shipped microcode-update\n"
+                 "               defense blobs admissible: integrity,\n"
+                 "               architectural containment, patched-\n"
+                 "               table invariants, and channel non-\n"
+                 "               regression against the aes context\n"
+                 "  --mcu-blob FILE\n"
+                 "               also prove a text-format blob from\n"
+                 "               FILE (see csd::mcuBlobToText)\n"
+                 "  --inject-mcu-defect KIND\n"
+                 "               splice a defect (checksum|revision|\n"
+                 "               arch-write|table|channel) into the\n"
+                 "               prover's McuBlobView so the matching\n"
+                 "               mcu.* check must fail\n"
                  "  --tables     also audit translations + uop tables\n"
                  "  --list       print the known targets and exit\n"
                  "Default: lint every target and audit the tables.\n"
@@ -258,8 +341,11 @@ main(int argc, char **argv)
     bool listOnly = false;
     bool channels = false;
     bool tiers = false;
+    bool mcu = false;
     bool injectDefect = false;
     std::string tierDefect;
+    std::string mcuDefect;
+    std::string mcuBlobPath;
     std::vector<std::string> wanted;
 
     for (int i = 1; i < argc; ++i) {
@@ -279,6 +365,23 @@ main(int argc, char **argv)
                 std::fprintf(stderr, "csd-lint: unknown tier defect "
                              "'%s' (handler|energy|guard)\n",
                              tierDefect.c_str());
+                return 2;
+            }
+        } else if (arg == "--mcu") {
+            mcu = true;
+        } else if (arg == "--mcu-blob" && i + 1 < argc) {
+            mcu = true;
+            mcuBlobPath = argv[++i];
+        } else if (arg == "--inject-mcu-defect" && i + 1 < argc) {
+            mcuDefect = argv[++i];
+            if (mcuDefect != "checksum" && mcuDefect != "revision" &&
+                mcuDefect != "arch-write" && mcuDefect != "table" &&
+                mcuDefect != "channel") {
+                std::fprintf(stderr,
+                             "csd-lint: unknown mcu defect '%s' "
+                             "(checksum|revision|arch-write|table|"
+                             "channel)\n",
+                             mcuDefect.c_str());
                 return 2;
             }
         } else if (arg == "--inject-dynamic-defect") {
@@ -322,6 +425,7 @@ main(int argc, char **argv)
     std::string channelsJson;
     std::string measuredJson;
     std::string tiersJson;
+    std::string mcuJson;
 
     if (!tablesOnly) {
         for (const LintTarget &target : all) {
@@ -471,6 +575,76 @@ main(int argc, char **argv)
         combined.merge(std::move(tables));
     }
 
+    // The MCU admission sweep runs once per invocation: every shipped
+    // defense blob (plus any --mcu-blob file) must be admitted by the
+    // static prover under the aes victim context.
+    if (mcu) {
+        const McuLintContext ctx;
+        McuProveOptions mopts;
+        mopts.view = mcuView(mcuDefect);
+        mopts.channel = &ctx.channel;
+
+        std::vector<std::pair<std::string, McuBlob>> blobs;
+        blobs.emplace_back("load-instrument",
+                           mcuLoadInstrumentationPreset());
+        blobs.emplace_back(
+            "ct-sweep-aes",
+            mcuConstantTimeSweepPreset(ctx.workload.tTableRange));
+        if (!mcuBlobPath.empty()) {
+            std::ifstream in(mcuBlobPath);
+            if (!in) {
+                std::fprintf(stderr, "csd-lint: cannot read %s\n",
+                             mcuBlobPath.c_str());
+                return 2;
+            }
+            std::stringstream text;
+            text << in.rdbuf();
+            McuBlob fromFile;
+            std::string parseError;
+            if (!mcuBlobFromText(text.str(), fromFile, &parseError)) {
+                std::fprintf(stderr, "csd-lint: %s: %s\n",
+                             mcuBlobPath.c_str(), parseError.c_str());
+                return 2;
+            }
+            blobs.emplace_back(mcuBlobPath, std::move(fromFile));
+        }
+
+        for (const auto &[name, blob] : blobs) {
+            VerifyReport mcuReport;
+            const McuAudit audit =
+                proveMcuAdmission(blob, mcuReport, mopts);
+            for (const McuEntryAudit &ea : audit.entries) {
+                std::printf("%-14s mcu[%s]: %s/%zu native op(s) -> %zu "
+                            "uop(s), %+.2f nJ/exec, %zu swept line(s)\n",
+                            name.c_str(), mnemonic(ea.target).c_str(),
+                            ea.placement == McuPlacement::Replace
+                                ? "replace"
+                                : (ea.placement == McuPlacement::Prepend
+                                       ? "prepend"
+                                       : "append"),
+                            ea.nativeOps, ea.installedUops,
+                            ea.energyDeltaNj, ea.sweptLines);
+            }
+            if (audit.channelChecked) {
+                std::printf("%-14s mcu channel: baseline %zu closed/"
+                            "%zu narrowed/%zu open -> patched %zu "
+                            "closed/%zu narrowed/%zu open\n",
+                            name.c_str(), audit.baselineClosed,
+                            audit.baselineNarrowed, audit.baselineOpen,
+                            audit.patchedClosed, audit.patchedNarrowed,
+                            audit.patchedOpen);
+            }
+            if (mcuReport.empty()) {
+                std::printf("%-14s mcu admission proof clean\n",
+                            name.c_str());
+            } else {
+                std::printf("%s", mcuReport.text().c_str());
+            }
+            combined.merge(std::move(mcuReport));
+            mcuJson += (mcuJson.empty() ? "" : ", ") + audit.json(name);
+        }
+    }
+
     if (!jsonPath.empty()) {
         std::ofstream out(jsonPath);
         if (!out) {
@@ -485,6 +659,9 @@ main(int argc, char **argv)
         if (tiers)
             extra += (extra.empty() ? std::string() : std::string(", ")) +
                      "\"tiers\": [" + tiersJson + "]";
+        if (mcu)
+            extra += (extra.empty() ? std::string() : std::string(", ")) +
+                     "\"mcu\": [" + mcuJson + "]";
         out << combined.json(extra) << "\n";
         if (!out) {
             std::fprintf(stderr, "csd-lint: write to %s failed\n",

@@ -176,9 +176,17 @@ taintGateCovers(const VerifyOptions &options, const DefenseModel &defense)
     return true;
 }
 
+/**
+ * Judge one site under the configured defense. @p extra_covered names
+ * additional always-hot lines beyond the decoy ranges — e.g. lines an
+ * admitted MCU custom translation sweeps on every execution of the
+ * site's flow — that count as covered even when stealth-mode decoys
+ * are disabled or taint-blind (the sweep fires unconditionally).
+ */
 void
 judgeDefense(SiteProof &proof, const VerifyOptions &options,
-             const DefenseModel &defense, const ProveOptions &prove)
+             const DefenseModel &defense, const ProveOptions &prove,
+             const std::set<Addr> &extra_covered)
 {
     if (proof.bitsPerObservation == 0.0) {
         proof.verdict = LeakVerdict::Closed;
@@ -187,14 +195,16 @@ judgeDefense(SiteProof &proof, const VerifyOptions &options,
             proof.note = "no distinguishable footprint";
         return;
     }
-    if (!defense.enabled) {
+    if (!defense.enabled && extra_covered.empty()) {
         proof.verdict = LeakVerdict::Open;
         proof.residualBitsPerObservation = proof.bitsPerObservation;
         proof.residualLines = proof.footprint.lines.size();
         proof.note = "defense disabled";
         return;
     }
-    if (!taintGateCovers(options, defense)) {
+    const bool decoys_active =
+        defense.enabled && taintGateCovers(options, defense);
+    if (!decoys_active && defense.enabled && extra_covered.empty()) {
         proof.verdict = LeakVerdict::Open;
         proof.residualBitsPerObservation = proof.bitsPerObservation;
         proof.residualLines = proof.footprint.lines.size();
@@ -204,10 +214,14 @@ judgeDefense(SiteProof &proof, const VerifyOptions &options,
 
     const bool instr_side =
         proof.footprint.channel == Channel::L1IFetch;
-    const AddrRange &decoy =
-        instr_side ? defense.decoyIRange : defense.decoyDRange;
-    const std::set<Addr> covered =
-        rangeLines(decoy, prove.geometry.blockBytes);
+    std::set<Addr> covered = extra_covered;
+    if (decoys_active) {
+        const AddrRange &decoy =
+            instr_side ? defense.decoyIRange : defense.decoyDRange;
+        const std::set<Addr> decoy_lines =
+            rangeLines(decoy, prove.geometry.blockBytes);
+        covered.insert(decoy_lines.begin(), decoy_lines.end());
+    }
 
     if (proof.footprint.lines.empty()) {
         // Unresolved base: the footprint could be anywhere, so no
@@ -340,7 +354,7 @@ proveLeaks(const Program &prog, const VerifyOptions &options,
         sp.site = std::move(site);
         sp.totalBits = sp.bitsPerObservation *
                        static_cast<double>(sp.observations);
-        judgeDefense(sp, options, defense, prove);
+        judgeDefense(sp, options, defense, prove, {});
 
         proof.totalBits += sp.totalBits;
         proof.residualTotalBits += sp.residualBitsPerObservation *
@@ -353,6 +367,35 @@ proveLeaks(const Program &prog, const VerifyOptions &options,
         proof.sites.push_back(std::move(sp));
     }
     return proof;
+}
+
+LeakProof
+rejudgeLeaks(const LeakProof &baseline, const VerifyOptions &options,
+             const DefenseModel &defense, const ProveOptions &prove,
+             const std::function<std::set<Addr>(const SiteProof &)>
+                 &extra_covered_for)
+{
+    LeakProof out;
+    for (const SiteProof &site : baseline.sites) {
+        SiteProof sp = site;
+        sp.verdict = LeakVerdict::Open;
+        sp.residualBitsPerObservation = 0.0;
+        sp.residualLines = 0;
+        sp.note.clear();
+        judgeDefense(sp, options, defense, prove,
+                     extra_covered_for ? extra_covered_for(site)
+                                       : std::set<Addr>());
+        out.totalBits += sp.totalBits;
+        out.residualTotalBits += sp.residualBitsPerObservation *
+                                 static_cast<double>(sp.observations);
+        switch (sp.verdict) {
+          case LeakVerdict::Open:     ++out.openSites; break;
+          case LeakVerdict::Narrowed: ++out.narrowedSites; break;
+          case LeakVerdict::Closed:   ++out.closedSites; break;
+        }
+        out.sites.push_back(std::move(sp));
+    }
+    return out;
 }
 
 std::string

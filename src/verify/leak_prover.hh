@@ -31,6 +31,8 @@
 #define CSD_VERIFY_LEAK_PROVER_HH
 
 #include <cstdint>
+#include <functional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -128,6 +130,24 @@ struct LeakProof
 LeakProof proveLeaks(const Program &prog, const VerifyOptions &options,
                      const DefenseModel &defense,
                      const ProveOptions &prove = {});
+
+/**
+ * Re-judge every site of @p baseline without re-running the dataflow:
+ * footprints and undefended bounds carry over verbatim; verdicts,
+ * residuals, and the summary counters are recomputed under @p defense
+ * with @p extra_covered_for naming additional always-hot lines per
+ * site (empty function = none). The extra lines model coverage the
+ * decoy MSRs don't know about — e.g. a microcode update that appends a
+ * constant-time sweep to the site's flow — and count as covered even
+ * when stealth-mode decoys are off, since they fire unconditionally.
+ * The MCU admission prover uses this to score channel non-regression
+ * per update entry (verify/mcu_prover.hh).
+ */
+LeakProof rejudgeLeaks(
+    const LeakProof &baseline, const VerifyOptions &options,
+    const DefenseModel &defense, const ProveOptions &prove,
+    const std::function<std::set<Addr>(const SiteProof &)>
+        &extra_covered_for = {});
 
 } // namespace csd
 

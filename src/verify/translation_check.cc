@@ -43,9 +43,6 @@ MicroTableView::real()
     return view;
 }
 
-namespace
-{
-
 const char *
 fuClassName(FuClass fu)
 {
@@ -63,6 +60,9 @@ fuClassName(FuClass fu)
     }
     return "?";
 }
+
+namespace
+{
 
 constexpr Addr samplePc = 0x401000;
 
@@ -305,6 +305,12 @@ checkFlowStructure(MacroOpcode opc, const MacroOp &op,
 }
 
 } // namespace
+
+MacroOp
+sampleMacroOp(MacroOpcode opc)
+{
+    return sampleOp(opc);
+}
 
 void
 checkTranslations(VerifyReport &report)

@@ -42,6 +42,16 @@ struct MicroTableView
     static MicroTableView real();
 };
 
+/** Printable functional-unit class name ("IntAlu", "MemLoad", ...). */
+const char *fuClassName(FuClass fu);
+
+/**
+ * Synthesize the representative, well-formed MacroOp the consistency
+ * suite uses for @p opc. Exposed so other passes (the MCU admission
+ * prover) can replay the suite's probes against a patched translation.
+ */
+MacroOp sampleMacroOp(MacroOpcode opc);
+
 /**
  * Cross-validate every MacroOpcode's translation across the legacy
  * decode path, a FlowCache round-trip, and the context-sensitive

@@ -1,0 +1,422 @@
+/**
+ * @file
+ * Tests for the static MCU admission prover (verify/mcu_prover.hh).
+ *
+ * Two obligations beyond ordinary coverage, mirroring the tier-equiv
+ * suite:
+ *
+ *  - every shipped defense preset must prove admissible on the real
+ *    McuBlobView — the repo never distributes a blob its own prover
+ *    would reject;
+ *  - every seeded defect, injected through McuBlobView (never by
+ *    corrupting a real blob or engine), must fail with its exact
+ *    mcu.* check id.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "csd/mcu.hh"
+#include "csd/mcu_presets.hh"
+#include "isa/program.hh"
+#include "verify/mcu_prover.hh"
+#include "workloads/aes.hh"
+
+namespace csd
+{
+namespace
+{
+
+bool
+hasFinding(const VerifyReport &report, const std::string &id)
+{
+    return std::any_of(report.findings().begin(), report.findings().end(),
+                       [&](const Finding &f) { return f.checkId == id; });
+}
+
+McuBlob
+instrumentationBlob()
+{
+    return mcuLoadInstrumentationPreset();
+}
+
+/** A small table so the sweep preset stays cheap to audit. */
+AddrRange
+smallTable()
+{
+    return AddrRange{0x600000, 0x600000 + 4 * cacheBlockSize};
+}
+
+TEST(McuProver, ShippedPresetsProveAdmissible)
+{
+    for (const McuBlob &blob :
+         {mcuLoadInstrumentationPreset(),
+          mcuConstantTimeSweepPreset(smallTable())}) {
+        VerifyReport report;
+        proveMcuAdmission(blob, report);
+        EXPECT_TRUE(report.empty()) << report.text();
+    }
+}
+
+TEST(McuProver, AuditPublishesEnergyAndSweepFacts)
+{
+    VerifyReport report;
+    const McuAudit audit =
+        proveMcuAdmission(mcuConstantTimeSweepPreset(smallTable()), report);
+    // The sweep rides on both tainted-lookup flows (Load and XorM).
+    ASSERT_EQ(audit.entries.size(), 2u);
+    EXPECT_EQ(audit.entries[0].target, MacroOpcode::Load);
+    EXPECT_EQ(audit.entries[1].target, MacroOpcode::XorM);
+    for (const McuEntryAudit &e : audit.entries) {
+        EXPECT_EQ(e.placement, McuPlacement::Append);
+        EXPECT_EQ(e.nativeOps, 4u);
+        EXPECT_EQ(e.installedUops, 4u);
+        EXPECT_EQ(e.sweptLines, 4u);
+        EXPECT_GT(e.energyDeltaNj, 0.0);
+    }
+    EXPECT_FALSE(audit.channelChecked);
+}
+
+TEST(McuProver, HeaderDefectsPinIds)
+{
+    // Bad signature.
+    {
+        McuBlob blob = instrumentationBlob();
+        blob.header.signature = 0xbadc0de;
+        VerifyReport report;
+        proveMcuAdmission(blob, report);
+        EXPECT_TRUE(hasFinding(report, "mcu.bad-signature"));
+    }
+    // Not marked for auto-translation.
+    {
+        McuBlob blob = instrumentationBlob();
+        blob.header.autoTranslate = false;
+        VerifyReport report;
+        proveMcuAdmission(blob, report);
+        EXPECT_TRUE(hasFinding(report, "mcu.not-auto-translate"));
+    }
+    // Empty data part.
+    {
+        McuBlob blob;
+        sealMcu(blob);
+        VerifyReport report;
+        proveMcuAdmission(blob, report);
+        EXPECT_TRUE(hasFinding(report, "mcu.empty-update"));
+    }
+    // Duplicate target opcodes.
+    {
+        McuBlob blob = instrumentationBlob();
+        blob.entries.push_back(blob.entries.front());
+        sealMcu(blob);
+        VerifyReport report;
+        proveMcuAdmission(blob, report);
+        EXPECT_TRUE(hasFinding(report, "mcu.duplicate-target"));
+    }
+}
+
+TEST(McuProver, ChecksumViewDefectPinsId)
+{
+    McuProveOptions opts;
+    opts.view.checksumOf = [](const McuBlob &blob) {
+        return mcuChecksum(blob) ^ 0xdeadbeefu;
+    };
+    VerifyReport report;
+    proveMcuAdmission(instrumentationBlob(), report, opts);
+    EXPECT_TRUE(hasFinding(report, "mcu.checksum-mismatch"));
+}
+
+TEST(McuProver, RevisionViewDefectPinsId)
+{
+    McuProveOptions opts;
+    opts.view.revisionOf = [](const McuHeader &) { return 0u; };
+    VerifyReport report;
+    proveMcuAdmission(instrumentationBlob(), report, opts);
+    EXPECT_TRUE(hasFinding(report, "mcu.revision-downgrade"));
+}
+
+TEST(McuProver, RevisionWatermarkEnforced)
+{
+    McuProveOptions opts;
+    opts.installedRevision = 7;
+    VerifyReport report;
+    proveMcuAdmission(mcuLoadInstrumentationPreset(/*revision=*/7), report,
+                      opts);
+    EXPECT_TRUE(hasFinding(report, "mcu.revision-downgrade"));
+
+    VerifyReport ok;
+    proveMcuAdmission(mcuLoadInstrumentationPreset(/*revision=*/8), ok,
+                      opts);
+    EXPECT_TRUE(ok.empty()) << ok.text();
+}
+
+TEST(McuProver, ArchWriteViewDefectPinsId)
+{
+    McuProveOptions opts;
+    opts.view.installedOf = [](const UopVec &uops) {
+        UopVec broken = uops;
+        if (!broken.empty())
+            broken.front().dst = intReg(Gpr::Rax);
+        return broken;
+    };
+    VerifyReport report;
+    proveMcuAdmission(instrumentationBlob(), report, opts);
+    EXPECT_TRUE(hasFinding(report, "mcu.arch-write-escape"));
+    // An architectural dst also breaks remap totality.
+    EXPECT_TRUE(hasFinding(report, "mcu.remap-divergence"));
+}
+
+TEST(McuProver, ReorderedInstallDefectPinsRemapDivergence)
+{
+    // Installing uops that are not an ordered subsequence of the
+    // re-derived remapped translation must fail even when every uop is
+    // individually contained.
+    McuProveOptions opts;
+    opts.view.installedOf = [](const UopVec &uops) {
+        UopVec doubled = uops;
+        doubled.insert(doubled.end(), uops.begin(), uops.end());
+        return doubled;
+    };
+    VerifyReport report;
+    proveMcuAdmission(instrumentationBlob(), report, opts);
+    EXPECT_TRUE(hasFinding(report, "mcu.remap-divergence"));
+}
+
+TEST(McuProver, TableViewDefectPinsId)
+{
+    McuProveOptions opts;
+    const MicroTableView real = MicroTableView::real();
+    opts.view.tables.portCountOf = [real](FuClass fu) {
+        return fu == FuClass::MemLoad ? 0u : real.portCountOf(fu);
+    };
+    VerifyReport report;
+    proveMcuAdmission(mcuConstantTimeSweepPreset(smallTable()), report,
+                      opts);
+    EXPECT_TRUE(hasFinding(report, "mcu.table-invariant"));
+}
+
+TEST(McuProver, ContainmentFindingsPinIds)
+{
+    // Control transfer in the data part.
+    {
+        McuBlob blob;
+        McuEntry entry;
+        entry.targetOpcode = MacroOpcode::Nop;
+        ProgramBuilder b;
+        auto label = b.newLabel();
+        b.bind(label);
+        b.jmp(label);
+        entry.nativeCode = b.build().code();
+        blob.entries.push_back(entry);
+        sealMcu(blob);
+        VerifyReport report;
+        proveMcuAdmission(blob, report);
+        EXPECT_TRUE(hasFinding(report, "mcu.control-transfer"));
+    }
+    // Microsequenced instruction in the data part.
+    {
+        McuBlob blob;
+        McuEntry entry;
+        entry.targetOpcode = MacroOpcode::Nop;
+        ProgramBuilder b;
+        b.cpuid();
+        entry.nativeCode = b.build().code();
+        blob.entries.push_back(entry);
+        sealMcu(blob);
+        VerifyReport report;
+        proveMcuAdmission(blob, report);
+        EXPECT_TRUE(hasFinding(report, "mcu.microsequenced"));
+    }
+    // More live registers than decoder temporaries.
+    {
+        McuBlob blob;
+        McuEntry entry;
+        entry.targetOpcode = MacroOpcode::Nop;
+        ProgramBuilder b;
+        for (unsigned i = 0; i < 8; ++i)
+            b.aluImm(MacroOpcode::AddI, static_cast<Gpr>(i), 1);
+        entry.nativeCode = b.build().code();
+        blob.entries.push_back(entry);
+        sealMcu(blob);
+        VerifyReport report;
+        proveMcuAdmission(blob, report);
+        EXPECT_TRUE(hasFinding(report, "mcu.temp-overflow"));
+    }
+    // Memory write without the header flag.
+    {
+        McuBlob blob;
+        McuEntry entry;
+        entry.targetOpcode = MacroOpcode::Store;
+        ProgramBuilder b;
+        b.storeImm(memAbs(0x9000, MemSize::B8), 1);
+        entry.nativeCode = b.build().code();
+        blob.entries.push_back(entry);
+        sealMcu(blob);
+        VerifyReport report;
+        proveMcuAdmission(blob, report);
+        EXPECT_TRUE(hasFinding(report, "mcu.arch-write-escape"));
+    }
+}
+
+TEST(McuProver, UnusedAllowArchWritesWarns)
+{
+    // allowArchWrites is a privilege grant: a blob that claims it but
+    // never writes architectural state should have it removed. The
+    // fixture must be genuinely write-free — with the flag set the
+    // remap/flag-stripping is skipped, so an add would write its GPR
+    // and RFLAGS architecturally and legitimately use the grant.
+    McuBlob blob;
+    McuEntry entry;
+    entry.targetOpcode = MacroOpcode::Load;
+    ProgramBuilder b;
+    b.nop();
+    entry.nativeCode = b.build().code();
+    blob.entries.push_back(entry);
+    blob.header.allowArchWrites = true;
+    sealMcu(blob);
+    VerifyReport report;
+    proveMcuAdmission(blob, report);
+    EXPECT_TRUE(hasFinding(report, "mcu.unused-arch-writes"));
+    EXPECT_FALSE(report.hasErrors()) << report.text();
+}
+
+/** The aes victim context the channel non-regression check scores. */
+struct ChannelFixture
+{
+    AesWorkload workload;
+    Program program;
+    McuChannelContext channel;
+
+    ChannelFixture()
+        : workload(AesWorkload::build(
+              {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab,
+               0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c},
+              /*decrypt=*/false)),
+          program(workload.program)
+    {
+        channel.program = &program;
+        channel.options.taintSources = {workload.keyRange};
+        channel.options.expectLeak = true;
+        channel.defense.enabled = true;
+        channel.defense.decoyDRange = workload.tTableRange;
+        channel.defense.taintSources = {workload.keyRange};
+        channel.name = "aes";
+    }
+};
+
+TEST(McuProver, ChannelNonRegressionHoldsOnRealView)
+{
+    const ChannelFixture fix;
+    McuProveOptions opts;
+    opts.channel = &fix.channel;
+    VerifyReport report;
+    const McuAudit audit =
+        proveMcuAdmission(mcuLoadInstrumentationPreset(), report, opts);
+    EXPECT_TRUE(report.empty()) << report.text();
+    EXPECT_TRUE(audit.channelChecked);
+    EXPECT_GT(audit.baselineClosed, 0u);
+    EXPECT_EQ(audit.patchedClosed, audit.baselineClosed);
+    EXPECT_EQ(audit.patchedOpen, audit.baselineOpen);
+}
+
+TEST(McuProver, DecoyCoverageDefectPinsChannelRegression)
+{
+    const ChannelFixture fix;
+    McuProveOptions opts;
+    opts.channel = &fix.channel;
+    opts.view.decoyCoverageOf = [](const AddrRange &) {
+        return AddrRange();
+    };
+    VerifyReport report;
+    const McuAudit audit =
+        proveMcuAdmission(mcuLoadInstrumentationPreset(), report, opts);
+    EXPECT_TRUE(hasFinding(report, "mcu.channel-regression"));
+    EXPECT_GT(audit.patchedOpen, 0u);
+}
+
+TEST(McuProver, SweepClosesChannelWithoutDecoys)
+{
+    // The constant-time sweep preset must keep every aes site closed
+    // on its own coverage even when the patched translator masks the
+    // decoy ranges entirely — that is the point of the defense blob.
+    const ChannelFixture fix;
+    McuProveOptions opts;
+    opts.channel = &fix.channel;
+    opts.view.decoyCoverageOf = [](const AddrRange &) {
+        return AddrRange();
+    };
+    VerifyReport report;
+    const McuAudit audit = proveMcuAdmission(
+        mcuConstantTimeSweepPreset(fix.workload.tTableRange), report,
+        opts);
+    EXPECT_FALSE(hasFinding(report, "mcu.channel-regression"))
+        << report.text();
+    EXPECT_EQ(audit.patchedClosed, audit.baselineClosed);
+}
+
+TEST(McuProver, AdmissionHookSharesThePipeline)
+{
+    // The runtime hook is the same prover: a defective view makes the
+    // engine reject a perfectly sealed blob with the finding rendering
+    // as the error, and nothing installs.
+    McuEngine engine;
+    McuProveOptions opts;
+    opts.view.checksumOf = [](const McuBlob &blob) {
+        return mcuChecksum(blob) ^ 1u;
+    };
+    engine.setAdmissionProver(mcuAdmissionProver(opts));
+    std::string error;
+    EXPECT_FALSE(engine.applyUpdate(instrumentationBlob(), &error));
+    EXPECT_NE(error.find("mcu.checksum-mismatch"), std::string::npos)
+        << error;
+    EXPECT_EQ(engine.size(), 0u);
+    EXPECT_EQ(engine.installedRevision(), 0u);
+
+    // The real view admits the same blob through the same hook.
+    engine.setAdmissionProver(mcuAdmissionProver());
+    EXPECT_TRUE(engine.applyUpdate(instrumentationBlob(), &error))
+        << error;
+    EXPECT_EQ(engine.size(), 1u);
+}
+
+TEST(McuProver, HookSeesTheEngineRevisionWatermark)
+{
+    // The hook captures its options when built but must re-read the
+    // engine's installed revision at apply time: a hook built against
+    // a fresh engine still rejects a stale blob once the engine has
+    // advanced past it.
+    McuEngine engine;
+    const McuEngine::AdmissionProver hook = mcuAdmissionProver();
+    engine.setAdmissionProver(hook);
+    std::string error;
+    ASSERT_TRUE(
+        engine.applyUpdate(mcuLoadInstrumentationPreset(/*revision=*/3),
+                           &error))
+        << error;
+    ASSERT_EQ(engine.installedRevision(), 3u);
+    std::string why;
+    EXPECT_FALSE(
+        hook(mcuLoadInstrumentationPreset(/*revision=*/3), engine, &why));
+    EXPECT_NE(why.find("mcu.revision-downgrade"), std::string::npos)
+        << why;
+    EXPECT_TRUE(
+        hook(mcuLoadInstrumentationPreset(/*revision=*/4), engine, &why))
+        << why;
+}
+
+TEST(McuProver, AuditJsonIsWellFormedObject)
+{
+    VerifyReport report;
+    const McuAudit audit =
+        proveMcuAdmission(mcuConstantTimeSweepPreset(smallTable()), report);
+    const std::string json = audit.json("ct-sweep");
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"blob\": \"ct-sweep\""), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"swept_lines\": 4"), std::string::npos) << json;
+}
+
+} // namespace
+} // namespace csd
